@@ -1,0 +1,91 @@
+// Ablation — how the open-system "leak" drives everything.
+//
+// The crawl's internal-link fraction (the paper's 7M/15M) controls how much
+// rank mass escapes the open system each hop, and that single number
+// explains two observations the paper reports separately:
+//   * the Fig. 7 plateau (average rank ≪ 1), and
+//   * why DPR1 needs fewer iterations than classic CPR in Fig. 8 — the
+//     effective contraction is α · (fraction of link mass staying
+//     internal), which shrinks as the leak grows, while closed-system CPR
+//     always contracts at ~α.
+// This bench sweeps the crawl fraction and measures plateau, contraction,
+// centralized open-system iterations, and DPR1 rounds side by side.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "engine/distributed.hpp"
+#include "engine/reference.hpp"
+#include "graph/synthetic_web.hpp"
+#include "partition/partitioner.hpp"
+#include "rank/link_matrix.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+constexpr double kAlpha = 0.85;
+}
+
+int main(int argc, char** argv) {
+  using namespace p2prank;
+  const bench::Flags flags(argc, argv, "[--pages=15000] [--seed=42]");
+  const auto pages = static_cast<std::uint32_t>(flags.get_u64("pages", 15000));
+  auto& pool = util::ThreadPool::shared();
+
+  std::cout << "leak ablation: internal-link fraction vs convergence\n"
+            << "(alpha = " << kAlpha << "; the paper's dataset sits at 7/15 = 0.47)\n\n";
+
+  util::Table table({"crawl fraction", "measured ||A||", "avg rank plateau",
+                     "open-sys iters to 0.01%", "DPR1 rounds (K=16)"});
+  double first_plateau = 0.0;
+  double last_plateau = 0.0;
+  double first_iters = 0.0;
+  double last_iters = 0.0;
+  for (const double crawl_fraction : {0.25, 0.47, 0.75, 1.0}) {
+    auto cfg = graph::google2002_config(pages, flags.get_u64("seed", 42));
+    cfg.crawl_fraction = crawl_fraction;
+    const auto g = graph::generate_synthetic_web(cfg);
+    const auto m = rank::LinkMatrix::from_graph(g, kAlpha);
+
+    const auto reference = engine::open_system_reference(g, kAlpha, pool);
+    double plateau = 0.0;
+    for (const double r : reference) plateau += r;
+    plateau /= static_cast<double>(reference.size());
+
+    const auto iters = engine::centralized_iterations_to_error(
+        g, kAlpha, 1e-4, reference, pool);
+
+    const auto assignment = partition::make_hash_url_partitioner()->partition(g, 16);
+    engine::EngineOptions opts;
+    opts.alpha = kAlpha;
+    opts.t1 = opts.t2 = 15.0;
+    opts.seed = flags.get_u64("seed", 42);
+    engine::DistributedRanking sim(g, assignment, 16, opts, pool);
+    sim.set_reference(reference);
+    const auto result = sim.run_until_error(1e-4, 30000.0, 15.0);
+
+    if (crawl_fraction == 0.25) {
+      first_plateau = plateau;
+      first_iters = static_cast<double>(iters);
+    }
+    last_plateau = plateau;
+    last_iters = static_cast<double>(iters);
+
+    table.row()
+        .cell(crawl_fraction, 2)
+        .cell(m.contraction_norm(), 3)
+        .cell(plateau, 3)
+        .cell(std::uint64_t{iters})
+        .cell(result.reached ? result.mean_outer_steps : -1.0, 1);
+  }
+  table.print(std::cout, "Internal-link fraction sweep");
+
+  std::cout << "\nshape check:\n"
+            << "  more leak -> lower plateau:        "
+            << (first_plateau < last_plateau ? "yes" : "NO") << '\n'
+            << "  more leak -> faster convergence:   "
+            << (first_iters < last_iters ? "yes" : "NO") << '\n'
+            << "At crawl fraction 1.0 (no leak) the open system approaches the\n"
+            << "closed system: plateau -> 1, contraction -> alpha, and the\n"
+            << "Fig. 8 DPR1-beats-CPR gap closes — the leak IS the speedup.\n";
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Google-benchmark microbenchmarks for the hot paths: the SpMV rank sweep,
+// whole-graph open-system solves, overlay routing, partitioning, and the
+// indirect-transmission pack/unpack loop.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "engine/reference.hpp"
+#include "graph/synthetic_web.hpp"
+#include "overlay/chord.hpp"
+#include "overlay/pastry.hpp"
+#include "partition/partitioner.hpp"
+#include "rank/link_matrix.hpp"
+#include "rank/open_system.hpp"
+#include "transport/exchange.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace p2prank;
+
+const graph::WebGraph& bench_graph() {
+  static const graph::WebGraph g =
+      graph::generate_synthetic_web(graph::google2002_config(50000, 42));
+  return g;
+}
+
+void BM_SpmvSweepSerial(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  std::vector<double> x(m.dimension(), 1.0);
+  std::vector<double> y(m.dimension());
+  for (auto _ : state) {
+    m.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.num_entries()));
+}
+BENCHMARK(BM_SpmvSweepSerial);
+
+void BM_SpmvSweepParallel(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  auto& pool = util::ThreadPool::shared();
+  std::vector<double> x(m.dimension(), 1.0);
+  std::vector<double> y(m.dimension());
+  for (auto _ : state) {
+    m.multiply(x, y, pool);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.num_entries()));
+}
+BENCHMARK(BM_SpmvSweepParallel);
+
+void BM_OpenSystemSolve(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  auto& pool = util::ThreadPool::shared();
+  rank::SolveOptions opts;
+  opts.epsilon = 1e-10;
+  for (auto _ : state) {
+    auto r = rank::solve_open_system_uniform(m, 1.0, opts, pool);
+    benchmark::DoNotOptimize(r.ranks.data());
+  }
+}
+BENCHMARK(BM_OpenSystemSolve)->Unit(benchmark::kMillisecond);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  const auto pages = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto g = graph::generate_synthetic_web(graph::google2002_config(pages, 7));
+    benchmark::DoNotOptimize(g.num_links());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * pages);
+}
+BENCHMARK(BM_GraphGeneration)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_PastryRoute(benchmark::State& state) {
+  overlay::PastryConfig cfg;
+  cfg.num_nodes = static_cast<std::uint32_t>(state.range(0));
+  cfg.seed = 3;
+  const overlay::PastryOverlay o(cfg);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const auto from = static_cast<overlay::NodeIndex>(rng.below(cfg.num_nodes));
+    auto path = o.route(from, overlay::node_id_from_u64(rng.next()));
+    benchmark::DoNotOptimize(path.data());
+  }
+}
+BENCHMARK(BM_PastryRoute)->Arg(1000)->Arg(10000);
+
+void BM_ChordRoute(benchmark::State& state) {
+  overlay::ChordConfig cfg;
+  cfg.num_nodes = static_cast<std::uint32_t>(state.range(0));
+  cfg.seed = 3;
+  const overlay::ChordOverlay o(cfg);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const auto from = static_cast<overlay::NodeIndex>(rng.below(cfg.num_nodes));
+    auto path = o.route(from, overlay::node_id_from_u64(rng.next()));
+    benchmark::DoNotOptimize(path.data());
+  }
+}
+BENCHMARK(BM_ChordRoute)->Arg(1000)->Arg(10000);
+
+void BM_PastryBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    overlay::PastryConfig cfg;
+    cfg.num_nodes = static_cast<std::uint32_t>(state.range(0));
+    cfg.seed = 9;
+    const overlay::PastryOverlay o(cfg);
+    benchmark::DoNotOptimize(o.num_nodes());
+  }
+}
+BENCHMARK(BM_PastryBuild)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_HashSitePartition(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto p = partition::make_hash_site_partitioner();
+  for (auto _ : state) {
+    auto assignment = p->partition(g, 64);
+    benchmark::DoNotOptimize(assignment.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_pages()));
+}
+BENCHMARK(BM_HashSitePartition);
+
+void BM_HashUrlPartition(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto p = partition::make_hash_url_partitioner();
+  for (auto _ : state) {
+    auto assignment = p->partition(g, 64);
+    benchmark::DoNotOptimize(assignment.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_pages()));
+}
+BENCHMARK(BM_HashUrlPartition);
+
+void BM_IndirectExchangeRound(benchmark::State& state) {
+  overlay::PastryConfig cfg;
+  cfg.num_nodes = static_cast<std::uint32_t>(state.range(0));
+  cfg.seed = 13;
+  const overlay::PastryOverlay o(cfg);
+  const auto demand = transport::ExchangeDemand::all_pairs(cfg.num_nodes, 2);
+  for (auto _ : state) {
+    auto report = transport::run_indirect_exchange(o, demand, {});
+    benchmark::DoNotOptimize(report.records_delivered);
+  }
+}
+BENCHMARK(BM_IndirectExchangeRound)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_CentralizedReference(benchmark::State& state) {
+  const auto& g = bench_graph();
+  auto& pool = util::ThreadPool::shared();
+  for (auto _ : state) {
+    auto r = engine::open_system_reference(g, 0.85, pool, 1e-10);
+    benchmark::DoNotOptimize(r.data());
+  }
+}
+BENCHMARK(BM_CentralizedReference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

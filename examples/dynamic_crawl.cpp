@@ -1,0 +1,126 @@
+// Scenario: ranking a web that is still being crawled.
+//
+// Real search engines never see a finished web: crawlers keep discovering
+// and re-fetching pages while rankers run. This example drives that loop —
+// the paper's full system model — through four crawl stages:
+//
+//   crawl a batch -> snapshot the link graph -> hash-partition (stable for
+//   already-placed pages) -> warm-start distributed DPR1 from the previous
+//   stage's ranks -> converge -> repeat.
+//
+// Things to watch in the output:
+//   * the internal-link fraction rises as coverage grows (fewer dangling
+//     frontiers), lifting the average rank plateau;
+//   * pages never migrate between rankers across stages (hash stability);
+//   * warm-started stages start at a small relative error and converge in
+//     far less virtual time than the cold first stage.
+//
+// Run:  ./dynamic_crawl [--universe=20000] [--stages=4] [--rankers=12]
+#include <iostream>
+#include <string>
+
+#include "crawl/crawler.hpp"
+#include "engine/distributed.hpp"
+#include "engine/reference.hpp"
+#include "graph/graph_stats.hpp"
+#include "partition/partitioner.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+std::uint64_t flag_u64(int argc, char** argv, const std::string& key,
+                       std::uint64_t fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.starts_with(prefix)) return std::stoull(arg.substr(prefix.size()));
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace p2prank;
+  const auto universe =
+      static_cast<std::uint32_t>(flag_u64(argc, argv, "universe", 20000));
+  const auto stages = flag_u64(argc, argv, "stages", 4);
+  const auto k = static_cast<std::uint32_t>(flag_u64(argc, argv, "rankers", 12));
+  auto& pool = util::ThreadPool::shared();
+
+  crawl::CrawlConfig ccfg;
+  ccfg.seed = 17;
+  ccfg.num_sites = 60;
+  ccfg.universe_pages = universe;
+  ccfg.revisit_fraction = 0.05;
+  crawl::Crawler crawler(ccfg);
+
+  std::cout << "dynamic crawl: universe of " << crawler.universe_size()
+            << " pages over " << ccfg.num_sites << " sites, " << k
+            << " page rankers\n\n";
+
+  engine::EngineOptions opts;
+  opts.algorithm = engine::Algorithm::kDPR1;
+  opts.alpha = 0.85;
+  opts.t1 = 0.0;
+  opts.t2 = 4.0;
+  opts.seed = 5;
+
+  const auto partitioner = partition::make_hash_site_partitioner();
+  const std::size_t batch = crawler.universe_size() / (stages + 1);
+
+  util::Table table({"stage", "pages", "internal %", "avg rank",
+                     "start rel err %", "converge time", "migrated pages"});
+  std::vector<double> prev_ranks;
+  graph::WebGraph prev_graph;
+  std::vector<std::uint32_t> prev_assignment;
+
+  for (std::uint64_t stage = 1; stage <= stages; ++stage) {
+    (void)crawler.fetch(batch);
+    auto g = crawler.snapshot();
+    const auto stats = graph::compute_stats(g);
+    const auto assignment = partitioner->partition(g, k);
+
+    // Hash stability check: did any previously placed page move?
+    std::size_t migrated = 0;
+    for (graph::PageId p = 0; p < prev_assignment.size(); ++p) {
+      if (assignment[p] != prev_assignment[p]) ++migrated;
+    }
+
+    const auto reference = engine::open_system_reference(g, opts.alpha, pool);
+    double ref_avg = 0.0;
+    for (const double r : reference) ref_avg += r;
+    ref_avg /= static_cast<double>(reference.size());
+
+    engine::DistributedRanking sim(g, assignment, k, opts, pool);
+    sim.set_reference(reference);
+    if (!prev_ranks.empty()) {
+      sim.warm_start(engine::carry_ranks(prev_graph, prev_ranks, g));
+    }
+    const double start_err = sim.relative_error_now();
+    const auto result = sim.run_until_error(1e-5, 2000.0, 1.0);
+
+    table.row()
+        .cell("#" + std::to_string(stage) + (stage == 1 ? " (cold)" : " (warm)"))
+        .cell(std::uint64_t{g.num_pages()})
+        .cell(stats.internal_fraction() * 100.0, 1)
+        .cell(ref_avg, 3)
+        .cell(start_err * 100.0, 1)
+        .cell(result.reached ? util::format_double(result.time, 0) + " units"
+                             : std::string("did not converge"))
+        .cell(std::uint64_t{migrated});
+
+    prev_ranks = sim.global_ranks();
+    prev_graph = std::move(g);  // sim is not used after this point
+    prev_assignment = assignment;
+  }
+  table.print(std::cout, "Crawl-while-ranking, stage by stage");
+
+  std::cout << "\nNotes:\n"
+               "  * 'migrated pages' stays 0: hash-by-site keeps every page on\n"
+               "    its ranker as the crawl grows (Section 4.1's stability).\n"
+               "  * warm stages start near the previous fixed point, so they\n"
+               "    converge in a fraction of the cold stage's time.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "cost/capacity_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p2prank::cost {
+
+double pastry_expected_hops(double num_nodes, int bits_per_digit) {
+  if (num_nodes < 1.0) throw std::invalid_argument("pastry hops: N < 1");
+  if (bits_per_digit < 1) throw std::invalid_argument("pastry hops: b < 1");
+  if (num_nodes == 1.0) return 0.0;
+  return std::log2(num_nodes) / static_cast<double>(bits_per_digit);
+}
+
+double paper_pastry_hops(std::uint64_t num_nodes) {
+  switch (num_nodes) {
+    case 1000: return 2.5;
+    case 10000: return 3.5;
+    case 100000: return 4.0;
+    default: return pastry_expected_hops(static_cast<double>(num_nodes));
+  }
+}
+
+TransmissionCost indirect_cost(double num_rankers, double hops,
+                               const CostParameters& p) {
+  TransmissionCost c;
+  c.bytes = hops * p.record_bytes * p.total_pages;       // 4.1
+  c.messages = p.mean_neighbors * num_rankers;           // 4.3
+  return c;
+}
+
+TransmissionCost direct_cost(double num_rankers, double hops,
+                             const CostParameters& p) {
+  TransmissionCost c;
+  const double n2 = num_rankers * num_rankers;
+  c.bytes = p.record_bytes * p.total_pages + hops * p.lookup_bytes * n2;  // 4.2
+  c.messages = (hops + 1.0) * n2;                                         // 4.4
+  return c;
+}
+
+double min_iteration_interval(double hops, const CostParameters& p) {
+  if (p.bisection_bandwidth <= 0.0) {
+    throw std::invalid_argument("capacity: bisection bandwidth must be positive");
+  }
+  return hops * p.record_bytes * p.total_pages / p.bisection_bandwidth;  // 4.6
+}
+
+double min_node_bandwidth(double num_rankers, double hops, double interval_seconds,
+                          const CostParameters& p) {
+  if (num_rankers <= 0.0 || interval_seconds <= 0.0) {
+    throw std::invalid_argument("capacity: N and T must be positive");
+  }
+  const double d_it = hops * p.record_bytes * p.total_pages;
+  return d_it / (num_rankers * interval_seconds);  // 4.7
+}
+
+std::vector<CapacityRow> table1(const CostParameters& p,
+                                const std::vector<std::uint64_t>& ranker_counts) {
+  std::vector<CapacityRow> rows;
+  rows.reserve(ranker_counts.size());
+  for (const std::uint64_t n : ranker_counts) {
+    CapacityRow row;
+    row.num_rankers = n;
+    row.hops = paper_pastry_hops(n);
+    row.min_interval_seconds = min_iteration_interval(row.hops, p);
+    row.min_node_bandwidth = min_node_bandwidth(
+        static_cast<double>(n), row.hops, row.min_interval_seconds, p);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::uint64_t byte_crossover_n(const CostParameters& p, int bits_per_digit) {
+  // At h <= 1 hop, indirect degenerates to direct-without-lookups and wins
+  // trivially; with h > 1 it pays (h-1)·l·W extra and loses until the
+  // lookup term h·r·N² catches up. Return the N above which indirect wins
+  // *for good*: one past the largest N where direct still ships fewer bytes.
+  std::uint64_t last_direct_win = 0;
+  for (std::uint64_t n = 2; n <= (1ULL << 40); n *= 2) {
+    // A routed message always takes at least one hop; the log law dips
+    // below 1 for overlays smaller than one digit's fan-out.
+    const double h = std::max(
+        1.0, pastry_expected_hops(static_cast<double>(n), bits_per_digit));
+    const auto ind = indirect_cost(static_cast<double>(n), h, p);
+    const auto dir = direct_cost(static_cast<double>(n), h, p);
+    if (dir.bytes <= ind.bytes) last_direct_win = n;
+  }
+  if (last_direct_win == 0) return 2;  // indirect wins everywhere
+  return last_direct_win >= (1ULL << 40) ? 0 : last_direct_win * 2;
+}
+
+}  // namespace p2prank::cost

@@ -1,0 +1,80 @@
+// Closed-form communication-cost and capacity model (Sections 4.4–4.5).
+//
+// Formulas, with N rankers, W pages, l bytes per <url_from,url_to,score>
+// record, r bytes per lookup message, h mean overlay hops, g mean neighbors:
+//
+//   (4.1)  D_it = h·l·W            bytes/iteration, indirect
+//   (4.2)  D_dt = l·W + h·r·N²     bytes/iteration, direct (lookups!)
+//   (4.3)  S_it = g·N              messages/iteration, indirect
+//   (4.4)  S_dt = (h+1)·N²         messages/iteration, direct
+//   (4.6)  T    > D_it / bisection_bandwidth      (min iteration interval)
+//   (4.7)  B    ≥ D_it / (N·T)                    (min node bottleneck bw)
+//
+// Table 1 instantiates these at W = 3 billion pages, l = 100 B, one percent
+// of the 1999 U.S. backbone bisection (100 MB/s), and Pastry's measured
+// hop counts h = 2.5 / 3.5 / 4.0 for N = 1e3 / 1e4 / 1e5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace p2prank::cost {
+
+struct CostParameters {
+  double total_pages = 3e9;            ///< W — "Google indexes more than 3B"
+  double record_bytes = 100.0;         ///< l
+  double lookup_bytes = 50.0;          ///< r
+  double bisection_bandwidth = 100e6;  ///< bytes/s usable by page ranking
+  double mean_neighbors = 32.0;        ///< g ("roughly some dozens")
+};
+
+/// Expected Pastry route length log_{2^b}(N).
+[[nodiscard]] double pastry_expected_hops(double num_nodes, int bits_per_digit = 4);
+
+/// The hop counts the paper quotes (Pastry paper measurements) for
+/// N = 1000 / 10000 / 100000; other N fall back to pastry_expected_hops.
+[[nodiscard]] double paper_pastry_hops(std::uint64_t num_nodes);
+
+struct TransmissionCost {
+  double bytes = 0.0;
+  double messages = 0.0;
+};
+
+/// Formulas 4.1 / 4.3.
+[[nodiscard]] TransmissionCost indirect_cost(double num_rankers, double hops,
+                                             const CostParameters& p);
+
+/// Formulas 4.2 / 4.4.
+[[nodiscard]] TransmissionCost direct_cost(double num_rankers, double hops,
+                                           const CostParameters& p);
+
+/// Formula 4.6: minimal seconds between iterations given the bisection
+/// bandwidth budget.
+[[nodiscard]] double min_iteration_interval(double hops, const CostParameters& p);
+
+/// Formula 4.7: minimal per-node bottleneck bandwidth (bytes/s) given an
+/// iteration interval T.
+[[nodiscard]] double min_node_bandwidth(double num_rankers, double hops,
+                                        double interval_seconds,
+                                        const CostParameters& p);
+
+/// One row of Table 1.
+struct CapacityRow {
+  std::uint64_t num_rankers = 0;
+  double hops = 0.0;
+  double min_interval_seconds = 0.0;   ///< "Time per Iteration"
+  double min_node_bandwidth = 0.0;     ///< "Bottleneck Bandwidth Needed", B/s
+};
+
+/// Regenerate Table 1 (defaults to the paper's N = 1e3, 1e4, 1e5).
+[[nodiscard]] std::vector<CapacityRow> table1(
+    const CostParameters& p = {},
+    const std::vector<std::uint64_t>& ranker_counts = {1000, 10000, 100000});
+
+/// Smallest N at which indirect transmission ships fewer bytes than direct
+/// (the crossover the paper's "direct seems better only for small N" refers
+/// to). Scans doubling N; returns 0 when indirect never wins below 2^40.
+[[nodiscard]] std::uint64_t byte_crossover_n(const CostParameters& p,
+                                             int bits_per_digit = 4);
+
+}  // namespace p2prank::cost

@@ -1,0 +1,194 @@
+#include "crawl/crawler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/graph_builder.hpp"
+#include "util/hash.hpp"
+
+namespace p2prank::crawl {
+
+namespace {
+
+constexpr double kDegExponent = 2.5;
+constexpr std::uint64_t kDegCap = 400;
+
+}  // namespace
+
+Crawler::Crawler(const CrawlConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg.num_sites == 0) throw std::invalid_argument("crawler: num_sites == 0");
+  if (cfg.universe_pages < cfg.num_sites) {
+    throw std::invalid_argument("crawler: universe smaller than site count");
+  }
+  if (!(cfg.revisit_fraction >= 0.0 && cfg.revisit_fraction < 1.0)) {
+    throw std::invalid_argument("crawler: revisit_fraction out of [0,1)");
+  }
+  if (cfg.site_size_exponent <= 1.0 || cfg.popularity_exponent <= 1.0) {
+    throw std::invalid_argument("crawler: power-law exponents must exceed 1");
+  }
+
+  // Site sizes: power-law shares of the universe (min 1 page per site).
+  std::vector<double> raw(cfg.num_sites);
+  double raw_total = 0.0;
+  for (auto& r : raw) {
+    r = static_cast<double>(rng_.power_law(cfg.site_size_exponent, 1000));
+    raw_total += r;
+  }
+  site_size_.resize(cfg.num_sites);
+  site_offset_.resize(cfg.num_sites);
+  for (std::uint32_t s = 0; s < cfg.num_sites; ++s) {
+    const double share = raw[s] / raw_total;
+    site_size_[s] = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::lround(share * static_cast<double>(cfg.universe_pages))));
+    site_offset_[s] = total_pages_;
+    total_pages_ += site_size_[s];
+  }
+
+  // Normalize the degree sampler to the requested mean (as SyntheticWeb).
+  if (cfg.mean_out_degree > 0.0) {
+    util::Rng probe(cfg.seed ^ 0x5bd1e995u);
+    double mean = 0.0;
+    constexpr int kProbes = 20000;
+    for (int i = 0; i < kProbes; ++i) {
+      mean += static_cast<double>(probe.power_law(kDegExponent, kDegCap));
+    }
+    degree_scale_ = cfg.mean_out_degree / (mean / kProbes);
+  }
+
+  // Seed the frontier with one entry page per site (the crawler is handed a
+  // seed list, like a real one).
+  for (std::uint32_t s = 0; s < cfg.num_sites; ++s) {
+    frontier_.push_back(PageRef{s, 0});
+    discovered_.insert(site_offset_[s]);
+  }
+}
+
+std::string Crawler::url_of(PageRef p) const {
+  return "site" + std::to_string(p.site) + ".edu/page" + std::to_string(p.index) +
+         ".html";
+}
+
+std::vector<Crawler::PageRef> Crawler::links_of(PageRef p) const {
+  // Content is a pure function of (seed, page): a private RNG stream per
+  // page makes fetching idempotent and order-independent.
+  util::Rng rng(util::hash_combine(util::mix64(cfg_.seed),
+                                   site_offset_[p.site] + p.index));
+  std::vector<PageRef> links;
+  if (cfg_.mean_out_degree <= 0.0) return links;
+  if (cfg_.dangling_fraction > 0.0 && rng.chance(cfg_.dangling_fraction)) {
+    return links;
+  }
+  const double want =
+      degree_scale_ * static_cast<double>(rng.power_law(kDegExponent, kDegCap));
+  const auto degree =
+      static_cast<std::uint32_t>(std::max(1.0, std::round(want)));
+  links.reserve(degree);
+  for (std::uint32_t k = 0; k < degree; ++k) {
+    std::uint32_t target_site = p.site;
+    if (cfg_.num_sites > 1 && !rng.chance(cfg_.intra_site_fraction)) {
+      target_site = static_cast<std::uint32_t>(rng.below(cfg_.num_sites - 1));
+      if (target_site >= p.site) ++target_site;
+    }
+    const auto idx = static_cast<std::uint32_t>(
+        rng.power_law(cfg_.popularity_exponent, site_size_[target_site]) - 1);
+    links.push_back(PageRef{target_site, idx});
+  }
+  return links;
+}
+
+void Crawler::fetch_one(PageRef p, bool revisit, std::vector<FetchedPage>& out) {
+  const std::uint64_t flat = site_offset_[p.site] + p.index;
+  auto links = links_of(p);
+
+  FetchedPage page;
+  page.url = url_of(p);
+  page.revisit = revisit;
+  page.out_urls.reserve(links.size());
+  for (const PageRef t : links) {
+    page.out_urls.push_back(url_of(t));
+    const std::uint64_t tflat = site_offset_[t.site] + t.index;
+    if (discovered_.insert(tflat).second && !fetched_.contains(tflat)) {
+      frontier_.push_back(t);
+    }
+  }
+  if (!revisit) {
+    fetched_.insert(flat);
+    fetched_order_.push_back(p);
+    content_.emplace(flat, std::move(links));
+  }
+  out.push_back(std::move(page));
+}
+
+bool Crawler::try_restart() {
+  // The frontier drained: jump to an undiscovered page, as a crawler does
+  // when fed a fresh seed. Scan deterministically from a random start.
+  if (fetched_.size() == total_pages_) return false;
+  std::uint64_t probe = rng_.below(total_pages_);
+  for (std::uint64_t step = 0; step < total_pages_; ++step) {
+    const std::uint64_t flat = (probe + step) % total_pages_;
+    if (!fetched_.contains(flat)) {
+      // Convert flat index back to (site, index).
+      const auto it = std::upper_bound(site_offset_.begin(), site_offset_.end(), flat);
+      const auto site = static_cast<std::uint32_t>(it - site_offset_.begin() - 1);
+      const auto index = static_cast<std::uint32_t>(flat - site_offset_[site]);
+      discovered_.insert(flat);
+      frontier_.push_back(PageRef{site, index});
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FetchedPage> Crawler::fetch(std::size_t count) {
+  std::vector<FetchedPage> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    // Occasionally refresh an already-fetched page.
+    if (!fetched_order_.empty() && cfg_.revisit_fraction > 0.0 &&
+        rng_.chance(cfg_.revisit_fraction)) {
+      const auto pick = rng_.below(fetched_order_.size());
+      fetch_one(fetched_order_[pick], /*revisit=*/true, out);
+      continue;
+    }
+    // Pop the next never-fetched frontier page.
+    PageRef next{};
+    bool found = false;
+    while (!frontier_.empty()) {
+      next = frontier_.front();
+      frontier_.pop_front();
+      if (!fetched_.contains(site_offset_[next.site] + next.index)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (!try_restart()) break;  // universe exhausted
+      continue;
+    }
+    fetch_one(next, /*revisit=*/false, out);
+  }
+  return out;
+}
+
+graph::WebGraph Crawler::snapshot() const {
+  graph::GraphBuilder builder;
+  // Pages in fetch order keep their ids across snapshots.
+  for (const PageRef p : fetched_order_) {
+    builder.add_page(url_of(p), "site" + std::to_string(p.site) + ".edu");
+  }
+  for (const PageRef p : fetched_order_) {
+    const std::uint64_t flat = site_offset_[p.site] + p.index;
+    // add_page is idempotent: this just looks the id up.
+    const auto from =
+        builder.add_page(url_of(p), "site" + std::to_string(p.site) + ".edu");
+    for (const PageRef t : content_.at(flat)) {
+      builder.add_link_to_url(from, url_of(t));
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace p2prank::crawl

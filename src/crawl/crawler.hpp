@@ -1,0 +1,110 @@
+// Incremental web crawler simulator.
+//
+// The paper's system model starts from crawlers: "Pages crawled by
+// crawler(s) are partitioned into K groups and mapped onto K page rankers",
+// and Section 4.1's case for hash partitioning rests on crawler behaviour —
+// "as crawler(s) may revisit pages in order to detect changes and refresh
+// the downloaded collection, one page may participate in dividing more than
+// one time". This module provides that substrate: a deterministic synthetic
+// web *universe* (same statistical model as graph::SyntheticWeb) crawled
+// incrementally — discover, fetch, revisit — so the full pipeline
+// (crawl -> partition -> rank -> re-crawl -> warm restart) can be exercised
+// end to end.
+//
+// The universe is lazy: a page's out-links are derived from the seed the
+// first time the page is fetched and never change, so re-fetching a page is
+// idempotent and two crawls with the same seed see the same web.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/web_graph.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::crawl {
+
+struct CrawlConfig {
+  std::uint64_t seed = 42;
+  std::uint32_t num_sites = 100;
+  /// Total pages that *exist* across all site universes.
+  std::uint32_t universe_pages = 100'000;
+  double mean_out_degree = 15.0;
+  double intra_site_fraction = 0.90;
+  /// Power-law exponent for site sizes.
+  double site_size_exponent = 1.6;
+  /// Power-law exponent of target popularity within a site. The crawler's
+  /// frontier covers popular pages first, so a strong skew (e.g. 1.8) makes
+  /// a partial crawl contain nearly every link target; the flatter default
+  /// keeps a realistic share of links pointing at never-fetched pages.
+  double popularity_exponent = 1.25;
+  /// Fraction of fetches that re-fetch an already-crawled page (refresh).
+  double revisit_fraction = 0.05;
+  /// Fraction of pages with no out-links.
+  double dangling_fraction = 0.02;
+};
+
+/// One fetched page: its URL and the URLs its links point at.
+struct FetchedPage {
+  std::string url;
+  std::vector<std::string> out_urls;
+  bool revisit = false;  ///< true when this fetch refreshed a known page
+};
+
+class Crawler {
+ public:
+  explicit Crawler(const CrawlConfig& cfg);
+
+  /// Fetch up to `count` pages (frontier-first, random restarts when the
+  /// frontier drains, occasional revisits). Returns fewer only when every
+  /// universe page has been fetched.
+  std::vector<FetchedPage> fetch(std::size_t count);
+
+  /// Distinct pages fetched so far.
+  [[nodiscard]] std::size_t pages_fetched() const noexcept {
+    return fetched_order_.size();
+  }
+  /// URLs discovered (seen as a link target or fetched).
+  [[nodiscard]] std::size_t pages_discovered() const noexcept {
+    return discovered_.size();
+  }
+  [[nodiscard]] std::size_t universe_size() const noexcept { return total_pages_; }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return fetched_order_.size() == total_pages_;
+  }
+
+  /// Build the crawl graph from everything fetched so far. Links to pages
+  /// never fetched become external links. Snapshots taken later are strict
+  /// supersets: earlier pages keep their PageIds (fetch order is preserved).
+  [[nodiscard]] graph::WebGraph snapshot() const;
+
+ private:
+  struct PageRef {
+    std::uint32_t site;
+    std::uint32_t index;
+  };
+
+  [[nodiscard]] std::string url_of(PageRef p) const;
+  [[nodiscard]] std::vector<PageRef> links_of(PageRef p) const;
+  void fetch_one(PageRef p, bool revisit, std::vector<FetchedPage>& out);
+  [[nodiscard]] bool try_restart();
+
+  CrawlConfig cfg_;
+  util::Rng rng_;
+  std::vector<std::uint32_t> site_size_;
+  std::vector<std::uint64_t> site_offset_;  // flat index of site's page 0
+  std::uint64_t total_pages_ = 0;
+  double degree_scale_ = 0.0;
+
+  std::deque<PageRef> frontier_;
+  std::unordered_set<std::uint64_t> discovered_;  // flat page index
+  std::unordered_set<std::uint64_t> fetched_;
+  std::vector<PageRef> fetched_order_;
+  std::unordered_map<std::uint64_t, std::vector<PageRef>> content_;  // page -> links
+};
+
+}  // namespace p2prank::crawl

@@ -1,0 +1,60 @@
+#include "engine/checkpoint.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2prank::engine {
+
+void save_ranks(const graph::WebGraph& g, std::span<const double> ranks,
+                std::ostream& out) {
+  if (ranks.size() != g.num_pages()) {
+    throw std::invalid_argument("save_ranks: rank vector size mismatch");
+  }
+  out << "# p2prank checkpoint v1: " << g.num_pages() << " pages\n";
+  out << std::setprecision(17);
+  for (graph::PageId p = 0; p < g.num_pages(); ++p) {
+    out << g.url(p) << ' ' << ranks[p] << '\n';
+  }
+}
+
+void save_ranks_file(const graph::WebGraph& g, std::span<const double> ranks,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_ranks_file: cannot open " + path);
+  save_ranks(g, ranks, out);
+}
+
+LoadedRanks load_ranks(const graph::WebGraph& g, std::istream& in) {
+  LoadedRanks loaded;
+  loaded.ranks.assign(g.num_pages(), 0.0);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string url;
+    double rank = 0.0;
+    if (!(fields >> url >> rank)) {
+      throw std::runtime_error("load_ranks: malformed line " +
+                               std::to_string(line_no));
+    }
+    if (const auto p = g.find(url)) {
+      loaded.ranks[*p] = rank;
+      ++loaded.matched;
+    } else {
+      ++loaded.skipped;
+    }
+  }
+  return loaded;
+}
+
+LoadedRanks load_ranks_file(const graph::WebGraph& g, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_ranks_file: cannot open " + path);
+  return load_ranks(g, in);
+}
+
+}  // namespace p2prank::engine

@@ -1,0 +1,39 @@
+// Rank-state checkpointing.
+//
+// An exchange round costs hours at web scale (Table 1), so a deployment
+// must survive ranker restarts without starting over. A checkpoint is a
+// plain text stream of "url rank" lines; loading matches by URL, so the
+// state survives crawl growth and re-partitioning — pages that vanished are
+// skipped, new pages start at 0 (the theorems' safe initial value). Feed
+// the loaded vector to DistributedRanking::warm_start.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/web_graph.hpp"
+
+namespace p2prank::engine {
+
+/// Write "url rank" per page (full double precision).
+void save_ranks(const graph::WebGraph& g, std::span<const double> ranks,
+                std::ostream& out);
+void save_ranks_file(const graph::WebGraph& g, std::span<const double> ranks,
+                     const std::string& path);
+
+struct LoadedRanks {
+  std::vector<double> ranks;   ///< aligned to g's pages; unmatched = 0
+  std::size_t matched = 0;     ///< checkpoint lines applied
+  std::size_t skipped = 0;     ///< checkpoint lines whose URL is gone
+};
+
+/// Parse a checkpoint against the (possibly different) current graph.
+/// Throws std::runtime_error on malformed lines.
+[[nodiscard]] LoadedRanks load_ranks(const graph::WebGraph& g, std::istream& in);
+[[nodiscard]] LoadedRanks load_ranks_file(const graph::WebGraph& g,
+                                          const std::string& path);
+
+}  // namespace p2prank::engine

@@ -1,0 +1,333 @@
+#include "engine/distributed.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace p2prank::engine {
+
+DistributedRanking::DistributedRanking(const graph::WebGraph& g,
+                                       std::span<const std::uint32_t> assignment,
+                                       std::uint32_t k, const EngineOptions& opts,
+                                       util::ThreadPool& pool)
+    : graph_(g),
+      opts_(opts),
+      pool_(pool),
+      inbox_(k),
+      waits_(opts.t1, opts.t2, k, opts.seed ^ 0x5851f42d4c957f2dULL),
+      loss_(opts.delivery_probability, opts.seed ^ 0x14057b7ef767814fULL) {
+  if (assignment.size() != g.num_pages()) {
+    throw std::invalid_argument("DistributedRanking: assignment size mismatch");
+  }
+  if (k == 0) throw std::invalid_argument("DistributedRanking: k == 0");
+  if (!(opts.alpha > 0.0 && opts.alpha < 1.0)) {
+    throw std::invalid_argument("DistributedRanking: alpha out of (0,1)");
+  }
+
+  // --- Collect members per group -------------------------------------------
+  std::vector<std::vector<graph::PageId>> members(k);
+  for (graph::PageId p = 0; p < g.num_pages(); ++p) {
+    if (assignment[p] >= k) {
+      throw std::invalid_argument("DistributedRanking: assignment value >= k");
+    }
+    members[assignment[p]].push_back(p);  // ascending because p ascends
+  }
+
+  // Local index of every page within its group.
+  std::vector<std::uint32_t> local_index(g.num_pages(), 0);
+  for (std::uint32_t grp = 0; grp < k; ++grp) {
+    for (std::uint32_t i = 0; i < members[grp].size(); ++i) {
+      local_index[members[grp][i]] = i;
+    }
+  }
+
+  if (!opts.personalization.empty() &&
+      opts.personalization.size() != g.num_pages()) {
+    throw std::invalid_argument("DistributedRanking: personalization size mismatch");
+  }
+  if (opts.overlay != nullptr && opts.overlay->num_nodes() < k) {
+    throw std::invalid_argument("DistributedRanking: overlay smaller than k");
+  }
+
+  groups_.reserve(k);
+  std::vector<double> e_local;
+  for (std::uint32_t grp = 0; grp < k; ++grp) {
+    if (!members[grp].empty()) ++nonempty_;
+    e_local.clear();
+    if (!opts.personalization.empty()) {
+      e_local.reserve(members[grp].size());
+      for (const graph::PageId p : members[grp]) {
+        e_local.push_back(opts.personalization[p]);
+      }
+    }
+    groups_.push_back(std::make_unique<PageGroup>(g, std::move(members[grp]),
+                                                  opts.alpha, e_local));
+  }
+
+  // --- Wire efferent (cut) edges -------------------------------------------
+  for (graph::PageId u = 0; u < g.num_pages(); ++u) {
+    const std::uint32_t gu = assignment[u];
+    const auto d = g.out_degree(u);
+    if (d == 0) continue;
+    const double weight = opts.alpha / static_cast<double>(d);
+    for (const graph::PageId v : g.out_links(u)) {
+      const std::uint32_t gv = assignment[v];
+      if (gv == gu) continue;
+      groups_[gu]->add_efferent_edge(gv, local_index[v], local_index[u], weight);
+    }
+  }
+  for (auto& grp : groups_) grp->finalize_efferents();
+
+  // --- Kick off every non-empty ranker --------------------------------------
+  stable_flag_.assign(k, 0);
+  paused_.assign(k, 0);
+  records_per_group_.assign(k, 0);
+  for (std::uint32_t grp = 0; grp < k; ++grp) {
+    if (groups_[grp]->size() > 0) schedule_step(grp);
+  }
+}
+
+void DistributedRanking::warm_start(std::span<const double> global_ranks) {
+  if (global_ranks.size() != graph_.num_pages()) {
+    throw std::invalid_argument("DistributedRanking: warm_start size mismatch");
+  }
+  std::vector<double> local;
+  for (auto& grp : groups_) {
+    const auto members = grp->members();
+    local.clear();
+    local.reserve(members.size());
+    for (const graph::PageId p : members) local.push_back(global_ranks[p]);
+    grp->set_ranks(local);
+  }
+  // Restore afferent state too: in a running deployment each ranker's X
+  // survives a crawl update — it is received state, not recomputed. Prime
+  // it by delivering every group's Y (computed from the warm ranks)
+  // directly, outside the message accounting.
+  for (std::uint32_t src = 0; src < groups_.size(); ++src) {
+    for (const std::uint32_t dest : groups_[src]->efferent_destinations()) {
+      groups_[dest]->refresh_x(src, groups_[src]->compute_y(dest));
+    }
+  }
+}
+
+void DistributedRanking::pause_group(std::uint32_t group) {
+  paused_.at(group) = 1;
+}
+
+void DistributedRanking::resume_group(std::uint32_t group) {
+  if (paused_.at(group) == 0) return;
+  paused_[group] = 0;
+  if (groups_[group]->size() > 0) schedule_step(group);
+}
+
+bool DistributedRanking::is_paused(std::uint32_t group) const {
+  return paused_.at(group) != 0;
+}
+
+void DistributedRanking::crash_group(std::uint32_t group) {
+  groups_.at(group)->reset_state();
+  inbox_[group].clear();
+  // A rebooted ranker starts unstable until it reports otherwise.
+  if (stable_flag_[group] != 0) {
+    stable_flag_[group] = 0;
+    --stable_count_;
+  }
+}
+
+double DistributedRanking::delivery_delay(std::uint32_t src, std::uint32_t dst) {
+  if (opts_.overlay == nullptr) return opts_.delivery_latency;
+  // Indirect transmission: one overlay hop per per_hop_latency. Routes are
+  // static in the stabilized overlay, so hop counts are cached.
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto it = hop_cache_.find(key);
+  if (it == hop_cache_.end()) {
+    const auto path = opts_.overlay->route(src, opts_.overlay->id_of(dst));
+    it = hop_cache_.emplace(key, static_cast<std::uint32_t>(path.size())).first;
+  }
+  return opts_.per_hop_latency * static_cast<double>(it->second);
+}
+
+void DistributedRanking::schedule_step(std::uint32_t group) {
+  const double wait = std::max(kMinWait, waits_.next_wait(group));
+  queue_.schedule_in(wait, [this, group] { run_step(group); });
+}
+
+void DistributedRanking::run_step(std::uint32_t group) {
+  if (paused_[group]) return;  // suspended: no work, no reschedule
+  PageGroup& pg = *groups_[group];
+
+  // Refresh X: drain every slice that arrived since the last step. Applying
+  // in arrival order leaves exactly the newest slice per source in force.
+  auto& inbox = inbox_[group];
+  for (auto& [source, slice] : inbox) pg.refresh_x(source, std::move(slice));
+  inbox.clear();
+
+  const bool detect = opts_.stability_epsilon > 0.0;
+  if (detect) {
+    const auto r = pg.ranks();
+    step_scratch_.assign(r.begin(), r.end());
+  }
+
+  // Compute R.
+  if (opts_.algorithm == Algorithm::kDPR1) {
+    inner_sweeps_ += pg.solve_to_convergence(opts_.inner_epsilon,
+                                             opts_.inner_max_iterations, pool_);
+  } else {
+    pg.sweep_once(pool_);
+    ++inner_sweeps_;
+  }
+  pg.count_outer_step();
+
+  if (detect) {
+    // Report this step's stability to the coordinator (reliable control
+    // message; the simulator applies it immediately).
+    const double delta = util::l1_distance(pg.ranks(), step_scratch_);
+    const bool stable = delta <= opts_.stability_epsilon;
+    ++status_messages_;
+    if (stable != (stable_flag_[group] != 0)) {
+      stable_flag_[group] = stable ? 1 : 0;
+      stable_count_ += stable ? 1 : -1;
+    }
+    if (!termination_detected() && stable_count_ == nonempty_) {
+      termination_time_ = queue_.now();
+    }
+  }
+
+  // Compute and send Y to every group we have cut edges into.
+  for (const std::uint32_t dest : pg.efferent_destinations()) {
+    YSlice slice = pg.compute_y(dest, opts_.send_threshold);
+    if (opts_.send_threshold > 0.0 && slice.entries.empty()) {
+      continue;  // nothing moved enough to be worth a message
+    }
+    ++messages_sent_;
+    records_sent_ += slice.record_count;
+    records_per_group_[group] += slice.record_count;
+    if (!loss_.delivered()) {
+      ++messages_lost_;
+      continue;
+    }
+    if (opts_.send_threshold > 0.0) pg.commit_sent(dest, slice);
+    const double delay = delivery_delay(group, dest);
+    if (opts_.overlay != nullptr) {
+      record_hops_ += slice.record_count *
+                      hop_cache_[(static_cast<std::uint64_t>(group) << 32) | dest];
+    }
+    if (delay <= 0.0) {
+      inbox_[dest].emplace_back(group, std::move(slice));
+    } else {
+      // Move the slice into the event closure; it lands in the inbox when
+      // the event fires.
+      auto shared = std::make_shared<YSlice>(std::move(slice));
+      queue_.schedule_in(delay, [this, dest, group, shared] {
+        inbox_[dest].emplace_back(group, std::move(*shared));
+      });
+    }
+  }
+
+  schedule_step(group);
+}
+
+void DistributedRanking::set_reference(std::vector<double> reference) {
+  if (reference.size() != graph_.num_pages()) {
+    throw std::invalid_argument("DistributedRanking: reference size mismatch");
+  }
+  reference_ = std::move(reference);
+}
+
+std::vector<double> DistributedRanking::global_ranks() const {
+  std::vector<double> ranks(graph_.num_pages(), 0.0);
+  for (const auto& grp : groups_) {
+    const auto members = grp->members();
+    const auto local = grp->ranks();
+    for (std::size_t i = 0; i < members.size(); ++i) ranks[members[i]] = local[i];
+  }
+  return ranks;
+}
+
+double DistributedRanking::relative_error_now() const {
+  if (reference_.empty()) {
+    throw std::logic_error("DistributedRanking: reference not set");
+  }
+  return util::relative_error(global_ranks(), reference_);
+}
+
+std::vector<std::uint64_t> DistributedRanking::outer_steps_per_group() const {
+  std::vector<std::uint64_t> steps;
+  steps.reserve(groups_.size());
+  for (const auto& grp : groups_) steps.push_back(grp->outer_steps());
+  return steps;
+}
+
+std::uint64_t DistributedRanking::total_outer_steps() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& grp : groups_) total += grp->outer_steps();
+  return total;
+}
+
+double DistributedRanking::mean_outer_steps() const noexcept {
+  if (nonempty_ == 0) return 0.0;
+  return static_cast<double>(total_outer_steps()) / static_cast<double>(nonempty_);
+}
+
+std::vector<Sample> DistributedRanking::run(double t_end, double sample_interval) {
+  if (reference_.empty()) {
+    throw std::logic_error("DistributedRanking: reference not set");
+  }
+  if (sample_interval <= 0.0) {
+    throw std::invalid_argument("DistributedRanking: sample_interval must be > 0");
+  }
+  std::vector<Sample> samples;
+  if (prev_sample_ranks_.empty()) prev_sample_ranks_ = global_ranks();
+
+  for (double t = queue_.now() + sample_interval; t <= t_end + 1e-12;
+       t += sample_interval) {
+    queue_.run_until(t);
+    Sample s;
+    s.time = t;
+    const auto ranks = global_ranks();
+    s.relative_error = util::relative_error(ranks, reference_);
+    s.average_rank = ranks.empty() ? 0.0
+                                   : util::accurate_sum(ranks) /
+                                         static_cast<double>(ranks.size());
+    double min_delta = 0.0;
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      min_delta = std::min(min_delta, ranks[i] - prev_sample_ranks_[i]);
+    }
+    s.min_rank_delta = min_delta;
+    s.total_outer_steps = total_outer_steps();
+    prev_sample_ranks_ = ranks;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+ConvergenceResult DistributedRanking::run_until_error(double threshold,
+                                                      double max_time,
+                                                      double check_interval) {
+  if (reference_.empty()) {
+    throw std::logic_error("DistributedRanking: reference not set");
+  }
+  ConvergenceResult result;
+  double err = relative_error_now();
+  double t = queue_.now();
+  while (err > threshold && t < max_time) {
+    t = std::min(t + check_interval, max_time);
+    queue_.run_until(t);
+    err = relative_error_now();
+  }
+  result.reached = err <= threshold;
+  result.time = t;
+  result.mean_outer_steps = mean_outer_steps();
+  for (const auto& grp : groups_) {
+    result.max_outer_steps = std::max(result.max_outer_steps, grp->outer_steps());
+  }
+  result.messages_sent = messages_sent_;
+  result.messages_lost = messages_lost_;
+  result.records_sent = records_sent_;
+  result.final_relative_error = err;
+  return result;
+}
+
+}  // namespace p2prank::engine

@@ -1,0 +1,163 @@
+// The distributed page-ranking simulation: K page rankers (PageGroups)
+// running DPR1 or DPR2 asynchronously over a lossy message channel, driven
+// by a discrete-event queue (the experiment apparatus of Section 5).
+//
+// Each ranker's loop step is one event: drain the inbox ("Refresh X"),
+// compute R (to convergence for DPR1, one sweep for DPR2), compute and send
+// a Y slice to every group it has cut edges into (each send independently
+// survives with probability p), then reschedule after an exponential wait.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine_types.hpp"
+#include "engine/page_group.hpp"
+#include "graph/web_graph.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/processes.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::engine {
+
+class DistributedRanking {
+ public:
+  /// `assignment[p]` = group of page p, values in [0, k). Groups may be
+  /// empty (they then simply never run). The graph must outlive this object.
+  DistributedRanking(const graph::WebGraph& g,
+                     std::span<const std::uint32_t> assignment, std::uint32_t k,
+                     const EngineOptions& opts, util::ThreadPool& pool);
+
+  /// Reference ranks R* for the relative-error metric (normally
+  /// open_system_reference(...)). Required before run()/run_until_error().
+  void set_reference(std::vector<double> reference);
+
+  /// Seed every group's rank vector from a global vector (one entry per
+  /// page). Used after a link-graph change: build a fresh engine on the
+  /// mutated graph and warm-start it from the previous run's global_ranks()
+  /// — convergence resumes from there instead of from zero. Call before
+  /// run(); with the theorems' R0 = 0 premise gone, monotonicity may not
+  /// hold (exactly the paper's Section 4.3 caveat), but convergence does.
+  void warm_start(std::span<const double> global_ranks);
+
+  /// Suspend a ranker: it stops looping until resume_group (the paper's
+  /// "sleep for some time, suspend itself as its wish, or even shutdown").
+  /// Its last Y values stay in force at its peers.
+  void pause_group(std::uint32_t group);
+  /// Wake a suspended ranker; it reschedules from the current time.
+  void resume_group(std::uint32_t group);
+  [[nodiscard]] bool is_paused(std::uint32_t group) const;
+
+  /// Crash a ranker: all its in-memory state (R, X, delta baselines) and
+  /// queued inbox messages are lost; it keeps running from scratch. Peers
+  /// hold its last Y values (monotone-safe) and re-deliver theirs on their
+  /// next loop steps, so the group re-converges. Combine with pause/resume
+  /// for a crash + downtime, or warm_start-from-checkpoint for recovery.
+  void crash_group(std::uint32_t group);
+
+  /// Advance virtual time to t_end, recording a Sample every
+  /// `sample_interval` time units (Fig. 6 / Fig. 7 series). May be called
+  /// repeatedly; time continues where it left off.
+  [[nodiscard]] std::vector<Sample> run(double t_end, double sample_interval = 1.0);
+
+  /// Advance until the relative error vs the reference drops to
+  /// `threshold`, checking every `check_interval` units, giving up at
+  /// max_time (Fig. 8 measurement).
+  [[nodiscard]] ConvergenceResult run_until_error(double threshold, double max_time,
+                                                  double check_interval = 1.0);
+
+  /// Assemble the global rank vector from all groups' local vectors.
+  [[nodiscard]] std::vector<double> global_ranks() const;
+
+  [[nodiscard]] double relative_error_now() const;
+
+  [[nodiscard]] std::uint32_t num_groups() const noexcept {
+    return static_cast<std::uint32_t>(groups_.size());
+  }
+  [[nodiscard]] const PageGroup& group(std::uint32_t i) const { return *groups_.at(i); }
+  [[nodiscard]] std::uint32_t nonempty_groups() const noexcept { return nonempty_; }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  [[nodiscard]] std::uint64_t messages_lost() const noexcept { return messages_lost_; }
+  [[nodiscard]] std::uint64_t records_sent() const noexcept { return records_sent_; }
+  /// Σ records × overlay hops, the D_it = h·l·W quantity (full-stack mode
+  /// only; 0 with the abstract channel).
+  [[nodiscard]] std::uint64_t record_hops() const noexcept { return record_hops_; }
+  [[nodiscard]] sim::SimTime now() const noexcept { return queue_.now(); }
+
+  /// Total outer loop steps executed across all groups.
+  [[nodiscard]] std::uint64_t total_outer_steps() const noexcept;
+  /// Mean outer steps per non-empty group.
+  [[nodiscard]] double mean_outer_steps() const noexcept;
+  /// Total inner Jacobi sweeps across all groups (DPR1's hidden cost; for
+  /// DPR2 this equals total_outer_steps()).
+  [[nodiscard]] std::uint64_t total_inner_sweeps() const noexcept {
+    return inner_sweeps_;
+  }
+
+  /// Per-group diagnostics: loop steps and wire records emitted by each
+  /// group so far (straggler/hot-spot analysis).
+  [[nodiscard]] std::vector<std::uint64_t> outer_steps_per_group() const;
+  [[nodiscard]] std::span<const std::uint64_t> records_sent_per_group() const noexcept {
+    return records_per_group_;
+  }
+
+  /// Termination detection results (opts.stability_epsilon > 0 only).
+  [[nodiscard]] bool termination_detected() const noexcept {
+    return termination_time_ >= 0.0;
+  }
+  /// Virtual time at which the coordinator first saw every group stable
+  /// (-1 when not (yet) detected).
+  [[nodiscard]] double termination_time() const noexcept {
+    return termination_time_;
+  }
+  [[nodiscard]] std::uint64_t status_messages() const noexcept {
+    return status_messages_;
+  }
+
+ private:
+  void schedule_step(std::uint32_t group);
+  void run_step(std::uint32_t group);
+
+  const graph::WebGraph& graph_;
+  EngineOptions opts_;
+  util::ThreadPool& pool_;
+  std::vector<std::unique_ptr<PageGroup>> groups_;
+  std::vector<std::vector<std::pair<std::uint32_t, YSlice>>> inbox_;
+  sim::EventQueue queue_;
+  sim::WaitProcess waits_;
+  sim::LossModel loss_;
+  std::vector<double> reference_;
+  std::vector<double> prev_sample_ranks_;
+  std::vector<char> paused_;
+  std::uint32_t nonempty_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_lost_ = 0;
+  std::uint64_t records_sent_ = 0;
+  std::uint64_t inner_sweeps_ = 0;
+  std::vector<std::uint64_t> records_per_group_;
+
+  // Termination detection (stability_epsilon > 0): per-group latest
+  // stability flag as seen by the coordinator, plus scratch for measuring a
+  // step's rank change.
+  std::vector<char> stable_flag_;
+  std::uint32_t stable_count_ = 0;
+  double termination_time_ = -1.0;
+  std::uint64_t status_messages_ = 0;
+  std::vector<double> step_scratch_;
+
+  // Full-stack mode: cached overlay hop counts per (src group, dst group).
+  std::unordered_map<std::uint64_t, std::uint32_t> hop_cache_;
+  std::uint64_t record_hops_ = 0;
+
+  [[nodiscard]] double delivery_delay(std::uint32_t src, std::uint32_t dst);
+
+  /// Floor on sampled waits: a group whose drawn mean is ~0 would otherwise
+  /// flood virtual time with events. (The paper's discrete-time simulation
+  /// has an implicit floor of one time unit; ours is finer.)
+  static constexpr double kMinWait = 0.1;
+};
+
+}  // namespace p2prank::engine

@@ -1,0 +1,108 @@
+// Options and result types for the distributed page-ranking engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+
+namespace p2prank::engine {
+
+// (The paper's Section 3: "The case when E is not uniform over pages can be
+// used for personalized page ranking" — EngineOptions::personalization wires
+// exactly that through the distributed engine.)
+
+/// Which of the paper's two algorithms a ranker runs per loop step.
+enum class Algorithm {
+  /// DPR1 (Algorithm 3): refresh X, solve the local system to convergence
+  /// (GroupPageRank), then send Y.
+  kDPR1,
+  /// DPR2 (Algorithm 4): refresh X, do exactly one Jacobi sweep, send Y
+  /// eagerly.
+  kDPR2,
+};
+
+struct EngineOptions {
+  Algorithm algorithm = Algorithm::kDPR1;
+  double alpha = 0.85;
+
+  /// Inner-loop termination for DPR1's GroupPageRank call (L1 delta).
+  double inner_epsilon = 1e-12;
+  std::size_t inner_max_iterations = 500;
+
+  /// Probability a Y message actually reaches its destination (the paper's
+  /// p, read as delivery probability).
+  double delivery_probability = 1.0;
+
+  /// Wait-time interval: each group's mean wait is drawn from [t1, t2];
+  /// waits are exponential with that mean (Section 5's Tw(u, m)).
+  double t1 = 0.0;
+  double t2 = 6.0;
+
+  /// Virtual-time delay between a send and its arrival. The paper's
+  /// experiments fold network delay into the waits, so 0 is the default.
+  /// Ignored when `overlay` is set.
+  double delivery_latency = 0.0;
+
+  /// Full-stack mode: route every Y message over this overlay (ranker i
+  /// lives on overlay node i; requires overlay->num_nodes() >= k). Delivery
+  /// latency becomes per_hop_latency × route hops — indirect transmission's
+  /// timing (Section 4.4) instead of an abstract channel. The overlay must
+  /// outlive the engine. nullptr (default) keeps the paper's abstract
+  /// channel.
+  const overlay::Overlay* overlay = nullptr;
+  double per_hop_latency = 0.5;
+
+  /// Distributed termination detection (the paper's algorithms loop
+  /// "while true"; a deployment needs a stopping rule that uses only local
+  /// information). When > 0, every ranker reports after each loop step
+  /// whether the step changed its rank vector by at most this L1 amount; a
+  /// coordinator ranker declares convergence the first time every
+  /// non-empty group's latest report is "stable". Status messages are
+  /// small, reliable (think TCP), and counted separately. 0 disables.
+  double stability_epsilon = 0.0;
+
+  /// Delta-send threshold (the paper's "explore more methods for reducing
+  /// communication overhead" future work): a Y entry is only transmitted
+  /// when its value moved at least this much since the last delivered send.
+  /// 0 sends full slices every step (the paper's algorithms as written).
+  /// Nonzero saves most records late in convergence at the price of a
+  /// relative-error floor on the order of threshold·(cut entries)/||R*||.
+  double send_threshold = 0.0;
+
+  /// Per-page E vector for personalized ranking (Section 3). Empty means
+  /// the uniform E(v) = 1 of the paper's experiments; otherwise must have
+  /// one non-negative entry per page of the graph.
+  std::vector<double> personalization;
+
+  std::uint64_t seed = 7;
+};
+
+/// One point of the Fig. 6 / Fig. 7 time series.
+struct Sample {
+  double time = 0.0;
+  /// ||R - R*||_1 / ||R*||_1 against the centralized reference.
+  double relative_error = 0.0;
+  /// Mean rank over all pages (Fig. 7's y-axis).
+  double average_rank = 0.0;
+  /// min over pages of (rank_now - rank_at_previous_sample): >= 0 iff the
+  /// sequence stayed monotone since the last sample (Theorem 4.1's claim).
+  double min_rank_delta = 0.0;
+  /// Total outer loop steps executed across all groups so far.
+  std::uint64_t total_outer_steps = 0;
+};
+
+struct ConvergenceResult {
+  bool reached = false;
+  double time = 0.0;
+  /// Mean outer loop steps per (non-empty) group when the threshold was
+  /// first met — the paper's Fig. 8 y-axis.
+  double mean_outer_steps = 0.0;
+  std::uint64_t max_outer_steps = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t records_sent = 0;  ///< cut-link <from,to,score> records
+  double final_relative_error = 0.0;
+};
+
+}  // namespace p2prank::engine

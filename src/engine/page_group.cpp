@@ -1,0 +1,201 @@
+#include "engine/page_group.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "rank/open_system.hpp"
+
+namespace p2prank::engine {
+
+PageGroup::PageGroup(const graph::WebGraph& g, std::vector<graph::PageId> members,
+                     double alpha, std::span<const double> e_local)
+    : members_(std::move(members)),
+      matrix_(rank::LinkMatrix::from_subset(g, members_, alpha)) {
+  assert(std::is_sorted(members_.begin(), members_.end()));
+  if (!e_local.empty() && e_local.size() != members_.size()) {
+    throw std::invalid_argument("PageGroup: e_local size mismatch");
+  }
+  const double beta = rank::beta_of(alpha);
+  beta_e_.resize(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    beta_e_[i] = beta * (e_local.empty() ? 1.0 : e_local[i]);
+  }
+  ranks_.assign(members_.size(), 0.0);  // R0 = 0 (the proofs' S = 0)
+  x_.assign(members_.size(), 0.0);
+  forcing_ = beta_e_;
+  scratch_.assign(members_.size(), 0.0);
+}
+
+void PageGroup::set_ranks(std::span<const double> ranks) {
+  if (ranks.size() != ranks_.size()) {
+    throw std::invalid_argument("PageGroup::set_ranks: size mismatch");
+  }
+  ranks_.assign(ranks.begin(), ranks.end());
+}
+
+void PageGroup::reset_state() {
+  std::fill(ranks_.begin(), ranks_.end(), 0.0);
+  std::fill(x_.begin(), x_.end(), 0.0);
+  forcing_ = beta_e_;
+  received_.clear();
+  for (auto& block : blocks_) {
+    std::fill(block.last_sent.begin(), block.last_sent.end(),
+              std::numeric_limits<double>::quiet_NaN());
+  }
+}
+
+void PageGroup::add_efferent_edge(std::uint32_t dest_group, std::uint32_t dest_local,
+                                  std::uint32_t src_local, double weight) {
+  assert(!finalized_);
+  assert(src_local < members_.size());
+  // Blocks arrive grouped in practice; linear search from the back is fine
+  // during wiring.
+  auto it = std::find_if(blocks_.begin(), blocks_.end(), [&](const EfferentBlock& b) {
+    return b.dest_group == dest_group;
+  });
+  if (it == blocks_.end()) {
+    EfferentBlock block;
+    block.dest_group = dest_group;
+    blocks_.push_back(std::move(block));
+    it = std::prev(blocks_.end());
+  }
+  it->dst_local.push_back(dest_local);
+  it->src_local.push_back(src_local);
+  it->weight.push_back(weight);
+}
+
+void PageGroup::finalize_efferents() {
+  assert(!finalized_);
+  std::sort(blocks_.begin(), blocks_.end(),
+            [](const EfferentBlock& a, const EfferentBlock& b) {
+              return a.dest_group < b.dest_group;
+            });
+  for (auto& block : blocks_) {
+    // Sort edges by destination page so compute_y can merge runs.
+    std::vector<std::uint32_t> order(block.dst_local.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return block.dst_local[a] < block.dst_local[b];
+    });
+    EfferentBlock sorted;
+    sorted.dest_group = block.dest_group;
+    sorted.dst_local.reserve(order.size());
+    sorted.src_local.reserve(order.size());
+    sorted.weight.reserve(order.size());
+    for (const std::uint32_t i : order) {
+      sorted.dst_local.push_back(block.dst_local[i]);
+      sorted.src_local.push_back(block.src_local[i]);
+      sorted.weight.push_back(block.weight[i]);
+    }
+    for (std::size_t i = 0; i < sorted.dst_local.size(); ++i) {
+      if (sorted.unique_dst.empty() || sorted.unique_dst.back() != sorted.dst_local[i]) {
+        sorted.unique_dst.push_back(sorted.dst_local[i]);
+      }
+    }
+    sorted.last_sent.assign(sorted.unique_dst.size(),
+                            std::numeric_limits<double>::quiet_NaN());
+    block = std::move(sorted);
+  }
+  efferent_dests_.clear();
+  efferent_dests_.reserve(blocks_.size());
+  for (const auto& b : blocks_) efferent_dests_.push_back(b.dest_group);
+  finalized_ = true;
+}
+
+const PageGroup::EfferentBlock* PageGroup::find_block(std::uint32_t dest_group) const {
+  const auto it = std::lower_bound(
+      blocks_.begin(), blocks_.end(), dest_group,
+      [](const EfferentBlock& b, std::uint32_t d) { return b.dest_group < d; });
+  if (it == blocks_.end() || it->dest_group != dest_group) return nullptr;
+  return &*it;
+}
+
+PageGroup::EfferentBlock* PageGroup::find_block(std::uint32_t dest_group) {
+  return const_cast<EfferentBlock*>(
+      static_cast<const PageGroup*>(this)->find_block(dest_group));
+}
+
+void PageGroup::refresh_x(std::uint32_t source_group, const YSlice& slice) {
+  // X(v) = Σ over (source group, page) of the latest received contribution.
+  // Maintain the dense sum incrementally: each incoming entry supersedes
+  // the stored value for its (source, page) pair.
+  auto& stored = received_[source_group];
+  for (const auto& [local, value] : slice.entries) {
+    assert(local < x_.size());
+    double& slot = stored.try_emplace(local, 0.0).first->second;
+    const double delta = value - slot;
+    x_[local] += delta;
+    forcing_[local] += delta;
+    slot = value;
+  }
+}
+
+std::size_t PageGroup::solve_to_convergence(double epsilon,
+                                            std::size_t max_iterations,
+                                            util::ThreadPool& pool) {
+  rank::SolveOptions opts;
+  opts.alpha = matrix_.alpha();
+  opts.epsilon = epsilon;
+  opts.max_iterations = max_iterations;
+  auto result = rank::solve_open_system(matrix_, forcing_, ranks_, opts, pool);
+  ranks_ = std::move(result.ranks);
+  return result.iterations;
+}
+
+void PageGroup::sweep_once(util::ThreadPool& pool) {
+  rank::open_system_sweep(matrix_, ranks_, scratch_, forcing_, pool);
+  std::swap(ranks_, scratch_);
+}
+
+YSlice PageGroup::compute_y(std::uint32_t dest_group, double threshold) const {
+  const EfferentBlock* block = find_block(dest_group);
+  if (block == nullptr) {
+    throw std::invalid_argument("PageGroup::compute_y: no edges to that group");
+  }
+  YSlice slice;
+  slice.entries.reserve(block->unique_dst.size());
+  // Edges are sorted by destination page: accumulate runs; run index u
+  // tracks the position in unique_dst / last_sent.
+  std::size_t i = 0;
+  std::size_t u = 0;
+  while (i < block->dst_local.size()) {
+    const std::uint32_t dst = block->dst_local[i];
+    double acc = 0.0;
+    std::uint64_t edges = 0;
+    for (; i < block->dst_local.size() && block->dst_local[i] == dst; ++i) {
+      acc += ranks_[block->src_local[i]] * block->weight[i];
+      ++edges;
+    }
+    assert(block->unique_dst[u] == dst);
+    const double last = block->last_sent[u];
+    ++u;
+    // Include when never sent, or moved at least `threshold` since the last
+    // committed send.
+    if (std::isnan(last) || std::fabs(acc - last) >= threshold ||
+        threshold <= 0.0) {
+      slice.entries.emplace_back(dst, acc);
+      slice.record_count += edges;
+    }
+  }
+  return slice;
+}
+
+void PageGroup::commit_sent(std::uint32_t dest_group, const YSlice& slice) {
+  EfferentBlock* block = find_block(dest_group);
+  if (block == nullptr) {
+    throw std::invalid_argument("PageGroup::commit_sent: no edges to that group");
+  }
+  // Both unique_dst and slice entries are ascending: merge.
+  std::size_t u = 0;
+  for (const auto& [dst, value] : slice.entries) {
+    while (u < block->unique_dst.size() && block->unique_dst[u] < dst) ++u;
+    assert(u < block->unique_dst.size() && block->unique_dst[u] == dst);
+    block->last_sent[u] = value;
+  }
+}
+
+}  // namespace p2prank::engine

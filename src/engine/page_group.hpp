@@ -1,0 +1,141 @@
+// One page ranker's local state (Section 3's "page group" G).
+//
+// A group owns a subset of the crawl and keeps:
+//   * A   — the local open-system matrix over its own pages (inner links),
+//   * R   — its current rank vector,
+//   * X   — afferent rank, assembled from the latest Y slice received from
+//           each other group (refresh = replace that group's slice, NOT
+//           accumulate: a slice is a snapshot of the sender's efferent
+//           contribution, so a newer one supersedes the older),
+//   * efferent blocks — for every destination group, the cut edges into it,
+//           from which the outgoing Y slice is computed as
+//           Y(v) = Σ α·R(u)/d(u) over cut edges u→v (the paper prints β in
+//           formula 3.5; see DESIGN.md "Known typo handled").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/web_graph.hpp"
+#include "rank/link_matrix.hpp"
+#include "rank/rank_types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::engine {
+
+/// Sparse efferent-rank message from one group to another. Semantically a
+/// *patch*: each entry is the sender's current total contribution to that
+/// destination page; entries not present keep their previous value. (A full
+/// snapshot is simply a patch containing every entry.)
+struct YSlice {
+  /// (destination-local page index, rank contribution) pairs, ascending.
+  std::vector<std::pair<std::uint32_t, double>> entries;
+  /// Number of <url_from, url_to, score> wire records this slice stands
+  /// for (= cut edges feeding the included entries) — traffic accounting.
+  std::uint64_t record_count = 0;
+};
+
+class PageGroup {
+ public:
+  /// `members`: ascending global PageIds owned by this group. `e_local`
+  /// optionally personalizes the rank source: E(members[i]) = e_local[i]
+  /// (empty = uniform E = 1, the paper's default).
+  PageGroup(const graph::WebGraph& g, std::vector<graph::PageId> members,
+            double alpha, std::span<const double> e_local = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] std::span<const graph::PageId> members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] std::span<const double> ranks() const noexcept { return ranks_; }
+  [[nodiscard]] std::uint64_t outer_steps() const noexcept { return outer_steps_; }
+
+  /// Overwrite the local rank vector (size must match). Used to carry rank
+  /// state across a link-graph swap (warm start on a mutated crawl).
+  void set_ranks(std::span<const double> ranks);
+
+  /// Wipe all runtime state — R, X, received slices, last-sent snapshots —
+  /// as a crash-without-checkpoint does. The structural state (matrix,
+  /// efferent blocks) survives; peers re-deliver X on their next sends.
+  void reset_state();
+
+  /// Register a cut edge (global u in this group) -> (global v in `dest`);
+  /// local index of v within dest is `dest_local`. Called during engine
+  /// wiring, before the first step.
+  void add_efferent_edge(std::uint32_t dest_group, std::uint32_t dest_local,
+                         std::uint32_t src_local, double weight);
+  /// Sort/pack efferent blocks after all edges are added.
+  void finalize_efferents();
+
+  /// Destination groups this group ships Y slices to.
+  [[nodiscard]] std::span<const std::uint32_t> efferent_destinations() const noexcept {
+    return efferent_dests_;
+  }
+
+  /// Apply a received slice: each entry supersedes the stored value from
+  /// that (source group, page) pair. This is the "Refresh X" of Algorithms
+  /// 3/4 (the engine drains the network inbox into this). Keeps
+  /// X = Σ_sources latest-per-entry exact for full and delta slices alike.
+  void refresh_x(std::uint32_t source_group, const YSlice& slice);
+
+  /// DPR1 body: solve R = A·R + βE + X to `epsilon`, warm-started from the
+  /// current R. Returns inner iterations used.
+  std::size_t solve_to_convergence(double epsilon, std::size_t max_iterations,
+                                   util::ThreadPool& pool);
+
+  /// DPR2 body: exactly one Jacobi sweep of R = A·R + βE + X.
+  void sweep_once(util::ThreadPool& pool);
+
+  /// Compute the outgoing Y slice for one destination group from current R.
+  /// With threshold > 0, entries whose value moved less than `threshold`
+  /// since the last *committed* send to that group are omitted (delta
+  /// sending — the paper's "reduce communication overhead" future work);
+  /// never-sent entries are always included.
+  [[nodiscard]] YSlice compute_y(std::uint32_t dest_group,
+                                 double threshold = 0.0) const;
+
+  /// Record that `slice` reached dest_group, so future thresholded sends
+  /// diff against it. Call only on successful delivery — after a lost
+  /// message the changes stay pending and ride the next slice.
+  void commit_sent(std::uint32_t dest_group, const YSlice& slice);
+
+  /// Count one completed loop step.
+  void count_outer_step() noexcept { ++outer_steps_; }
+
+  [[nodiscard]] const rank::LinkMatrix& matrix() const noexcept { return matrix_; }
+
+ private:
+  struct EfferentBlock {
+    std::uint32_t dest_group = 0;
+    // Parallel arrays, sorted by dst_local: one entry per cut edge.
+    std::vector<std::uint32_t> dst_local;
+    std::vector<std::uint32_t> src_local;
+    std::vector<double> weight;  // alpha / d(src)
+    // Last committed value per *distinct* destination page, aligned with
+    // the runs of dst_local (filled by finalize_efferents / commit_sent).
+    std::vector<std::uint32_t> unique_dst;
+    std::vector<double> last_sent;  // NaN = never sent
+  };
+
+  [[nodiscard]] const EfferentBlock* find_block(std::uint32_t dest_group) const;
+  [[nodiscard]] EfferentBlock* find_block(std::uint32_t dest_group);
+
+  std::vector<graph::PageId> members_;
+  rank::LinkMatrix matrix_;
+  std::vector<double> beta_e_;          // βE(v) per local page
+  std::vector<double> ranks_;           // R, local
+  std::vector<double> x_;               // X, local (sum of latest slices)
+  std::vector<double> forcing_;         // βE + X, kept in sync with x_
+  std::vector<double> scratch_;         // sweep target
+  std::vector<EfferentBlock> blocks_;   // sorted by dest_group
+  std::vector<std::uint32_t> efferent_dests_;
+  // Latest received value per (source group, local page) — patch semantics.
+  std::unordered_map<std::uint32_t, std::unordered_map<std::uint32_t, double>>
+      received_;
+  std::uint64_t outer_steps_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace p2prank::engine

@@ -1,0 +1,116 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace p2prank::graph {
+
+std::vector<std::uint32_t> SccResult::component_sizes() const {
+  std::vector<std::uint32_t> sizes(count, 0);
+  for (const auto c : component) ++sizes[c];
+  return sizes;
+}
+
+SccResult strongly_connected_components(const WebGraph& g) {
+  const auto n = static_cast<std::uint32_t>(g.num_pages());
+  constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<PageId> stack;
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frame: node + position within its out-link list.
+  struct Frame {
+    PageId node;
+    std::uint32_t edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (PageId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      auto& frame = dfs.back();
+      const auto out = g.out_links(frame.node);
+      if (frame.edge < out.size()) {
+        const PageId next = out[frame.edge++];
+        if (index[next] == kUnvisited) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          dfs.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[next]);
+        }
+      } else {
+        const PageId done = frame.node;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().node] = std::min(lowlink[dfs.back().node], lowlink[done]);
+        }
+        if (lowlink[done] == index[done]) {
+          // done is the root of an SCC: pop members.
+          while (true) {
+            const PageId member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            result.component[member] = result.count;
+            if (member == done) break;
+          }
+          ++result.count;
+        }
+      }
+    }
+  }
+  assert(stack.empty());
+  return result;
+}
+
+std::vector<std::vector<PageId>> find_rank_sinks(const WebGraph& g,
+                                                 bool include_dangling) {
+  const auto scc = strongly_connected_components(g);
+
+  // A component is a sink unless some member has an edge out of the
+  // component or an external link.
+  std::vector<bool> is_sink(scc.count, true);
+  for (PageId u = 0; u < g.num_pages(); ++u) {
+    const auto cu = scc.component[u];
+    if (g.external_out_degree(u) > 0) is_sink[cu] = false;
+    for (const PageId v : g.out_links(u)) {
+      if (scc.component[v] != cu) is_sink[cu] = false;
+    }
+  }
+
+  std::vector<std::vector<PageId>> sinks(scc.count);
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    if (is_sink[scc.component[p]]) sinks[scc.component[p]].push_back(p);
+  }
+  std::vector<std::vector<PageId>> out;
+  for (auto& members : sinks) {
+    if (members.empty()) continue;
+    if (!include_dangling && members.size() == 1) {
+      // A singleton is a true sink only if it keeps its rank via a
+      // self-loop; otherwise it is a dangling page (a different pathology).
+      const PageId p = members[0];
+      const auto links = g.out_links(p);
+      const bool self_loop = std::find(links.begin(), links.end(), p) != links.end();
+      if (!self_loop) continue;
+    }
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  return out;
+}
+
+}  // namespace p2prank::graph

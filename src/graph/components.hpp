@@ -1,0 +1,39 @@
+// Link-graph structure analysis: strongly connected components and rank
+// sinks.
+//
+// PageRank's E term exists precisely because of *rank sinks* — "loops of
+// pages that accumulate rank but never distribute it" (Section 2 of the
+// paper adds the (1-c)E term "for avoiding rank sink"). A sink is a
+// strongly connected component with no edges leaving it (counting external
+// links as leaving, since that rank exits the open system). These tools let
+// tests and diagnostics find them, and quantify how sink-heavy a crawl is.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/web_graph.hpp"
+
+namespace p2prank::graph {
+
+struct SccResult {
+  /// component[p] = id of p's SCC; ids are in reverse topological order
+  /// (an edge u->v implies component[u] >= component[v]).
+  std::vector<std::uint32_t> component;
+  std::uint32_t count = 0;
+
+  [[nodiscard]] std::vector<std::uint32_t> component_sizes() const;
+};
+
+/// Tarjan's algorithm (iterative — crawl graphs overflow recursion).
+[[nodiscard]] SccResult strongly_connected_components(const WebGraph& g);
+
+/// SCCs with no edge leaving them and no external links: rank that enters
+/// never leaves (the closed-system pathology E fixes). Returns the member
+/// pages of every sink component, largest first. A self-looping singleton
+/// counts as a sink; a plain dangling page (no links at all) is a different
+/// pathology and is only listed when `include_dangling` is set.
+[[nodiscard]] std::vector<std::vector<PageId>> find_rank_sinks(
+    const WebGraph& g, bool include_dangling = false);
+
+}  // namespace p2prank::graph

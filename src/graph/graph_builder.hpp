@@ -1,0 +1,60 @@
+// Mutable accumulator that assembles an immutable WebGraph.
+//
+// Crawl data arrives as (url, outlinks...) records where link targets may or
+// may not themselves be crawled, and may be crawled *later* in the stream.
+// The builder therefore interns pages eagerly and defers link resolution to
+// build(): a link whose target URL was never interned as a page becomes an
+// *external* link (its rank will leak out of the open system).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/web_graph.hpp"
+
+namespace p2prank::graph {
+
+class GraphBuilder {
+ public:
+  /// Intern a page by URL; the site is derived with site_of(). Returns the
+  /// existing id if the URL was already interned (idempotent — crawlers
+  /// revisit pages).
+  PageId add_page(std::string_view url);
+
+  /// Intern a page with an explicit site label (synthetic generators).
+  PageId add_page(std::string_view url, std::string_view site);
+
+  /// Link between two already-interned pages.
+  void add_link(PageId from, PageId to);
+
+  /// Link from an interned page to a URL that may or may not (yet) be a
+  /// page. Resolution happens at build().
+  void add_link_to_url(PageId from, std::string_view to_url);
+
+  /// Link to a target known to be uncrawled; only the count is kept.
+  void add_external_link(PageId from, std::uint32_t count = 1);
+
+  [[nodiscard]] std::size_t num_pages() const noexcept { return urls_.size(); }
+
+  /// Consume the builder and produce the CSR graph. When `dedup_links` is
+  /// true, duplicate (from, to) internal links collapse to one edge.
+  [[nodiscard]] WebGraph build(bool dedup_links = false) &&;
+
+ private:
+  PageId intern(std::string_view url, std::string_view site);
+  SiteId intern_site(std::string_view site);
+
+  std::vector<std::string> urls_;
+  std::vector<SiteId> page_sites_;
+  std::vector<std::string> site_names_;
+  std::unordered_map<std::string, PageId> url_to_page_;
+  std::unordered_map<std::string, SiteId> site_to_id_;
+  std::vector<std::pair<PageId, PageId>> links_;
+  std::vector<std::pair<PageId, std::string>> unresolved_links_;
+  std::vector<std::uint32_t> external_out_;
+};
+
+}  // namespace p2prank::graph

@@ -1,0 +1,110 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/graph_builder.hpp"
+
+namespace p2prank::graph {
+
+void save_graph(const WebGraph& g, std::ostream& out) {
+  out << "# p2prank crawl v1: " << g.num_pages() << " pages, " << g.num_links()
+      << " internal links, " << g.num_external_links() << " external links\n";
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    out << "P " << g.url(p) << ' ' << g.site_name(g.site(p)) << '\n';
+  }
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    for (const PageId q : g.out_links(p)) {
+      out << "L " << g.url(p) << ' ' << g.url(q) << '\n';
+    }
+    if (g.external_out_degree(p) > 0) {
+      out << "X " << g.url(p) << ' ' << g.external_out_degree(p) << '\n';
+    }
+  }
+}
+
+void save_graph_file(const WebGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_graph_file: cannot open " + path);
+  save_graph(g, out);
+}
+
+WebGraph load_graph(std::istream& in) {
+  GraphBuilder builder;
+  // Two passes are avoided by deferring unknown link targets: the builder
+  // resolves them at build(). Link sources, however, must already be pages,
+  // so we queue L/X records and replay them after all P records.
+  struct LinkRec {
+    std::string from, to;
+  };
+  struct ExtRec {
+    std::string from;
+    std::uint32_t count;
+  };
+  std::vector<LinkRec> links;
+  std::vector<ExtRec> externals;
+
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& msg) {
+    throw std::runtime_error("load_graph: line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "P") {
+      std::string url, site;
+      if (!(fields >> url >> site)) fail("malformed P record");
+      builder.add_page(url, site);
+    } else if (tag == "L") {
+      LinkRec rec;
+      if (!(fields >> rec.from >> rec.to)) fail("malformed L record");
+      links.push_back(std::move(rec));
+    } else if (tag == "X") {
+      ExtRec rec;
+      if (!(fields >> rec.from >> rec.count)) fail("malformed X record");
+      externals.push_back(std::move(rec));
+    } else {
+      fail("unknown record tag '" + tag + "'");
+    }
+  }
+
+  // Replay links now that every page is interned.
+  for (const auto& rec : links) {
+    const auto from = [&] {
+      // add_page is idempotent, but a link *source* that was never declared
+      // is a format error: we would not know its site.
+      GraphBuilder& b = builder;
+      const PageId before = static_cast<PageId>(b.num_pages());
+      const PageId id = b.add_page(rec.from);
+      if (id == before) {
+        throw std::runtime_error("load_graph: link source not declared as page: " +
+                                 rec.from);
+      }
+      return id;
+    }();
+    builder.add_link_to_url(from, rec.to);
+  }
+  for (const auto& rec : externals) {
+    const PageId before = static_cast<PageId>(builder.num_pages());
+    const PageId id = builder.add_page(rec.from);
+    if (id == before) {
+      throw std::runtime_error("load_graph: X source not declared as page: " + rec.from);
+    }
+    builder.add_external_link(id, rec.count);
+  }
+  return std::move(builder).build();
+}
+
+WebGraph load_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_graph_file: cannot open " + path);
+  return load_graph(in);
+}
+
+}  // namespace p2prank::graph

@@ -1,0 +1,30 @@
+// Serialization of WebGraph to/from a simple text crawl format.
+//
+// Format (line-oriented, '#' comments allowed):
+//   P <url> <site>          -- declare a crawled page
+//   L <from_url> <to_url>   -- link; target may be any URL (uncrawled
+//                              targets become external links)
+//   X <url> <count>         -- `count` external links from url (compact form)
+//
+// The format round-trips everything the ranking algorithms need. A binary
+// format is intentionally omitted: crawls are loaded once per process and
+// the text form stays diffable and hand-editable for tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/web_graph.hpp"
+
+namespace p2prank::graph {
+
+/// Write the graph in the text crawl format.
+void save_graph(const WebGraph& g, std::ostream& out);
+void save_graph_file(const WebGraph& g, const std::string& path);
+
+/// Parse the text crawl format. Throws std::runtime_error on malformed
+/// input (with a line number in the message).
+[[nodiscard]] WebGraph load_graph(std::istream& in);
+[[nodiscard]] WebGraph load_graph_file(const std::string& path);
+
+}  // namespace p2prank::graph

@@ -1,0 +1,59 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace p2prank::graph {
+
+double GraphStats::internal_fraction() const noexcept {
+  const std::size_t total = internal_links + external_links;
+  return total == 0 ? 0.0
+                    : static_cast<double>(internal_links) / static_cast<double>(total);
+}
+
+double GraphStats::intra_site_fraction() const noexcept {
+  return internal_links == 0 ? 0.0
+                             : static_cast<double>(intra_site_links) /
+                                   static_cast<double>(internal_links);
+}
+
+GraphStats compute_stats(const WebGraph& g) {
+  GraphStats s;
+  s.pages = g.num_pages();
+  s.sites = g.num_sites();
+  s.internal_links = g.num_links();
+  s.external_links = g.num_external_links();
+  s.intra_site_links = g.count_intra_site_links();
+
+  std::size_t degree_sum = 0;
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    const std::uint32_t out = g.out_degree(p);
+    const std::uint32_t in = g.in_degree(p);
+    degree_sum += out;
+    if (out == 0) ++s.dangling_pages;
+    s.out_degree_hist.add(out);
+    s.in_degree_hist.add(in);
+    s.max_in_degree = std::max(s.max_in_degree, static_cast<double>(in));
+  }
+  s.mean_out_degree =
+      s.pages == 0 ? 0.0 : static_cast<double>(degree_sum) / static_cast<double>(s.pages);
+
+  for (SiteId site = 0; site < g.num_sites(); ++site) {
+    s.site_size_hist.add(g.pages_of_site(site).size());
+  }
+  return s;
+}
+
+void print_stats(const GraphStats& s, std::ostream& out) {
+  out << "pages:             " << s.pages << '\n'
+      << "sites:             " << s.sites << '\n'
+      << "internal links:    " << s.internal_links << '\n'
+      << "external links:    " << s.external_links << '\n'
+      << "internal fraction: " << s.internal_fraction() << '\n'
+      << "intra-site frac:   " << s.intra_site_fraction() << '\n'
+      << "dangling pages:    " << s.dangling_pages << '\n'
+      << "mean out-degree:   " << s.mean_out_degree << '\n'
+      << "max in-degree:     " << s.max_in_degree << '\n';
+}
+
+}  // namespace p2prank::graph

@@ -1,0 +1,39 @@
+// Structural statistics of a crawl — the numbers DESIGN.md's substitution
+// table promises the synthetic generator matches (link locality, internal
+// fraction, degree tails).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "graph/web_graph.hpp"
+#include "util/histogram.hpp"
+
+namespace p2prank::graph {
+
+struct GraphStats {
+  std::size_t pages = 0;
+  std::size_t sites = 0;
+  std::size_t internal_links = 0;
+  std::size_t external_links = 0;
+  std::size_t intra_site_links = 0;  ///< internal links within one site
+  std::size_t dangling_pages = 0;    ///< out_degree == 0
+  double mean_out_degree = 0.0;      ///< including external links
+  double max_in_degree = 0.0;
+  /// internal / (internal + external): fraction of link mass staying in the
+  /// crawl (paper dataset: 7/15 ≈ 0.47).
+  [[nodiscard]] double internal_fraction() const noexcept;
+  /// intra-site / internal: link locality among crawled targets.
+  [[nodiscard]] double intra_site_fraction() const noexcept;
+
+  util::Log2Histogram out_degree_hist;
+  util::Log2Histogram in_degree_hist;
+  util::Log2Histogram site_size_hist;
+};
+
+[[nodiscard]] GraphStats compute_stats(const WebGraph& g);
+
+/// Human-readable dump.
+void print_stats(const GraphStats& s, std::ostream& out);
+
+}  // namespace p2prank::graph

@@ -1,0 +1,107 @@
+#include "graph/graph_updates.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/graph_builder.hpp"
+
+namespace p2prank::graph {
+
+LinkUpdate LinkUpdate::add_page(std::string url) {
+  return {Kind::kAddPage, std::move(url), {}};
+}
+LinkUpdate LinkUpdate::add_link(std::string from, std::string to) {
+  return {Kind::kAddLink, std::move(from), std::move(to)};
+}
+LinkUpdate LinkUpdate::remove_link(std::string from, std::string to) {
+  return {Kind::kRemoveLink, std::move(from), std::move(to)};
+}
+LinkUpdate LinkUpdate::add_external(std::string from) {
+  return {Kind::kAddExternal, std::move(from), {}};
+}
+LinkUpdate LinkUpdate::remove_external(std::string from) {
+  return {Kind::kRemoveExternal, std::move(from), {}};
+}
+
+WebGraph apply_updates(const WebGraph& g, std::span<const LinkUpdate> updates) {
+  // Working copies of the mutable pieces.
+  // Link multiset as (from, to) -> count so kRemoveLink can drop exactly one
+  // instance of a parallel edge.
+  std::map<std::pair<PageId, PageId>, std::uint32_t> links;
+  for (PageId u = 0; u < g.num_pages(); ++u) {
+    for (const PageId v : g.out_links(u)) ++links[{u, v}];
+  }
+  std::vector<std::uint32_t> external(g.num_pages());
+  for (PageId u = 0; u < g.num_pages(); ++u) external[u] = g.external_out_degree(u);
+
+  // New pages (appended after existing ones, in update order).
+  std::vector<std::string> new_pages;
+  std::size_t next_id = g.num_pages();
+  auto resolve = [&](const std::string& url) -> PageId {
+    if (const auto found = g.find(url)) return *found;
+    const auto it = std::find(new_pages.begin(), new_pages.end(), url);
+    if (it != new_pages.end()) {
+      return static_cast<PageId>(g.num_pages() + (it - new_pages.begin()));
+    }
+    throw std::invalid_argument("apply_updates: unknown page '" + url + "'");
+  };
+
+  for (const auto& up : updates) {
+    switch (up.kind) {
+      case LinkUpdate::Kind::kAddPage: {
+        const bool exists = g.find(up.from_url).has_value() ||
+                            std::find(new_pages.begin(), new_pages.end(),
+                                      up.from_url) != new_pages.end();
+        if (!exists) {
+          new_pages.push_back(up.from_url);
+          external.push_back(0);
+          ++next_id;
+        }
+        break;
+      }
+      case LinkUpdate::Kind::kAddLink:
+        ++links[{resolve(up.from_url), resolve(up.to_url)}];
+        break;
+      case LinkUpdate::Kind::kRemoveLink: {
+        const auto key = std::make_pair(resolve(up.from_url), resolve(up.to_url));
+        const auto it = links.find(key);
+        if (it == links.end() || it->second == 0) {
+          throw std::invalid_argument("apply_updates: link not present: " +
+                                      up.from_url + " -> " + up.to_url);
+        }
+        if (--it->second == 0) links.erase(it);
+        break;
+      }
+      case LinkUpdate::Kind::kAddExternal:
+        ++external[resolve(up.from_url)];
+        break;
+      case LinkUpdate::Kind::kRemoveExternal: {
+        const PageId u = resolve(up.from_url);
+        if (external[u] == 0) {
+          throw std::invalid_argument("apply_updates: no external link at " +
+                                      up.from_url);
+        }
+        --external[u];
+        break;
+      }
+    }
+  }
+
+  // Rebuild, preserving page order (and hence PageIds).
+  GraphBuilder builder;
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    builder.add_page(g.url(p), g.site_name(g.site(p)));
+  }
+  for (const auto& url : new_pages) builder.add_page(url);
+  for (const auto& [edge, count] : links) {
+    for (std::uint32_t c = 0; c < count; ++c) builder.add_link(edge.first, edge.second);
+  }
+  for (PageId u = 0; u < external.size(); ++u) {
+    if (external[u] > 0) builder.add_external_link(u, external[u]);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace p2prank::graph

@@ -1,0 +1,53 @@
+// Link-graph mutation: rebuild a crawl with links/pages added or removed.
+//
+// The paper's convergence proofs assume a static link graph, but Section 4.3
+// is explicit that real crawls churn ("we believe the two algorithms DO
+// converge without these constrains") — crawlers revisit pages, links
+// appear and disappear. WebGraph is immutable (the ranking kernels depend
+// on its frozen CSR layout), so updates produce a *new* graph:
+//
+//   * existing pages keep their PageIds (updates never reorder pages);
+//   * new pages append at the end;
+//   * page removal is intentionally unsupported — a crawler that drops a
+//     page keeps its URL slot and the page simply loses its links, which is
+//     exactly apply_updates with kRemoveLink/kRemoveExternal.
+//
+// The engine picks up a rebuilt graph via DistributedRanking::warm_start
+// (engine/distributed.hpp), which carries the rank state across the swap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/web_graph.hpp"
+
+namespace p2prank::graph {
+
+struct LinkUpdate {
+  enum class Kind {
+    kAddPage,         ///< url (+ site via site_of); no-op if it exists
+    kAddLink,         ///< from_url -> to_url (both must be pages)
+    kRemoveLink,      ///< remove one instance of from_url -> to_url
+    kAddExternal,     ///< one more uncrawled-target link from from_url
+    kRemoveExternal,  ///< one fewer
+  };
+
+  Kind kind = Kind::kAddLink;
+  std::string from_url;  ///< the page URL for kAddPage
+  std::string to_url;    ///< unused for kAddPage/k*External
+
+  [[nodiscard]] static LinkUpdate add_page(std::string url);
+  [[nodiscard]] static LinkUpdate add_link(std::string from, std::string to);
+  [[nodiscard]] static LinkUpdate remove_link(std::string from, std::string to);
+  [[nodiscard]] static LinkUpdate add_external(std::string from);
+  [[nodiscard]] static LinkUpdate remove_external(std::string from);
+};
+
+/// Apply updates in order and rebuild. Throws std::invalid_argument when an
+/// update references a missing page or removes a link that is not there.
+[[nodiscard]] WebGraph apply_updates(const WebGraph& g,
+                                     std::span<const LinkUpdate> updates);
+
+}  // namespace p2prank::graph

@@ -1,0 +1,68 @@
+#include "graph/random_graphs.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::graph {
+
+namespace {
+
+/// Intern `nodes` pages "rand.edu/pN" and return their ids.
+std::vector<PageId> make_pages(GraphBuilder& builder, std::uint32_t nodes) {
+  std::vector<PageId> ids;
+  ids.reserve(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    ids.push_back(builder.add_page("rand.edu/p" + std::to_string(i), "rand.edu"));
+  }
+  return ids;
+}
+
+}  // namespace
+
+WebGraph erdos_renyi(std::uint32_t nodes, std::uint64_t edges, std::uint64_t seed) {
+  if (nodes < 2) throw std::invalid_argument("erdos_renyi: need >= 2 nodes");
+  GraphBuilder builder;
+  const auto ids = make_pages(builder, nodes);
+  util::Rng rng(seed);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.below(nodes));
+    auto v = static_cast<std::uint32_t>(rng.below(nodes - 1));
+    if (v >= u) ++v;  // no self-loops
+    builder.add_link(ids[u], ids[v]);
+  }
+  return std::move(builder).build();
+}
+
+WebGraph preferential_attachment(std::uint32_t nodes, std::uint32_t edges_per_node,
+                                 std::uint64_t seed) {
+  if (nodes < 2) throw std::invalid_argument("preferential_attachment: need >= 2 nodes");
+  if (edges_per_node == 0) {
+    throw std::invalid_argument("preferential_attachment: edges_per_node == 0");
+  }
+  GraphBuilder builder;
+  const auto ids = make_pages(builder, nodes);
+  util::Rng rng(seed);
+
+  // Repeated-targets list: drawing uniformly from it approximates
+  // probability ∝ (in-degree + 1) — each node appears once at birth and
+  // once more per received link.
+  std::vector<std::uint32_t> lottery;
+  lottery.reserve(static_cast<std::size_t>(nodes) * (edges_per_node + 1));
+  lottery.push_back(0);
+  for (std::uint32_t u = 1; u < nodes; ++u) {
+    for (std::uint32_t k = 0; k < edges_per_node; ++k) {
+      // The lottery holds only nodes born before u, so no self-loop arises.
+      const std::uint32_t v = lottery[rng.below(lottery.size())];
+      builder.add_link(ids[u], ids[v]);
+      lottery.push_back(v);
+    }
+    lottery.push_back(u);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace p2prank::graph

@@ -1,0 +1,33 @@
+// Classic random-graph generators for robustness testing.
+//
+// The paper's claims (convergence of DPR1/DPR2, monotonicity, the
+// centralized/distributed agreement) are graph-independent — the proofs
+// only use ||A|| ≤ α < 1. The test suite exercises that by running the same
+// property checks on families with very different structure from the
+// synthetic crawl:
+//   * Erdős–Rényi G(n, m): no locality, no degree skew — the partitioning
+//     worst case;
+//   * Barabási–Albert preferential attachment: extreme hubs, the in-degree
+//     tail cranked to its limit.
+// Both emit WebGraphs (with synthetic single-site URLs) so every module
+// downstream of graph:: consumes them unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/web_graph.hpp"
+
+namespace p2prank::graph {
+
+/// G(n, m): m directed edges drawn uniformly (self-loops excluded,
+/// parallel edges allowed — the crawl model allows them too).
+[[nodiscard]] WebGraph erdos_renyi(std::uint32_t nodes, std::uint64_t edges,
+                                   std::uint64_t seed);
+
+/// Barabási–Albert: nodes arrive one at a time and attach `edges_per_node`
+/// out-links to targets drawn proportionally to (in-degree + 1).
+[[nodiscard]] WebGraph preferential_attachment(std::uint32_t nodes,
+                                               std::uint32_t edges_per_node,
+                                               std::uint64_t seed);
+
+}  // namespace p2prank::graph

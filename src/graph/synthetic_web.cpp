@@ -1,0 +1,143 @@
+#include "graph/synthetic_web.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph_builder.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::graph {
+
+namespace {
+
+void validate(const SyntheticWebConfig& cfg) {
+  if (cfg.num_sites == 0) throw std::invalid_argument("synthetic web: num_sites == 0");
+  if (cfg.target_pages == 0) throw std::invalid_argument("synthetic web: target_pages == 0");
+  if (!(cfg.crawl_fraction > 0.0 && cfg.crawl_fraction <= 1.0)) {
+    throw std::invalid_argument("synthetic web: crawl_fraction out of (0,1]");
+  }
+  if (!(cfg.intra_site_fraction >= 0.0 && cfg.intra_site_fraction <= 1.0)) {
+    throw std::invalid_argument("synthetic web: intra_site_fraction out of [0,1]");
+  }
+  if (cfg.mean_out_degree < 0.0) {
+    throw std::invalid_argument("synthetic web: negative mean_out_degree");
+  }
+  if (cfg.site_size_exponent <= 1.0 || cfg.popularity_exponent <= 1.0) {
+    throw std::invalid_argument("synthetic web: power-law exponents must exceed 1");
+  }
+  if (!(cfg.dangling_fraction >= 0.0 && cfg.dangling_fraction < 1.0)) {
+    throw std::invalid_argument("synthetic web: dangling_fraction out of [0,1)");
+  }
+}
+
+}  // namespace
+
+SyntheticWebConfig google2002_config(std::uint32_t pages, std::uint64_t seed) {
+  SyntheticWebConfig cfg;
+  cfg.seed = seed;
+  cfg.num_sites = 100;           // 100 .edu sites
+  cfg.target_pages = pages;      // paper: ~1M; scaled for bench runtime
+  cfg.crawl_fraction = 0.47;     // => ~7/15 of links land on crawled pages
+  cfg.intra_site_fraction = 0.90;
+  cfg.mean_out_degree = 15.0;    // 15M links / 1M pages
+  return cfg;
+}
+
+WebGraph generate_synthetic_web(const SyntheticWebConfig& cfg) {
+  validate(cfg);
+  util::Rng rng(cfg.seed);
+
+  // --- Site universes -----------------------------------------------------
+  // Sample relative site sizes from a power law, then scale so that the
+  // crawled total lands near target_pages.
+  const std::uint32_t sites = cfg.num_sites;
+  std::vector<double> raw_sizes(sites);
+  double raw_total = 0.0;
+  for (auto& s : raw_sizes) {
+    s = static_cast<double>(rng.power_law(cfg.site_size_exponent, 1000));
+    raw_total += s;
+  }
+  std::vector<std::uint32_t> crawled_size(sites);  // crawled pages per site
+  for (std::uint32_t s = 0; s < sites; ++s) {
+    const double share = raw_sizes[s] / raw_total;
+    auto csize = static_cast<std::uint32_t>(
+        std::lround(share * static_cast<double>(cfg.target_pages)));
+    crawled_size[s] = std::max<std::uint32_t>(csize, 1);
+  }
+
+  // --- Intern crawled pages -------------------------------------------------
+  GraphBuilder builder;
+  std::vector<std::vector<PageId>> page_of(sites);  // crawled index -> PageId
+  for (std::uint32_t s = 0; s < sites; ++s) {
+    const std::string site_name = "site" + std::to_string(s) + ".edu";
+    page_of[s].reserve(crawled_size[s]);
+    for (std::uint32_t j = 0; j < crawled_size[s]; ++j) {
+      const std::string url = site_name + "/page" + std::to_string(j) + ".html";
+      page_of[s].push_back(builder.add_page(url, site_name));
+    }
+  }
+
+  // --- Links ----------------------------------------------------------------
+  // For every crawled page draw an out-degree (power-law tail rescaled to
+  // the requested mean), then draw each target in three steps:
+  //   1. site: same site w.p. intra_site_fraction, else a uniformly random
+  //      other site;
+  //   2. crawled?: w.p. crawl_fraction the target was crawled — deciding
+  //      this per *link* (rather than sampling a fixed uncrawled universe)
+  //      pins the internal-link fraction to crawl_fraction with binomial
+  //      concentration even at small scales;
+  //   3. which page: power-law skew toward low crawled indices (popular
+  //      pages), producing the heavy in-degree tail of the real web.
+  // Uncrawled targets become external links.
+  const double deg_exponent = 2.5;
+  const std::uint64_t deg_cap = 400;
+  // Empirical mean of the degree sampler, estimated once for normalization.
+  double sampler_mean = 0.0;
+  {
+    util::Rng probe(cfg.seed ^ 0x5bd1e995u);
+    constexpr int kProbes = 20000;
+    for (int i = 0; i < kProbes; ++i) {
+      sampler_mean += static_cast<double>(probe.power_law(deg_exponent, deg_cap));
+    }
+    sampler_mean /= kProbes;
+  }
+  const double deg_scale =
+      cfg.mean_out_degree > 0.0 ? cfg.mean_out_degree / sampler_mean : 0.0;
+
+  for (std::uint32_t s = 0; s < sites; ++s) {
+    for (std::uint32_t j = 0; j < crawled_size[s]; ++j) {
+      const PageId from = page_of[s][j];
+      if (cfg.dangling_fraction > 0.0 && rng.chance(cfg.dangling_fraction)) {
+        continue;  // dangling page: no out-links at all
+      }
+      if (cfg.mean_out_degree <= 0.0) continue;
+      const double want =
+          deg_scale * static_cast<double>(rng.power_law(deg_exponent, deg_cap));
+      const auto degree = static_cast<std::uint32_t>(std::max(1.0, std::round(want)));
+
+      for (std::uint32_t k = 0; k < degree; ++k) {
+        if (!rng.chance(cfg.crawl_fraction)) {
+          builder.add_external_link(from);
+          continue;
+        }
+        std::uint32_t target_site = s;
+        if (sites > 1 && !rng.chance(cfg.intra_site_fraction)) {
+          // Uniform over the other sites.
+          target_site = static_cast<std::uint32_t>(rng.below(sites - 1));
+          if (target_site >= s) ++target_site;
+        }
+        const std::uint32_t csize = crawled_size[target_site];
+        const auto target_idx = static_cast<std::uint32_t>(
+            rng.power_law(cfg.popularity_exponent, csize) - 1);
+        builder.add_link(from, page_of[target_site][target_idx]);
+      }
+    }
+  }
+
+  return std::move(builder).build();
+}
+
+}  // namespace p2prank::graph

@@ -1,0 +1,78 @@
+#include "graph/url.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace p2prank::graph {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+/// Strip ":80"/":443" default ports from a host.
+std::string strip_default_port(std::string host, std::string_view scheme) {
+  const auto colon = host.rfind(':');
+  if (colon == std::string::npos) return host;
+  const std::string_view port(host.data() + colon + 1, host.size() - colon - 1);
+  const bool is_default = (scheme == "http" && port == "80") ||
+                          (scheme == "https" && port == "443") ||
+                          (scheme.empty() && port == "80");
+  if (is_default) host.erase(colon);
+  return host;
+}
+
+}  // namespace
+
+UrlParts parse_url(std::string_view url) {
+  UrlParts parts;
+
+  // Drop fragment.
+  if (const auto hash = url.find('#'); hash != std::string_view::npos) {
+    url = url.substr(0, hash);
+  }
+
+  // Scheme.
+  std::string_view rest = url;
+  if (const auto sep = url.find("://"); sep != std::string_view::npos &&
+                                        sep > 0 &&
+                                        url.find('/') >= sep) {
+    parts.scheme = to_lower(url.substr(0, sep));
+    rest = url.substr(sep + 3);
+  } else if (url.starts_with("//")) {
+    rest = url.substr(2);
+  } else if (url.starts_with("/")) {
+    // Path-only URL: no host.
+    parts.path = std::string(url);
+    return parts;
+  }
+
+  // Host = up to first '/'.
+  const auto slash = rest.find('/');
+  const std::string_view host_view =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  // A host must contain a dot or be non-empty with a scheme; heuristically
+  // treat dot-less, scheme-less leading components as hosts too (crawl data
+  // style "host/path").
+  parts.host = strip_default_port(to_lower(host_view), parts.scheme);
+  if (slash != std::string_view::npos) {
+    parts.path = std::string(rest.substr(slash));
+  }
+  return parts;
+}
+
+std::string site_of(std::string_view url) { return parse_url(url).host; }
+
+std::string normalize_url(std::string_view url) {
+  const UrlParts parts = parse_url(url);
+  if (parts.host.empty()) return parts.path;
+  std::string out = parts.host;
+  out += parts.path.empty() ? "/" : parts.path;
+  return out;
+}
+
+}  // namespace p2prank::graph

@@ -1,0 +1,35 @@
+// Minimal URL handling: normalization and site (host) extraction.
+//
+// The paper partitions pages "by the hash code of websites" (Section 4.1),
+// so we need a stable notion of the site a URL belongs to. We implement the
+// subset of URL parsing that web-crawl datasets require: scheme and host
+// extraction, lowercasing of host, default-port stripping and path
+// normalization — not a full RFC 3986 parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace p2prank::graph {
+
+/// Components of a parsed URL.
+struct UrlParts {
+  std::string scheme;  ///< lowercased; empty if absent
+  std::string host;    ///< lowercased, default port removed; empty if absent
+  std::string path;    ///< starts with '/' when non-empty (query kept)
+};
+
+/// Parse a URL into parts. Accepts scheme-relative ("//host/p"), absolute
+/// ("http://host/p") and bare ("host/p") forms. Never throws; unparseable
+/// inputs land entirely in `path`.
+[[nodiscard]] UrlParts parse_url(std::string_view url);
+
+/// The site of a URL: its lowercased host with any default port stripped.
+/// Returns an empty string when the URL has no recognizable host.
+[[nodiscard]] std::string site_of(std::string_view url);
+
+/// Canonical form used as a graph key: "host/path" with lowercase host,
+/// no scheme, no fragment, and "/" appended to a bare host.
+[[nodiscard]] std::string normalize_url(std::string_view url);
+
+}  // namespace p2prank::graph

@@ -1,0 +1,22 @@
+#include "graph/web_graph.hpp"
+
+namespace p2prank::graph {
+
+std::optional<PageId> WebGraph::find(std::string_view url) const {
+  const auto it = url_index_.find(url);
+  if (it == url_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t WebGraph::count_intra_site_links() const noexcept {
+  std::size_t intra = 0;
+  for (PageId u = 0; u < num_pages(); ++u) {
+    const SiteId s = sites_[u];
+    for (const PageId v : out_links(u)) {
+      if (sites_[v] == s) ++intra;
+    }
+  }
+  return intra;
+}
+
+}  // namespace p2prank::graph

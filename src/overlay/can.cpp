@@ -1,0 +1,270 @@
+#include "overlay/can.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace p2prank::overlay {
+
+namespace {
+
+constexpr int kMaxDims = 8;
+// Coordinates are dyadic (zone splits halve intervals), so 52 bits — the
+// double mantissa — encode any reachable boundary exactly.
+constexpr int kMaxCoordBits = 52;
+
+struct Zone {
+  std::array<double, kMaxDims> lo{};
+  std::array<double, kMaxDims> hi{};
+  int depth = 0;  // splits from the root zone; next split dim = depth % d
+
+  [[nodiscard]] bool contains(std::span<const double> p, int d) const noexcept {
+    for (int j = 0; j < d; ++j) {
+      if (p[j] < lo[j] || p[j] >= hi[j]) return false;
+    }
+    return true;
+  }
+};
+
+double torus_gap(double a, double b) noexcept {
+  const double diff = std::fabs(a - b);
+  return std::min(diff, 1.0 - diff);
+}
+
+/// Squared torus distance from point p to the box of zone z.
+double zone_distance_sq(const Zone& z, std::span<const double> p, int d) noexcept {
+  double acc = 0.0;
+  for (int j = 0; j < d; ++j) {
+    if (p[j] >= z.lo[j] && p[j] < z.hi[j]) continue;
+    // hi is an exclusive bound, but as a *distance* target the closed edge
+    // is the right approximation on the torus.
+    const double gap = std::min(torus_gap(p[j], z.lo[j]), torus_gap(p[j], z.hi[j]));
+    acc += gap * gap;
+  }
+  return acc;
+}
+
+/// True when intervals [alo,ahi) and [blo,bhi) abut on the torus.
+bool abuts(double alo, double ahi, double blo, double bhi) noexcept {
+  if (ahi == blo || bhi == alo) return true;
+  // Wraparound: [x,1) abuts [0,y).
+  if (ahi == 1.0 && blo == 0.0) return true;
+  if (bhi == 1.0 && alo == 0.0) return true;
+  return false;
+}
+
+/// True when intervals overlap with positive measure.
+bool overlaps(double alo, double ahi, double blo, double bhi) noexcept {
+  return std::max(alo, blo) < std::min(ahi, bhi);
+}
+
+}  // namespace
+
+struct CanOverlay::Impl {
+  CanConfig cfg;
+  int coord_bits = 0;  // bits per coordinate inside a NodeId
+  std::vector<Zone> zones;  // index == NodeIndex
+  std::vector<std::uint32_t> neighbor_offsets;
+  std::vector<NodeIndex> neighbor_data;
+
+  [[nodiscard]] std::vector<double> point_of(const NodeId& id) const {
+    std::vector<double> p(cfg.dimensions);
+    for (int j = 0; j < cfg.dimensions; ++j) {
+      std::uint64_t bits = 0;
+      for (int b = 0; b < coord_bits; ++b) {
+        const int pos = j * coord_bits + b;  // from the most significant bit
+        const std::uint64_t word = pos < 64 ? id.hi : id.lo;
+        const int shift = 63 - (pos % 64);
+        bits = (bits << 1) | ((word >> shift) & 1);
+      }
+      p[j] = std::ldexp(static_cast<double>(bits), -coord_bits);
+    }
+    return p;
+  }
+
+  [[nodiscard]] NodeId id_from_point(std::span<const double> p) const {
+    NodeId id{0, 0};
+    for (int j = 0; j < cfg.dimensions; ++j) {
+      double x = p[j];
+      for (int b = 0; b < coord_bits; ++b) {
+        x *= 2.0;
+        const int bit = x >= 1.0 ? 1 : 0;
+        x -= bit;
+        const int pos = j * coord_bits + b;
+        if (bit) {
+          if (pos < 64) {
+            id.hi |= 1ULL << (63 - pos);
+          } else {
+            id.lo |= 1ULL << (63 - (pos - 64));
+          }
+        }
+      }
+    }
+    return id;
+  }
+
+  [[nodiscard]] NodeIndex owner_of(std::span<const double> p) const {
+    for (NodeIndex n = 0; n < zones.size(); ++n) {
+      if (zones[n].contains(p, cfg.dimensions)) return n;
+    }
+    // p coordinates live in [0,1), and the zones tile [0,1)^d.
+    assert(false && "CAN zones must tile the space");
+    return kInvalidNode;
+  }
+};
+
+CanOverlay::CanOverlay(const CanConfig& cfg) : impl_(new Impl) {
+  if (cfg.num_nodes == 0) throw std::invalid_argument("can: num_nodes == 0");
+  if (cfg.dimensions < 1 || cfg.dimensions > kMaxDims) {
+    throw std::invalid_argument("can: dimensions must be in [1, 8]");
+  }
+  Impl& im = *impl_;
+  im.cfg = cfg;
+  im.coord_bits = std::min(kMaxCoordBits, NodeId::kBits / cfg.dimensions);
+
+  // --- Sequential joins: split the zone containing a random point ----------
+  util::Rng rng(cfg.seed ^ 0xc2b2ae3d27d4eb4fULL);
+  im.zones.reserve(cfg.num_nodes);
+  Zone root;
+  for (int j = 0; j < cfg.dimensions; ++j) {
+    root.lo[j] = 0.0;
+    root.hi[j] = 1.0;
+  }
+  im.zones.push_back(root);
+
+  std::vector<double> p(cfg.dimensions);
+  for (NodeIndex joiner = 1; joiner < cfg.num_nodes; ++joiner) {
+    for (auto& x : p) x = rng.uniform();
+    const NodeIndex owner = im.owner_of(p);
+    Zone& old_zone = im.zones[owner];
+    const int dim = old_zone.depth % cfg.dimensions;
+    const double mid = 0.5 * (old_zone.lo[dim] + old_zone.hi[dim]);
+
+    Zone new_zone = old_zone;
+    ++old_zone.depth;
+    new_zone.depth = old_zone.depth;
+    if (p[dim] >= mid) {
+      new_zone.lo[dim] = mid;  // joiner takes the upper half
+      old_zone.hi[dim] = mid;
+    } else {
+      new_zone.hi[dim] = mid;  // joiner takes the lower half
+      old_zone.lo[dim] = mid;
+    }
+    im.zones.push_back(new_zone);
+  }
+
+  // --- Neighbor sets: abut in one dimension, overlap in the others ----------
+  const auto n = static_cast<std::uint32_t>(im.zones.size());
+  std::vector<std::vector<NodeIndex>> per_node(n);
+  for (NodeIndex a = 0; a < n; ++a) {
+    for (NodeIndex b = a + 1; b < n; ++b) {
+      const Zone& za = im.zones[a];
+      const Zone& zb = im.zones[b];
+      int abut_dim = -1;
+      bool ok = true;
+      for (int j = 0; j < cfg.dimensions && ok; ++j) {
+        if (overlaps(za.lo[j], za.hi[j], zb.lo[j], zb.hi[j])) continue;
+        if (abuts(za.lo[j], za.hi[j], zb.lo[j], zb.hi[j]) && abut_dim < 0) {
+          abut_dim = j;
+        } else {
+          ok = false;
+        }
+      }
+      // For n == 1..2 a pair can abut on both torus sides; dedupe is implicit
+      // because we record the pair once.
+      if (ok && (abut_dim >= 0 || cfg.dimensions == 1)) {
+        per_node[a].push_back(b);
+        per_node[b].push_back(a);
+      }
+    }
+  }
+  im.neighbor_offsets.assign(n + 1, 0);
+  for (NodeIndex i = 0; i < n; ++i) {
+    std::sort(per_node[i].begin(), per_node[i].end());
+    im.neighbor_offsets[i + 1] =
+        im.neighbor_offsets[i] + static_cast<std::uint32_t>(per_node[i].size());
+  }
+  im.neighbor_data.reserve(im.neighbor_offsets[n]);
+  for (auto& v : per_node) {
+    im.neighbor_data.insert(im.neighbor_data.end(), v.begin(), v.end());
+  }
+}
+
+CanOverlay::~CanOverlay() = default;
+CanOverlay::CanOverlay(CanOverlay&&) noexcept = default;
+CanOverlay& CanOverlay::operator=(CanOverlay&&) noexcept = default;
+
+std::size_t CanOverlay::num_nodes() const noexcept { return impl_->zones.size(); }
+
+NodeId CanOverlay::id_of(NodeIndex node) const {
+  const Impl& im = *impl_;
+  const Zone& z = im.zones.at(node);
+  std::vector<double> center(im.cfg.dimensions);
+  for (int j = 0; j < im.cfg.dimensions; ++j) {
+    center[j] = 0.5 * (z.lo[j] + z.hi[j]);
+  }
+  return im.id_from_point(center);
+}
+
+NodeIndex CanOverlay::responsible_node(const NodeId& key) const {
+  return impl_->owner_of(impl_->point_of(key));
+}
+
+NodeIndex CanOverlay::next_hop(NodeIndex from, const NodeId& key) const {
+  const Impl& im = *impl_;
+  assert(from < im.zones.size());
+  const auto p = im.point_of(key);
+  if (im.zones[from].contains(p, im.cfg.dimensions)) return kInvalidNode;
+
+  // Greedy: neighbor whose zone lies closest to the target point. The zone
+  // the straight-line path enters next abuts ours and is strictly closer,
+  // so the minimum always makes progress.
+  const double own = zone_distance_sq(im.zones[from], p, im.cfg.dimensions);
+  NodeIndex best = kInvalidNode;
+  double best_dist = own;
+  for (const NodeIndex cand : neighbors(from)) {
+    const double d = zone_distance_sq(im.zones[cand], p, im.cfg.dimensions);
+    if (d < best_dist || (best == kInvalidNode && d <= best_dist)) {
+      best = cand;
+      best_dist = d;
+    }
+  }
+  assert(best != kInvalidNode && "greedy CAN forwarding must progress");
+  return best;
+}
+
+std::vector<NodeIndex> CanOverlay::route(NodeIndex from, const NodeId& key) const {
+  std::vector<NodeIndex> path;
+  NodeIndex cur = from;
+  while (true) {
+    const NodeIndex next = next_hop(cur, key);
+    if (next == kInvalidNode) break;
+    path.push_back(next);
+    cur = next;
+    if (path.size() > impl_->zones.size()) {
+      throw std::logic_error("can: routing loop detected");
+    }
+  }
+  return path;
+}
+
+std::span<const NodeIndex> CanOverlay::neighbors(NodeIndex node) const {
+  const Impl& im = *impl_;
+  return {im.neighbor_data.data() + im.neighbor_offsets[node],
+          im.neighbor_data.data() + im.neighbor_offsets[node + 1]};
+}
+
+std::vector<std::pair<double, double>> CanOverlay::zone_of(NodeIndex node) const {
+  const Zone& z = impl_->zones.at(node);
+  std::vector<std::pair<double, double>> bounds;
+  for (int j = 0; j < impl_->cfg.dimensions; ++j) {
+    bounds.emplace_back(z.lo[j], z.hi[j]);
+  }
+  return bounds;
+}
+
+}  // namespace p2prank::overlay

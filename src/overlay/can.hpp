@@ -1,0 +1,56 @@
+// CAN overlay simulator (Ratnasamy et al., SIGCOMM 2001 — reference [13] of
+// the paper).
+//
+// A Content-Addressable Network maps nodes onto zones of a d-dimensional
+// torus [0,1)^d. A key hashes to a point; the node whose zone contains the
+// point is responsible. Each node knows the owners of adjacent zones
+// (overlap in d-1 dimensions, abut in one), and forwarding is greedy: hand
+// the message to the neighbor whose zone lies closest to the target point.
+// Expected route length is (d/4)·N^(1/d) — polynomial, not logarithmic,
+// which makes CAN a useful contrast in the transmission benches: same
+// indirect-transmission machinery, very different h and g.
+//
+// The simulator materializes the stabilized state after N sequential joins:
+// each joining node splits the zone that contains a random point, taking
+// the half that contains it (dimensions split in cyclic order, as in the
+// CAN paper).
+#pragma once
+
+#include <memory>
+
+#include "overlay/overlay.hpp"
+
+namespace p2prank::overlay {
+
+struct CanConfig {
+  std::uint32_t num_nodes = 0;
+  int dimensions = 2;  ///< the protocol's d (2..8 supported)
+  std::uint64_t seed = 1;
+};
+
+class CanOverlay final : public Overlay {
+ public:
+  explicit CanOverlay(const CanConfig& cfg);
+  ~CanOverlay() override;
+
+  CanOverlay(CanOverlay&&) noexcept;
+  CanOverlay& operator=(CanOverlay&&) noexcept;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "can"; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept override;
+  [[nodiscard]] NodeId id_of(NodeIndex node) const override;
+  [[nodiscard]] NodeIndex responsible_node(const NodeId& key) const override;
+  [[nodiscard]] std::vector<NodeIndex> route(NodeIndex from,
+                                             const NodeId& key) const override;
+  [[nodiscard]] std::span<const NodeIndex> neighbors(NodeIndex node) const override;
+  [[nodiscard]] NodeIndex next_hop(NodeIndex from, const NodeId& key) const override;
+
+  /// Zone bounds of a node, lo/hi per dimension (for tests/diagnostics).
+  [[nodiscard]] std::vector<std::pair<double, double>> zone_of(NodeIndex node) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace p2prank::overlay

@@ -1,0 +1,160 @@
+#include "overlay/chord.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace p2prank::overlay {
+
+struct ChordOverlay::Impl {
+  ChordConfig cfg;
+  std::vector<NodeId> ids;  // sorted ascending; index == NodeIndex
+  // Per node: unique finger targets (node indices), ascending by clockwise
+  // ring distance from the node. Successor is fingers.front().
+  std::vector<std::uint32_t> finger_offsets;
+  std::vector<NodeIndex> finger_data;
+
+  [[nodiscard]] std::span<const NodeIndex> fingers(NodeIndex node) const noexcept {
+    return {finger_data.data() + finger_offsets[node],
+            finger_data.data() + finger_offsets[node + 1]};
+  }
+};
+
+namespace {
+
+/// key + 2^bit on the ring.
+NodeId ring_add_pow2(const NodeId& id, int bit) noexcept {
+  NodeId r = id;
+  if (bit < 64) {
+    const std::uint64_t add = 1ULL << bit;
+    r.lo += add;
+    if (r.lo < id.lo) ++r.hi;  // carry
+  } else {
+    r.hi += 1ULL << (bit - 64);
+  }
+  return r;
+}
+
+}  // namespace
+
+ChordOverlay::ChordOverlay(const ChordConfig& cfg) : impl_(new Impl) {
+  if (cfg.num_nodes == 0) throw std::invalid_argument("chord: num_nodes == 0");
+  if (cfg.successor_list < 1) {
+    throw std::invalid_argument("chord: successor_list must be >= 1");
+  }
+  Impl& im = *impl_;
+  im.cfg = cfg;
+
+  const std::uint32_t n = cfg.num_nodes;
+  std::uint64_t salt = 0;
+  do {
+    im.ids.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      im.ids.push_back(
+          node_id_from_u64(util::mix64(cfg.seed + salt) ^ i * 0xbf58476d1ce4e5b9ULL));
+    }
+    std::sort(im.ids.begin(), im.ids.end());
+    ++salt;
+  } while (std::adjacent_find(im.ids.begin(), im.ids.end()) != im.ids.end());
+
+  // Fingers: successor(id + 2^i) for every i, plus a short successor list.
+  im.finger_offsets.assign(n + 1, 0);
+  std::vector<std::vector<NodeIndex>> per_node(n);
+  std::vector<NodeIndex> raw;
+  for (NodeIndex node = 0; node < n; ++node) {
+    raw.clear();
+    for (int s = 1; s <= cfg.successor_list; ++s) {
+      raw.push_back(static_cast<NodeIndex>((node + s) % n));
+    }
+    for (int bit = 0; bit < NodeId::kBits; ++bit) {
+      raw.push_back(responsible_node(ring_add_pow2(im.ids[node], bit)));
+    }
+    // Dedupe; drop self (successor of tiny offsets can be the node itself
+    // only when n == 1, where fingers are meaningless anyway).
+    std::sort(raw.begin(), raw.end());
+    raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+    raw.erase(std::remove(raw.begin(), raw.end(), node), raw.end());
+    // Order by clockwise distance so routing can scan farthest-first.
+    std::sort(raw.begin(), raw.end(), [&](NodeIndex a, NodeIndex b) {
+      return ring_distance(im.ids[node], im.ids[a]) <
+             ring_distance(im.ids[node], im.ids[b]);
+    });
+    per_node[node] = raw;
+    im.finger_offsets[node + 1] =
+        im.finger_offsets[node] + static_cast<std::uint32_t>(raw.size());
+  }
+  im.finger_data.reserve(im.finger_offsets[n]);
+  for (auto& v : per_node) {
+    im.finger_data.insert(im.finger_data.end(), v.begin(), v.end());
+  }
+}
+
+ChordOverlay::~ChordOverlay() = default;
+ChordOverlay::ChordOverlay(ChordOverlay&&) noexcept = default;
+ChordOverlay& ChordOverlay::operator=(ChordOverlay&&) noexcept = default;
+
+std::size_t ChordOverlay::num_nodes() const noexcept { return impl_->ids.size(); }
+
+NodeId ChordOverlay::id_of(NodeIndex node) const { return impl_->ids.at(node); }
+
+NodeIndex ChordOverlay::responsible_node(const NodeId& key) const {
+  // Successor: first node with id >= key, wrapping to node 0.
+  const auto& ids = impl_->ids;
+  const auto it = std::lower_bound(ids.begin(), ids.end(), key);
+  if (it == ids.end()) return 0;
+  return static_cast<NodeIndex>(it - ids.begin());
+}
+
+NodeIndex ChordOverlay::successor(NodeIndex node) const {
+  return static_cast<NodeIndex>((node + 1) % impl_->ids.size());
+}
+
+NodeIndex ChordOverlay::next_hop(NodeIndex from, const NodeId& key) const {
+  const Impl& im = *impl_;
+  assert(from < im.ids.size());
+  const NodeIndex dest = responsible_node(key);
+  if (dest == from) return kInvalidNode;
+  if (im.ids.size() == 1) return kInvalidNode;
+
+  const NodeId& my = im.ids[from];
+  const NodeIndex succ = successor(from);
+  // Key in (self, successor] -> the successor is responsible: deliver.
+  if (in_ring_range(key, my, im.ids[succ])) return succ;
+
+  // Closest preceding finger: the farthest finger that still lies strictly
+  // before the key clockwise. Fingers are sorted by clockwise distance, so
+  // scan from the far end.
+  const auto fingers = im.fingers(from);
+  const NodeId key_dist = ring_distance(my, key);
+  for (auto it = fingers.rbegin(); it != fingers.rend(); ++it) {
+    const NodeId d = ring_distance(my, im.ids[*it]);
+    if (NodeId{0, 0} < d && d < key_dist) return *it;
+  }
+  // All fingers at or past the key (cannot happen with a complete finger
+  // table unless n == 1): fall back to the successor, which always makes
+  // clockwise progress.
+  return succ;
+}
+
+std::vector<NodeIndex> ChordOverlay::route(NodeIndex from, const NodeId& key) const {
+  std::vector<NodeIndex> path;
+  NodeIndex cur = from;
+  while (true) {
+    const NodeIndex next = next_hop(cur, key);
+    if (next == kInvalidNode) break;
+    path.push_back(next);
+    cur = next;
+    if (path.size() > impl_->ids.size()) {
+      throw std::logic_error("chord: routing loop detected");
+    }
+  }
+  return path;
+}
+
+std::span<const NodeIndex> ChordOverlay::neighbors(NodeIndex node) const {
+  return impl_->fingers(node);
+}
+
+}  // namespace p2prank::overlay

@@ -1,0 +1,52 @@
+// Chord overlay simulator (Stoica et al., SIGCOMM 2001).
+//
+// Ids live on a mod-2^128 ring; the node responsible for a key is the key's
+// *successor* (first node clockwise). Each node keeps its successor and a
+// finger table: finger i points at successor(id + 2^i). Forwarding follows
+// the protocol: deliver to the successor when the key is in (self,
+// successor], otherwise jump to the closest finger preceding the key —
+// halving the remaining ring distance, hence O(log N) hops.
+//
+// Included alongside Pastry because the page-ranking paper's mechanisms
+// (lookup, indirect transmission) are overlay-agnostic; having two overlays
+// lets the transmission benches show that.
+#pragma once
+
+#include <memory>
+
+#include "overlay/overlay.hpp"
+
+namespace p2prank::overlay {
+
+struct ChordConfig {
+  std::uint32_t num_nodes = 0;
+  int successor_list = 4;  ///< successors kept besides fingers (fault margin)
+  std::uint64_t seed = 1;
+};
+
+class ChordOverlay final : public Overlay {
+ public:
+  explicit ChordOverlay(const ChordConfig& cfg);
+  ~ChordOverlay() override;
+
+  ChordOverlay(ChordOverlay&&) noexcept;
+  ChordOverlay& operator=(ChordOverlay&&) noexcept;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "chord"; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept override;
+  [[nodiscard]] NodeId id_of(NodeIndex node) const override;
+  [[nodiscard]] NodeIndex responsible_node(const NodeId& key) const override;
+  [[nodiscard]] std::vector<NodeIndex> route(NodeIndex from,
+                                             const NodeId& key) const override;
+  [[nodiscard]] std::span<const NodeIndex> neighbors(NodeIndex node) const override;
+  [[nodiscard]] NodeIndex next_hop(NodeIndex from, const NodeId& key) const override;
+
+  /// The node's immediate successor on the ring.
+  [[nodiscard]] NodeIndex successor(NodeIndex node) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace p2prank::overlay

@@ -1,0 +1,63 @@
+#include "overlay/node_id.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::overlay {
+
+int NodeId::shared_prefix_digits(const NodeId& other, int bits_per_digit) const noexcept {
+  const int total_digits = kBits / bits_per_digit;
+  for (int i = 0; i < total_digits; ++i) {
+    if (digit(i, bits_per_digit) != other.digit(i, bits_per_digit)) return i;
+  }
+  return total_digits;
+}
+
+std::string NodeId::to_hex() const {
+  std::array<char, 33> buf{};
+  std::snprintf(buf.data(), buf.size(), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf.data(), 32);
+}
+
+NodeId node_id_from_key(std::string_view key) noexcept {
+  const std::uint64_t h = util::fnv1a(key);
+  return {util::mix64(h), util::mix64(h ^ 0x9e3779b97f4a7c15ULL)};
+}
+
+NodeId node_id_from_u64(std::uint64_t value) noexcept {
+  return {util::mix64(value), util::mix64(value ^ 0xda942042e4dd58b5ULL)};
+}
+
+namespace {
+
+/// a - b as 128-bit two's complement (callers guarantee interpretation).
+constexpr NodeId sub128(const NodeId& a, const NodeId& b) noexcept {
+  NodeId r;
+  r.lo = a.lo - b.lo;
+  r.hi = a.hi - b.hi - (a.lo < b.lo ? 1 : 0);
+  return r;
+}
+
+}  // namespace
+
+NodeId linear_distance(const NodeId& a, const NodeId& b) noexcept {
+  return a >= b ? sub128(a, b) : sub128(b, a);
+}
+
+NodeId ring_distance(const NodeId& a, const NodeId& b) noexcept {
+  return sub128(b, a);  // mod 2^128 wraparound is free in two's complement
+}
+
+bool in_ring_range(const NodeId& x, const NodeId& from, const NodeId& to) noexcept {
+  // x in (from, to] on the clockwise ring <=> dist(from, x) <= dist(from, to)
+  // and x != from.
+  if (x == from) return false;
+  return ring_distance(from, x) <= ring_distance(from, to);
+}
+
+}  // namespace p2prank::overlay

@@ -1,0 +1,58 @@
+// 128-bit identifiers for the structured-overlay id space.
+//
+// Pastry interprets an id as a string of base-2^b digits (most significant
+// first) and routes by prefix matching; Chord interprets it as a point on a
+// mod-2^128 ring. Both views live here.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace p2prank::overlay {
+
+struct NodeId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr auto operator<=>(const NodeId&, const NodeId&) = default;
+
+  static constexpr int kBits = 128;
+
+  /// Digit `index` (0 = most significant) when the id is read in base 2^b.
+  [[nodiscard]] constexpr unsigned digit(int index, int bits_per_digit) const noexcept {
+    const int shift = kBits - (index + 1) * bits_per_digit;
+    const std::uint64_t word = shift >= 64 ? hi : lo;
+    const int word_shift = shift >= 64 ? shift - 64 : shift;
+    const std::uint64_t mask = (1ULL << bits_per_digit) - 1;
+    // A digit never straddles the hi/lo boundary because bits_per_digit
+    // divides 64 for every supported base (1, 2, 4, 8).
+    return static_cast<unsigned>((word >> word_shift) & mask);
+  }
+
+  /// Number of leading base-2^b digits shared with `other`.
+  [[nodiscard]] int shared_prefix_digits(const NodeId& other,
+                                         int bits_per_digit) const noexcept;
+
+  [[nodiscard]] std::string to_hex() const;
+};
+
+/// Derive a well-distributed id from arbitrary bytes (e.g. "node17", an IP).
+[[nodiscard]] NodeId node_id_from_key(std::string_view key) noexcept;
+
+/// Derive an id from a 64-bit seed/index (used to place simulated nodes).
+[[nodiscard]] NodeId node_id_from_u64(std::uint64_t value) noexcept;
+
+/// |a - b| in the *linear* id space (no wraparound) — Pastry's notion of
+/// numerical closeness. Returned as a NodeId-sized magnitude.
+[[nodiscard]] NodeId linear_distance(const NodeId& a, const NodeId& b) noexcept;
+
+/// (b - a) mod 2^128 — Chord's clockwise ring distance from a to b.
+[[nodiscard]] NodeId ring_distance(const NodeId& a, const NodeId& b) noexcept;
+
+/// True when `x` lies in the half-open clockwise ring interval (from, to].
+[[nodiscard]] bool in_ring_range(const NodeId& x, const NodeId& from,
+                                 const NodeId& to) noexcept;
+
+}  // namespace p2prank::overlay

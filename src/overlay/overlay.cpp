@@ -1,0 +1,34 @@
+#include "overlay/overlay.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace p2prank::overlay {
+
+OverlayProbe probe_overlay(const Overlay& o, std::size_t samples, std::uint64_t seed) {
+  OverlayProbe probe;
+  const std::size_t n = o.num_nodes();
+  if (n == 0) return probe;
+
+  util::Rng rng(seed);
+  double hop_sum = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto from = static_cast<NodeIndex>(rng.below(n));
+    const NodeId key = node_id_from_u64(rng.next());
+    const auto path = o.route(from, key);
+    const auto hops = static_cast<double>(path.size());
+    hop_sum += hops;
+    probe.max_hops = std::max(probe.max_hops, hops);
+  }
+  probe.mean_hops = samples ? hop_sum / static_cast<double>(samples) : 0.0;
+
+  double neighbor_sum = 0.0;
+  for (NodeIndex node = 0; node < n; ++node) {
+    neighbor_sum += static_cast<double>(o.neighbors(node).size());
+  }
+  probe.mean_neighbors = neighbor_sum / static_cast<double>(n);
+  return probe;
+}
+
+}  // namespace p2prank::overlay

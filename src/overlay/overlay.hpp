@@ -1,0 +1,70 @@
+// Abstract structured P2P overlay.
+//
+// The paper runs page rankers on top of "structured peer-to-peer overlay
+// networks [6, 13, 14, 15]" — Pastry, CAN, Chord, Tapestry. What distributed
+// ranking actually consumes from the overlay is small and captured by this
+// interface:
+//   * a key -> responsible-node mapping (which ranker owns a page group id),
+//   * a hop-by-hop route between nodes (lookups cost h hops; indirect
+//     transmission forwards data along exactly these paths),
+//   * each node's neighbor set (indirect transmission exchanges packages
+//     only with neighbors; g = |neighbors| sets the O(gN) message bound).
+//
+// Implementations are *simulators*: they hold the global membership and
+// materialize each node's routing state exactly as the real protocol would
+// after a stabilized join, then answer route() by running the real
+// per-node forwarding rule using only that node's local state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "overlay/node_id.hpp"
+
+namespace p2prank::overlay {
+
+/// Dense index of a node within the simulated overlay, 0..N-1.
+using NodeIndex = std::uint32_t;
+
+inline constexpr NodeIndex kInvalidNode = static_cast<NodeIndex>(-1);
+
+class Overlay {
+ public:
+  virtual ~Overlay() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t num_nodes() const noexcept = 0;
+  [[nodiscard]] virtual NodeId id_of(NodeIndex node) const = 0;
+
+  /// The node responsible for a key (Pastry: numerically closest id;
+  /// Chord: successor on the ring).
+  [[nodiscard]] virtual NodeIndex responsible_node(const NodeId& key) const = 0;
+
+  /// Forwarding hops from `from` to the node responsible for `key`,
+  /// excluding `from`, including the destination. An empty result means
+  /// `from` is itself responsible.
+  [[nodiscard]] virtual std::vector<NodeIndex> route(NodeIndex from,
+                                                     const NodeId& key) const = 0;
+
+  /// The node's neighbor set: every node it can send one overlay hop to.
+  [[nodiscard]] virtual std::span<const NodeIndex> neighbors(NodeIndex node) const = 0;
+
+  /// Single forwarding step of the protocol: the next hop from `from`
+  /// toward `key`, or kInvalidNode when `from` is responsible for `key`.
+  [[nodiscard]] virtual NodeIndex next_hop(NodeIndex from, const NodeId& key) const = 0;
+};
+
+/// Mean hops and neighbor-count statistics, measured by routing `samples`
+/// random keys from random sources.
+struct OverlayProbe {
+  double mean_hops = 0.0;
+  double max_hops = 0.0;
+  double mean_neighbors = 0.0;
+};
+
+[[nodiscard]] OverlayProbe probe_overlay(const Overlay& o, std::size_t samples,
+                                         std::uint64_t seed);
+
+}  // namespace p2prank::overlay

@@ -1,0 +1,144 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/url.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::partition {
+
+namespace {
+
+void check_k(std::uint32_t k) {
+  if (k == 0) throw std::invalid_argument("partition: k must be positive");
+}
+
+class RandomPartitioner final : public Partitioner {
+ public:
+  explicit RandomPartitioner(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "random"; }
+
+  [[nodiscard]] std::vector<GroupId> partition(const graph::WebGraph& g,
+                                               std::uint32_t k) const override {
+    check_k(k);
+    util::Rng rng(seed_);
+    std::vector<GroupId> groups(g.num_pages());
+    for (auto& gr : groups) gr = static_cast<GroupId>(rng.below(k));
+    return groups;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class HashUrlPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "hash-url"; }
+
+  [[nodiscard]] std::vector<GroupId> partition(const graph::WebGraph& g,
+                                               std::uint32_t k) const override {
+    check_k(k);
+    std::vector<GroupId> groups(g.num_pages());
+    for (graph::PageId p = 0; p < g.num_pages(); ++p) {
+      groups[p] = static_cast<GroupId>(util::stable_hash(g.url(p)) % k);
+    }
+    return groups;
+  }
+
+  [[nodiscard]] bool assign_url(std::string_view url, std::uint32_t k,
+                                GroupId& out) const override {
+    check_k(k);
+    out = static_cast<GroupId>(util::stable_hash(url) % k);
+    return true;
+  }
+};
+
+class HashSitePartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "hash-site"; }
+
+  [[nodiscard]] std::vector<GroupId> partition(const graph::WebGraph& g,
+                                               std::uint32_t k) const override {
+    check_k(k);
+    // Hash each site once, then fan out to its pages.
+    std::vector<GroupId> site_group(g.num_sites());
+    for (graph::SiteId s = 0; s < g.num_sites(); ++s) {
+      site_group[s] = static_cast<GroupId>(util::stable_hash(g.site_name(s)) % k);
+    }
+    std::vector<GroupId> groups(g.num_pages());
+    for (graph::PageId p = 0; p < g.num_pages(); ++p) {
+      groups[p] = site_group[g.site(p)];
+    }
+    return groups;
+  }
+
+  [[nodiscard]] bool assign_url(std::string_view url, std::uint32_t k,
+                                GroupId& out) const override {
+    check_k(k);
+    out = static_cast<GroupId>(util::stable_hash(graph::site_of(url)) % k);
+    return true;
+  }
+};
+
+class BalancedSitePartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "balanced-site";
+  }
+
+  [[nodiscard]] std::vector<GroupId> partition(const graph::WebGraph& g,
+                                               std::uint32_t k) const override {
+    check_k(k);
+    // Longest-processing-time greedy: sites in decreasing size order, each
+    // onto the currently lightest group.
+    std::vector<graph::SiteId> order(g.num_sites());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](graph::SiteId a, graph::SiteId b) {
+                       return g.pages_of_site(a).size() > g.pages_of_site(b).size();
+                     });
+
+    using Load = std::pair<std::uint64_t, GroupId>;  // (pages, group)
+    std::priority_queue<Load, std::vector<Load>, std::greater<>> heap;
+    for (GroupId gr = 0; gr < k; ++gr) heap.emplace(0, gr);
+
+    std::vector<GroupId> site_group(g.num_sites());
+    for (const graph::SiteId s : order) {
+      auto [load, gr] = heap.top();
+      heap.pop();
+      site_group[s] = gr;
+      heap.emplace(load + g.pages_of_site(s).size(), gr);
+    }
+
+    std::vector<GroupId> groups(g.num_pages());
+    for (graph::PageId p = 0; p < g.num_pages(); ++p) {
+      groups[p] = site_group[g.site(p)];
+    }
+    return groups;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> make_random_partitioner(std::uint64_t seed) {
+  return std::make_unique<RandomPartitioner>(seed);
+}
+
+std::unique_ptr<Partitioner> make_hash_url_partitioner() {
+  return std::make_unique<HashUrlPartitioner>();
+}
+
+std::unique_ptr<Partitioner> make_hash_site_partitioner() {
+  return std::make_unique<HashSitePartitioner>();
+}
+
+std::unique_ptr<Partitioner> make_balanced_site_partitioner() {
+  return std::make_unique<BalancedSitePartitioner>();
+}
+
+}  // namespace p2prank::partition

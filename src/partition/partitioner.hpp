@@ -1,0 +1,62 @@
+// Page-partitioning strategies (Section 4.1 of the paper).
+//
+// K page rankers each own one *page group*; the partitioner decides which
+// group every crawled page belongs to. The paper compares three strategies —
+// random, hash-of-URL, hash-of-site — and argues for site granularity: with
+// ~90% of links intra-site, hashing whole sites onto rankers keeps most rank
+// transfer local, and hashing (as opposed to random choice) guarantees a
+// page revisited by the crawler lands on the same ranker.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "graph/web_graph.hpp"
+
+namespace p2prank::partition {
+
+using GroupId = std::uint32_t;
+
+/// Maps every page of a crawl to one of k groups.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Group assignment for every page; result[p] in [0, k).
+  [[nodiscard]] virtual std::vector<GroupId> partition(const graph::WebGraph& g,
+                                                       std::uint32_t k) const = 0;
+
+  /// Where a single URL would be placed, *without* seeing the rest of the
+  /// crawl. Strategies that cannot answer this (they need global state)
+  /// return false. This models the crawler's re-visit problem: a strategy is
+  /// "stable" iff this function is defined and deterministic.
+  [[nodiscard]] virtual bool assign_url(std::string_view url, std::uint32_t k,
+                                        GroupId& out) const {
+    (void)url;
+    (void)k;
+    (void)out;
+    return false;
+  }
+};
+
+/// Uniform random assignment. Deterministic for a fixed seed and crawl, but
+/// *not* stable under re-crawl: assign_url is unsupported because the
+/// placement of a page depends on when it shows up.
+[[nodiscard]] std::unique_ptr<Partitioner> make_random_partitioner(std::uint64_t seed);
+
+/// Stable hash of the full page URL.
+[[nodiscard]] std::unique_ptr<Partitioner> make_hash_url_partitioner();
+
+/// Stable hash of the page's site — the paper's recommended strategy.
+[[nodiscard]] std::unique_ptr<Partitioner> make_hash_site_partitioner();
+
+/// Extension (ablation): greedy longest-processing-time assignment of whole
+/// sites to the least-loaded group. Best balance at site granularity but
+/// requires global knowledge, so not re-crawl stable.
+[[nodiscard]] std::unique_ptr<Partitioner> make_balanced_site_partitioner();
+
+}  // namespace p2prank::partition

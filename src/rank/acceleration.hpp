@@ -1,0 +1,46 @@
+// Extrapolation-accelerated open-system solves.
+//
+// The paper's related work cites Kamvar et al., "Extrapolation Methods for
+// Accelerating PageRank Computations" [8], and its conclusions list reducing
+// convergence time as future work. This module implements the simplest
+// member of that family — periodic Aitken Δ² extrapolation — for the
+// open-system iteration R = A·R + f:
+//
+//   for each component i, given three consecutive iterates x0, x1, x2:
+//       x*_i ≈ x2_i − (x2_i − x1_i)² / (x2_i − 2·x1_i + x0_i)
+//
+// For a contraction whose error is dominated by one eigendirection this
+// jumps close to the fixed point; a safeguard skips components whose second
+// difference is too small to divide by, and a full extrapolation step is
+// only *accepted* if it does not increase the residual (extrapolation can
+// misfire while several eigendirections still carry comparable error).
+#pragma once
+
+#include <span>
+
+#include "rank/link_matrix.hpp"
+#include "rank/rank_types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::rank {
+
+struct AccelerationOptions {
+  /// Apply Aitken extrapolation every `period` sweeps (>= 3; the scheme
+  /// needs three consecutive iterates). 0 disables acceleration.
+  std::size_t period = 8;
+  /// Skip a component when |second difference| is below this floor.
+  double denominator_floor = 1e-14;
+};
+
+/// Like solve_open_system, with periodic Aitken Δ² jumps. Extrapolation
+/// jumps are not counted as iterations (they cost no matrix multiply);
+/// SolveResult::iterations therefore counts sweeps, comparable with the
+/// plain solver.
+[[nodiscard]] SolveResult solve_open_system_aitken(const LinkMatrix& A,
+                                                   std::span<const double> forcing,
+                                                   std::span<const double> initial,
+                                                   const SolveOptions& opts,
+                                                   const AccelerationOptions& accel,
+                                                   util::ThreadPool& pool);
+
+}  // namespace p2prank::rank

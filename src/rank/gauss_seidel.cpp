@@ -1,0 +1,53 @@
+#include "rank/gauss_seidel.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2prank::rank {
+
+double gauss_seidel_sweep(const LinkMatrix& A, std::span<double> ranks,
+                          std::span<const double> forcing) {
+  assert(ranks.size() == A.dimension());
+  assert(forcing.size() == A.dimension());
+  long double delta = 0.0L;
+  for (std::size_t v = 0; v < A.dimension(); ++v) {
+    double acc = forcing[v];
+    const auto src = A.row_sources(v);
+    const auto w = A.row_weights(v);
+    for (std::size_t e = 0; e < src.size(); ++e) acc += ranks[src[e]] * w[e];
+    delta += std::fabs(acc - ranks[v]);
+    ranks[v] = acc;
+  }
+  return static_cast<double>(delta);
+}
+
+SolveResult solve_open_system_gauss_seidel(const LinkMatrix& A,
+                                           std::span<const double> forcing,
+                                           std::span<const double> initial,
+                                           const SolveOptions& opts) {
+  const std::size_t n = A.dimension();
+  if (forcing.size() != n) {
+    throw std::invalid_argument("gauss_seidel: forcing size mismatch");
+  }
+  if (!initial.empty() && initial.size() != n) {
+    throw std::invalid_argument("gauss_seidel: initial size mismatch");
+  }
+  SolveResult result;
+  result.ranks.assign(initial.begin(), initial.end());
+  if (result.ranks.empty()) result.ranks.assign(n, 0.0);
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    const double delta = gauss_seidel_sweep(A, result.ranks, forcing);
+    ++result.iterations;
+    result.final_delta = delta;
+    if (opts.record_residuals) result.residual_history.push_back(delta);
+    if (delta <= opts.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace p2prank::rank

@@ -1,0 +1,88 @@
+#include "rank/hits.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace p2prank::rank {
+
+namespace {
+
+/// Scale v to unit L2 norm; returns false (leaving v untouched) when zero.
+bool l2_normalize(std::vector<double>& v) {
+  long double sq = 0.0L;
+  for (const double x : v) sq += static_cast<long double>(x) * x;
+  if (sq <= 0.0L) return false;
+  const double inv = 1.0 / std::sqrt(static_cast<double>(sq));
+  for (double& x : v) x *= inv;
+  return true;
+}
+
+}  // namespace
+
+HitsResult hits(const graph::WebGraph& g, const HitsOptions& opts,
+                util::ThreadPool& pool) {
+  const std::size_t n = g.num_pages();
+  HitsResult result;
+  result.authorities.assign(n, 0.0);
+  result.hubs.assign(n, 0.0);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Start uniform; pages touching no internal link stay at zero after the
+  // first update, as they should.
+  std::vector<double> auth(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> hub(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> next_auth(n, 0.0);
+  std::vector<double> next_hub(n, 0.0);
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    // authority(v) = sum of hub over in-links (pull, row-parallel).
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v) {
+        double acc = 0.0;
+        for (const graph::PageId u : g.in_links(static_cast<graph::PageId>(v))) {
+          acc += hub[u];
+        }
+        next_auth[v] = acc;
+      }
+    });
+    // hub(u) = sum of *new* authority over out-links (the classic update
+    // order: authorities first, then hubs from fresh authorities).
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t u = begin; u < end; ++u) {
+        double acc = 0.0;
+        for (const graph::PageId v : g.out_links(static_cast<graph::PageId>(u))) {
+          acc += next_auth[v];
+        }
+        next_hub[u] = acc;
+      }
+    });
+    if (!l2_normalize(next_auth) || !l2_normalize(next_hub)) {
+      // No internal links at all: define the result as all zeros.
+      result.authorities.assign(n, 0.0);
+      result.hubs.assign(n, 0.0);
+      result.iterations = it + 1;
+      result.converged = true;
+      return result;
+    }
+
+    const double delta =
+        util::l1_distance(next_auth, auth) + util::l1_distance(next_hub, hub);
+    auth.swap(next_auth);
+    hub.swap(next_hub);
+    ++result.iterations;
+    if (delta <= opts.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.authorities = std::move(auth);
+  result.hubs = std::move(hub);
+  return result;
+}
+
+}  // namespace p2prank::rank

@@ -1,0 +1,42 @@
+// HITS — Kleinberg's hubs & authorities algorithm (reference [1] of the
+// paper, the other seminal link-analysis ranker its introduction contrasts
+// with PageRank).
+//
+// For a page set (classically a query-focused subgraph; here any WebGraph):
+//   authority(v) = Σ_{u -> v} hub(u)
+//   hub(u)       = Σ_{u -> v} authority(v)
+// iterated with L2 normalization each step until both vectors stabilize.
+// Included as a baseline: the paper's argument that iterative link analysis
+// needs synchronized global state applies equally to HITS, and the example
+// programs use it to contrast "importance" notions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/web_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::rank {
+
+struct HitsOptions {
+  double epsilon = 1e-10;  ///< L1 change of (hubs, authorities) to stop at
+  /// HITS converges at the ratio of the top two singular values of the
+  /// adjacency matrix, which web graphs can push close to 1 — allow many
+  /// iterations by default.
+  std::size_t max_iterations = 2000;
+};
+
+struct HitsResult {
+  std::vector<double> authorities;  ///< L2-normalized
+  std::vector<double> hubs;         ///< L2-normalized
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Run HITS over the whole graph. Both vectors are unit length in L2 (all
+/// zeros for an edgeless graph).
+[[nodiscard]] HitsResult hits(const graph::WebGraph& g, const HitsOptions& opts,
+                              util::ThreadPool& pool);
+
+}  // namespace p2prank::rank

@@ -1,0 +1,121 @@
+#include "rank/link_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace p2prank::rank {
+
+namespace {
+
+void check_alpha(double alpha) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    throw std::invalid_argument("LinkMatrix: alpha must be in (0, 1)");
+  }
+}
+
+}  // namespace
+
+LinkMatrix LinkMatrix::from_graph(const graph::WebGraph& g, double alpha) {
+  check_alpha(alpha);
+  const std::size_t n = g.num_pages();
+  LinkMatrix m;
+  m.alpha_ = alpha;
+  m.offsets_.assign(n + 1, 0);
+  for (graph::PageId v = 0; v < n; ++v) {
+    m.offsets_[v + 1] = m.offsets_[v] + g.in_links(v).size();
+  }
+  m.sources_.resize(m.offsets_[n]);
+  m.weights_.resize(m.offsets_[n]);
+  std::uint64_t pos = 0;
+  for (graph::PageId v = 0; v < n; ++v) {
+    for (const graph::PageId u : g.in_links(v)) {
+      m.sources_[pos] = u;
+      m.weights_[pos] = alpha / static_cast<double>(g.out_degree(u));
+      ++pos;
+    }
+  }
+  return m;
+}
+
+LinkMatrix LinkMatrix::from_subset(const graph::WebGraph& g,
+                                   std::span<const graph::PageId> pages,
+                                   double alpha) {
+  check_alpha(alpha);
+  assert(std::is_sorted(pages.begin(), pages.end()));
+
+  // Global -> local index for membership tests.
+  std::unordered_map<graph::PageId, std::uint32_t> local;
+  local.reserve(pages.size());
+  for (std::uint32_t i = 0; i < pages.size(); ++i) local.emplace(pages[i], i);
+
+  LinkMatrix m;
+  m.alpha_ = alpha;
+  m.offsets_.assign(pages.size() + 1, 0);
+
+  // Count in-subset in-edges per local destination.
+  for (std::uint32_t i = 0; i < pages.size(); ++i) {
+    std::uint64_t count = 0;
+    for (const graph::PageId u : g.in_links(pages[i])) {
+      if (local.contains(u)) ++count;
+    }
+    m.offsets_[i + 1] = m.offsets_[i] + count;
+  }
+  m.sources_.resize(m.offsets_.back());
+  m.weights_.resize(m.offsets_.back());
+  std::uint64_t pos = 0;
+  for (std::uint32_t i = 0; i < pages.size(); ++i) {
+    for (const graph::PageId u : g.in_links(pages[i])) {
+      const auto it = local.find(u);
+      if (it == local.end()) continue;
+      m.sources_[pos] = it->second;
+      m.weights_[pos] = alpha / static_cast<double>(g.out_degree(u));
+      ++pos;
+    }
+  }
+  assert(pos == m.sources_.size());
+  return m;
+}
+
+void LinkMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  assert(x.size() == dimension() && y.size() == dimension());
+  for (std::size_t v = 0; v < dimension(); ++v) {
+    double acc = 0.0;
+    const auto src = row_sources(v);
+    const auto w = row_weights(v);
+    for (std::size_t e = 0; e < src.size(); ++e) acc += x[src[e]] * w[e];
+    y[v] = acc;
+  }
+}
+
+void LinkMatrix::multiply(std::span<const double> x, std::span<double> y,
+                          util::ThreadPool& pool) const {
+  assert(x.size() == dimension() && y.size() == dimension());
+  // Small systems are not worth the fork/join overhead.
+  if (num_entries() < 1u << 14) {
+    multiply(x, y);
+    return;
+  }
+  pool.parallel_for(dimension(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      double acc = 0.0;
+      const auto src = row_sources(v);
+      const auto w = row_weights(v);
+      for (std::size_t e = 0; e < src.size(); ++e) acc += x[src[e]] * w[e];
+      y[v] = acc;
+    }
+  });
+}
+
+double LinkMatrix::contraction_norm() const noexcept {
+  std::vector<double> out_weight(dimension(), 0.0);
+  for (std::size_t e = 0; e < sources_.size(); ++e) {
+    out_weight[sources_[e]] += weights_[e];
+  }
+  double max_w = 0.0;
+  for (const double w : out_weight) max_w = std::max(max_w, w);
+  return max_w;
+}
+
+}  // namespace p2prank::rank

@@ -1,0 +1,68 @@
+// The sparse iteration matrix A of the open-system model (Section 3):
+// A(u,v) = α / d(u) for a link u -> v, 0 otherwise, restricted to a page
+// subset. Stored pull-style (per destination, list of weighted sources) so a
+// Jacobi sweep parallelizes over destinations with no write conflicts.
+//
+// d(u) is always the page's *global* out-degree (crawled + external
+// targets): a link to an uncrawled page still divides u's rank, and the
+// share it carries leaves the open system. Likewise, links from u to pages
+// *outside the subset* are not rows of this matrix — their rank share exits
+// the group and is the business of the efferent matrix (engine/).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/web_graph.hpp"
+#include "rank/rank_types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::rank {
+
+class LinkMatrix {
+ public:
+  /// Matrix over the whole crawl.
+  [[nodiscard]] static LinkMatrix from_graph(const graph::WebGraph& g, double alpha);
+
+  /// Matrix over a subset of pages (ascending global PageIds). Only edges
+  /// with both endpoints in the subset are kept.
+  [[nodiscard]] static LinkMatrix from_subset(const graph::WebGraph& g,
+                                              std::span<const graph::PageId> pages,
+                                              double alpha);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t num_entries() const noexcept { return sources_.size(); }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// y = A x (single-threaded).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A x using the pool (row-parallel; deterministic).
+  void multiply(std::span<const double> x, std::span<double> y,
+                util::ThreadPool& pool) const;
+
+  /// Weighted in-edges of local row v: parallel spans of sources/weights.
+  [[nodiscard]] std::span<const std::uint32_t> row_sources(std::size_t v) const noexcept {
+    return {sources_.data() + offsets_[v], sources_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] std::span<const double> row_weights(std::size_t v) const noexcept {
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// The paper's ||A||_∞ (source-major row sums): the maximum, over source
+  /// pages, of the total weight that source contributes inside the matrix.
+  /// This is the contraction bound of Theorems 3.1–3.3; it is ≤ α always,
+  /// and < α for sources with links leaving the subset or the crawl.
+  [[nodiscard]] double contraction_norm() const noexcept;
+
+ private:
+  LinkMatrix() = default;
+
+  std::vector<std::uint64_t> offsets_;   // size dim+1
+  std::vector<std::uint32_t> sources_;   // local source index per entry
+  std::vector<double> weights_;          // alpha / d_global(source)
+  double alpha_ = 0.0;
+};
+
+}  // namespace p2prank::rank

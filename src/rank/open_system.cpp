@@ -1,0 +1,68 @@
+#include "rank/open_system.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stats.hpp"
+
+namespace p2prank::rank {
+
+void open_system_sweep(const LinkMatrix& A, std::span<const double> in,
+                       std::span<double> out, std::span<const double> forcing,
+                       util::ThreadPool& pool) {
+  assert(in.size() == A.dimension());
+  assert(out.size() == A.dimension());
+  assert(forcing.size() == A.dimension());
+  assert(in.data() != out.data());
+  A.multiply(in, out, pool);
+  for (std::size_t v = 0; v < out.size(); ++v) out[v] += forcing[v];
+}
+
+SolveResult solve_open_system(const LinkMatrix& A, std::span<const double> forcing,
+                              std::span<const double> initial,
+                              const SolveOptions& opts, util::ThreadPool& pool) {
+  const std::size_t n = A.dimension();
+  if (forcing.size() != n) {
+    throw std::invalid_argument("solve_open_system: forcing size mismatch");
+  }
+  if (!initial.empty() && initial.size() != n) {
+    throw std::invalid_argument("solve_open_system: initial size mismatch");
+  }
+
+  SolveResult result;
+  result.ranks.assign(initial.begin(), initial.end());
+  if (result.ranks.empty()) result.ranks.assign(n, 0.0);
+  std::vector<double> next(n, 0.0);
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    open_system_sweep(A, result.ranks, next, forcing, pool);
+    const double delta = util::l1_distance(next, result.ranks);
+    std::swap(result.ranks, next);
+    ++result.iterations;
+    result.final_delta = delta;
+    if (opts.record_residuals) result.residual_history.push_back(delta);
+    if (delta <= opts.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+SolveResult solve_open_system_uniform(const LinkMatrix& A, double e_value,
+                                      const SolveOptions& opts,
+                                      util::ThreadPool& pool) {
+  // β comes from the matrix's α (the authoritative value) rather than from
+  // opts, so a caller cannot desynchronize the two.
+  const std::vector<double> forcing(A.dimension(), beta_of(A.alpha()) * e_value);
+  return solve_open_system(A, forcing, {}, opts, pool);
+}
+
+double theorem33_error_bound(double contraction_norm, double last_delta) noexcept {
+  if (contraction_norm >= 1.0) return std::numeric_limits<double>::infinity();
+  return contraction_norm / (1.0 - contraction_norm) * last_delta;
+}
+
+}  // namespace p2prank::rank

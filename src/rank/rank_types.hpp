@@ -1,0 +1,35 @@
+// Shared options/result types for the ranking solvers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace p2prank::rank {
+
+/// Options for both the closed-system (Algorithm 1) and open-system
+/// (Algorithm 2) solvers.
+struct SolveOptions {
+  /// Fraction of a page's rank transmitted over real links — the paper's α
+  /// (= Google's damping factor c). The remaining β = 1 - α flows over the
+  /// virtual complete graph and reappears as the βE term.
+  double alpha = 0.85;
+  /// Termination: stop when the L1 change between successive iterates drops
+  /// to or below epsilon (Theorem 3.3 justifies this test).
+  double epsilon = 1e-10;
+  std::size_t max_iterations = 1000;
+  /// Record ||R_{i+1} - R_i||_1 after each iteration into
+  /// SolveResult::residual_history (costs one vector read per iteration).
+  bool record_residuals = false;
+};
+
+struct SolveResult {
+  std::vector<double> ranks;
+  std::size_t iterations = 0;
+  double final_delta = 0.0;  ///< last ||R_{i+1} - R_i||_1
+  bool converged = false;
+  std::vector<double> residual_history;  ///< filled iff record_residuals
+};
+
+[[nodiscard]] constexpr double beta_of(double alpha) noexcept { return 1.0 - alpha; }
+
+}  // namespace p2prank::rank

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace p2prank::sim {
+
+void EventQueue::schedule_at(SimTime at, Handler handler) {
+  if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+  if (!handler) throw std::invalid_argument("EventQueue: empty handler");
+  heap_.push(Event{at, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Handler handler) {
+  if (delay < 0.0) throw std::invalid_argument("EventQueue: negative delay");
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the handler must be moved out before
+  // pop, so copy the cheap fields and move the closure.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.at;
+  ev.handler();
+  return true;
+}
+
+std::size_t EventQueue::run_until(SimTime t_end) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= t_end) {
+    step();
+    ++executed;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return executed;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+}  // namespace p2prank::sim

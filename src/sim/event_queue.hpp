@@ -1,0 +1,64 @@
+// Discrete-event simulation core.
+//
+// The paper's Section 5 experiments run K page rankers fully asynchronously:
+// each node sleeps an exponentially distributed time between loop steps and
+// messages can be lost. We reproduce that with a classic event queue —
+// virtual time, earliest-event-first, deterministic FIFO tie-breaking so a
+// given seed always replays the identical schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace p2prank::sim {
+
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current virtual time (the timestamp of the last executed event).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  /// Schedule at an absolute virtual time (must be >= now()).
+  void schedule_at(SimTime at, Handler handler);
+
+  /// Schedule `delay` time units from now (delay >= 0).
+  void schedule_in(SimTime delay, Handler handler);
+
+  /// Execute the earliest event. Returns false when the queue is empty.
+  bool step();
+
+  /// Execute every event with timestamp <= t_end (including events those
+  /// events schedule, as long as they fall within t_end). Advances now() to
+  /// t_end even if the queue drains early. Returns events executed.
+  std::size_t run_until(SimTime t_end);
+
+  /// Execute until empty or `max_events` executed. Returns events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO among equal timestamps
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace p2prank::sim

@@ -1,0 +1,18 @@
+#include "sim/processes.hpp"
+
+namespace p2prank::sim {
+
+WaitProcess::WaitProcess(double t1, double t2, std::size_t nodes, std::uint64_t seed)
+    : rng_(seed) {
+  if (t1 < 0.0 || t2 < t1) {
+    throw std::invalid_argument("WaitProcess: need 0 <= t1 <= t2");
+  }
+  means_.resize(nodes);
+  for (auto& m : means_) m = t1 == t2 ? t1 : rng_.uniform(t1, t2);
+}
+
+SimTime WaitProcess::next_wait(std::size_t u) {
+  return rng_.exponential(means_.at(u));
+}
+
+}  // namespace p2prank::sim

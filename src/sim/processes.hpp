@@ -1,0 +1,59 @@
+// Stochastic processes of the paper's experiment setup (Section 5):
+//
+//   "each group u waits for Tw(u, m) time units before starting a new loop
+//    step m. Tw(u,m) follows exponential distribution for a fixed u, and the
+//    mean waiting time of each page group are randomly selected from
+//    [T1, T2]"
+//
+//   "we assume vector Y may fail to be sent to other groups with a
+//    probability p"  — we read p as the *delivery* probability: the paper's
+//    best-behaved curves are labelled p = 1, which only makes sense if 1
+//    means "always delivered".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::sim {
+
+/// Per-node wait process: node u's mean is drawn once from [t1, t2]; every
+/// wait is an independent Exp(mean_u) sample.
+class WaitProcess {
+ public:
+  WaitProcess(double t1, double t2, std::size_t nodes, std::uint64_t seed);
+
+  /// Next inter-step wait for node u.
+  [[nodiscard]] SimTime next_wait(std::size_t u);
+
+  [[nodiscard]] double mean_of(std::size_t u) const { return means_.at(u); }
+
+ private:
+  std::vector<double> means_;
+  util::Rng rng_;
+};
+
+/// Bernoulli message-delivery model.
+class LossModel {
+ public:
+  LossModel(double delivery_probability, std::uint64_t seed)
+      : p_(delivery_probability), rng_(seed) {
+    if (!(p_ >= 0.0 && p_ <= 1.0)) {
+      throw std::invalid_argument("LossModel: probability out of [0,1]");
+    }
+  }
+
+  /// True when this send survives.
+  [[nodiscard]] bool delivered() { return p_ >= 1.0 || rng_.chance(p_); }
+
+  [[nodiscard]] double delivery_probability() const noexcept { return p_; }
+
+ private:
+  double p_;
+  util::Rng rng_;
+};
+
+}  // namespace p2prank::sim

@@ -1,0 +1,101 @@
+// Score exchange between page rankers: direct vs indirect transmission
+// (Section 4.4 of the paper).
+//
+// One *exchange round* ships, for every ranker, its updated efferent scores
+// to every ranker that hosts a link target. Records have the wire format
+// <url_from, url_to, score> (~100 bytes, Section 4.5). Two schemes:
+//
+//  * Direct transmission: the sender looks up the destination's IP via an
+//    overlay lookup (h routed messages of size r) and then sends one
+//    point-to-point data message. Per iteration: S_dt = (h+1)·N² messages,
+//    D_dt = l·W + h·r·N² bytes.
+//
+//  * Indirect transmission: data messages *are* routed through the overlay.
+//    Each node packs everything bound for the same next hop into one
+//    package; every intermediate node unpacks, recombines by destination,
+//    and repacks. Per iteration: S_it = g·N messages (g = neighbors/node),
+//    D_it = h·l·W bytes — fewer, larger messages, no lookups.
+//
+// The simulation here executes an actual exchange over an actual overlay
+// and counts messages/bytes/hops; the closed-form predictions live in
+// cost/ for comparison. Record *counts* (not materialized payloads) flow
+// through the simulation, which keeps full N-to-N exchanges tractable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+
+namespace p2prank::transport {
+
+/// Sparse demand matrix: how many score records each source ranker must
+/// deliver to each destination ranker this round. Ranker i lives on overlay
+/// node i.
+class ExchangeDemand {
+ public:
+  explicit ExchangeDemand(std::uint32_t num_rankers);
+
+  void add(overlay::NodeIndex src, overlay::NodeIndex dst, std::uint64_t records);
+
+  [[nodiscard]] std::uint32_t num_rankers() const noexcept {
+    return static_cast<std::uint32_t>(out_.size());
+  }
+  [[nodiscard]] const std::vector<std::pair<overlay::NodeIndex, std::uint64_t>>& from(
+      overlay::NodeIndex src) const {
+    return out_.at(src);
+  }
+  [[nodiscard]] std::uint64_t total_records() const noexcept { return total_; }
+
+  /// All-pairs demand with `records_per_pair` records on every ordered pair
+  /// (the worst case the paper's O(N²) argument assumes).
+  [[nodiscard]] static ExchangeDemand all_pairs(std::uint32_t num_rankers,
+                                                std::uint64_t records_per_pair);
+
+ private:
+  std::vector<std::vector<std::pair<overlay::NodeIndex, std::uint64_t>>> out_;
+  std::uint64_t total_ = 0;
+};
+
+struct WireFormat {
+  double record_bytes = 100.0;  ///< <url_from, url_to, score>, Section 4.5
+  double lookup_bytes = 50.0;   ///< one routed lookup message (the paper's r)
+  double header_bytes = 40.0;   ///< per-message envelope
+};
+
+struct TransmissionReport {
+  std::uint64_t data_messages = 0;
+  std::uint64_t lookup_messages = 0;
+  double data_bytes = 0.0;
+  double lookup_bytes = 0.0;
+  std::uint64_t records_delivered = 0;
+  /// Sum over records of hops traveled (indirect) or 1 (direct data hop).
+  std::uint64_t record_hops = 0;
+  /// Forwarding rounds until fully drained (indirect; 1 for direct).
+  std::uint64_t rounds = 0;
+  /// Largest per-node outbound byte count — the bottleneck-bandwidth driver.
+  double max_node_out_bytes = 0.0;
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return data_messages + lookup_messages;
+  }
+  [[nodiscard]] double total_bytes() const noexcept {
+    return data_bytes + lookup_bytes;
+  }
+};
+
+/// Direct transmission of one exchange round. When `cache_lookups` is true
+/// the destination addresses are assumed known (lookup cost zero) — an
+/// ablation of how much of direct transmission's cost is lookups.
+[[nodiscard]] TransmissionReport run_direct_exchange(const overlay::Overlay& o,
+                                                     const ExchangeDemand& demand,
+                                                     const WireFormat& wire,
+                                                     bool cache_lookups = false);
+
+/// Indirect transmission of one exchange round: synchronized forwarding
+/// rounds; per round every holding node packs per-next-hop packages.
+[[nodiscard]] TransmissionReport run_indirect_exchange(const overlay::Overlay& o,
+                                                       const ExchangeDemand& demand,
+                                                       const WireFormat& wire);
+
+}  // namespace p2prank::transport

@@ -1,0 +1,193 @@
+#include "transport/wire.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+namespace p2prank::transport {
+
+namespace {
+
+// Format:
+//   varint header_flags   (bit 0: front coding)
+//   varint quantize_bits
+//   varint record_count
+//   per record:
+//     varint shared_from, varint suffix_from_len, suffix bytes
+//     varint shared_to,   varint suffix_to_len,   suffix bytes
+//     score: varint zigzag(round(score·2^q))  when quantized,
+//            8 little-endian bytes            otherwise
+
+constexpr std::uint64_t kFlagFrontCoding = 1;
+
+std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+std::size_t shared_prefix(std::string_view a, std::string_view b) noexcept {
+  const std::size_t limit = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+void put_front_coded(std::vector<std::uint8_t>& out, std::string_view prev,
+                     std::string_view cur, bool front_coding) {
+  const std::size_t shared = front_coding ? shared_prefix(prev, cur) : 0;
+  put_varint(out, shared);
+  put_varint(out, cur.size() - shared);
+  const auto* data = reinterpret_cast<const std::uint8_t*>(cur.data());
+  out.insert(out.end(), data + shared, data + cur.size());
+}
+
+void put_double(std::vector<std::uint8_t>& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t WireReader::read_varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= bytes_.size()) throw std::runtime_error("wire: truncated varint");
+    const std::uint8_t byte = bytes_[pos_++];
+    if (shift >= 64) throw std::runtime_error("wire: varint overflow");
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::string_view WireReader::read_bytes(std::size_t n) {
+  if (pos_ + n > bytes_.size()) throw std::runtime_error("wire: truncated bytes");
+  const auto* data = reinterpret_cast<const char*>(bytes_.data() + pos_);
+  pos_ += n;
+  return {data, n};
+}
+
+double WireReader::read_double() {
+  if (pos_ + 8 > bytes_.size()) throw std::runtime_error("wire: truncated double");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::vector<std::uint8_t> encode_records(std::span<const ScoreRecord> records,
+                                         const WireOptions& opts) {
+  if (opts.quantize_bits < 0 || opts.quantize_bits > 40) {
+    throw std::invalid_argument("wire: quantize_bits out of [0, 40]");
+  }
+  // Front coding wants records sorted by (url_from, url_to).
+  std::vector<std::uint32_t> order(records.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (opts.front_coding) {
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      if (records[a].url_from != records[b].url_from) {
+        return records[a].url_from < records[b].url_from;
+      }
+      return records[a].url_to < records[b].url_to;
+    });
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(records.size() * 32 + 16);
+  put_varint(out, opts.front_coding ? kFlagFrontCoding : 0);
+  put_varint(out, static_cast<std::uint64_t>(opts.quantize_bits));
+  put_varint(out, records.size());
+
+  const double scale = std::ldexp(1.0, opts.quantize_bits);
+  std::string_view prev_from;
+  std::string_view prev_to;
+  for (const std::uint32_t idx : order) {
+    const ScoreRecord& r = records[idx];
+    put_front_coded(out, prev_from, r.url_from, opts.front_coding);
+    put_front_coded(out, prev_to, r.url_to, opts.front_coding);
+    if (opts.quantize_bits > 0) {
+      put_varint(out, zigzag(std::llround(r.score * scale)));
+    } else {
+      put_double(out, r.score);
+    }
+    prev_from = r.url_from;
+    prev_to = r.url_to;
+  }
+  return out;
+}
+
+std::vector<OwnedScoreRecord> decode_records(std::span<const std::uint8_t> bytes) {
+  WireReader reader(bytes);
+  const std::uint64_t flags = reader.read_varint();
+  const auto quantize_bits = static_cast<int>(reader.read_varint());
+  if (quantize_bits < 0 || quantize_bits > 40) {
+    throw std::runtime_error("wire: bad quantize_bits");
+  }
+  const std::uint64_t count = reader.read_varint();
+  (void)flags;  // front coding is self-describing via the shared lengths
+
+  const double inv_scale =
+      quantize_bits > 0 ? std::ldexp(1.0, -quantize_bits) : 0.0;
+  std::vector<OwnedScoreRecord> records;
+  // Every record consumes at least 5 bytes, so a count beyond that is
+  // malformed — reject it before reserving (hostile headers must not drive
+  // allocation).
+  if (count > bytes.size() / 5 + 1) {
+    throw std::runtime_error("wire: record count exceeds payload");
+  }
+  records.reserve(count);
+  std::string prev_from;
+  std::string prev_to;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    OwnedScoreRecord r;
+    const std::uint64_t shared_from = reader.read_varint();
+    const std::uint64_t suffix_from = reader.read_varint();
+    if (shared_from > prev_from.size()) {
+      throw std::runtime_error("wire: bad shared prefix");
+    }
+    r.url_from = prev_from.substr(0, shared_from);
+    r.url_from += reader.read_bytes(suffix_from);
+
+    const std::uint64_t shared_to = reader.read_varint();
+    const std::uint64_t suffix_to = reader.read_varint();
+    if (shared_to > prev_to.size()) {
+      throw std::runtime_error("wire: bad shared prefix");
+    }
+    r.url_to = prev_to.substr(0, shared_to);
+    r.url_to += reader.read_bytes(suffix_to);
+
+    if (quantize_bits > 0) {
+      r.score = static_cast<double>(unzigzag(reader.read_varint())) * inv_scale;
+    } else {
+      r.score = reader.read_double();
+    }
+    prev_from = r.url_from;
+    prev_to = r.url_to;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace p2prank::transport

@@ -1,0 +1,11 @@
+#include "util/hash.hpp"
+
+#include "util/rng.hpp"
+
+namespace p2prank::util {
+
+std::uint64_t stable_hash(std::string_view bytes) noexcept {
+  return mix64(fnv1a(bytes));
+}
+
+}  // namespace p2prank::util

@@ -1,0 +1,39 @@
+// Stable, portable hashing used for page/site partitioning and node ids.
+//
+// Partitioning correctness (Section 4.1 of the paper) depends on the hash of
+// a URL/site being identical across processes and runs, so std::hash (which
+// is implementation-defined) is not usable; we pin FNV-1a 64 plus a strong
+// finalizer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace p2prank::util {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+/// FNV-1a over a byte string. Stable across platforms and runs.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes,
+                                            std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a followed by an avalanche finalizer; use when low bits must be
+/// well-mixed (e.g. `hash % k` bucket selection).
+[[nodiscard]] std::uint64_t stable_hash(std::string_view bytes) noexcept;
+
+/// Combine two hashes (order-dependent).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  // boost::hash_combine-style with 64-bit golden-ratio constant.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace p2prank::util

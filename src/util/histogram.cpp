@@ -1,0 +1,65 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2prank::util {
+
+void Log2Histogram::add(std::uint64_t value) noexcept {
+  // Bucket index: 0 for value 0, else floor(log2(value)) + 1, so bucket i>0
+  // covers [2^{i-1}, 2^i).
+  const std::size_t idx = value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  ++total_;
+}
+
+std::uint64_t Log2Histogram::bucket(std::size_t i) const noexcept {
+  return i < buckets_.size() ? buckets_[i] : 0;
+}
+
+std::uint64_t Log2Histogram::bucket_floor(std::size_t i) noexcept {
+  return i == 0 ? 0 : (1ULL << (i - 1));
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t lo = bucket_floor(i);
+    const std::uint64_t hi = i == 0 ? 0 : (1ULL << i) - 1;
+    out << '[' << lo << ", " << hi << "]: " << buckets_[i] << '\n';
+  }
+  return out.str();
+}
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("LinearHistogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("LinearHistogram: hi must exceed lo");
+}
+
+void LinearHistogram::add(double value) noexcept {
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::uint64_t LinearHistogram::count(std::size_t bin) const noexcept {
+  assert(bin < counts_.size());
+  return counts_[bin];
+}
+
+double LinearHistogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double LinearHistogram::bin_hi(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+}  // namespace p2prank::util

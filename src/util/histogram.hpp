@@ -1,0 +1,55 @@
+// Fixed-width and log2-bucketed histograms for degree distributions,
+// hop counts and message-size profiles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2prank::util {
+
+/// Integer histogram with power-of-two buckets: bucket i counts values in
+/// [2^i, 2^{i+1}) (bucket 0 also holds value 0). Suited to heavy-tailed
+/// web-graph degree distributions.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Lower bound of bucket i (0 for bucket 0, else 2^{i-1}... see add()).
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t i) noexcept;
+
+  /// Multi-line ASCII rendering (one row per non-empty bucket).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` equal bins; out-of-range
+/// values clamp into the first/last bin.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace p2prank::util

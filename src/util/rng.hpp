@@ -1,0 +1,139 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// All stochastic behaviour in p2prank flows through these generators so that
+// every experiment is reproducible from a single 64-bit seed. We provide
+// SplitMix64 (for seeding / hashing-style mixing) and Xoshiro256** (the main
+// workhorse), plus small distribution helpers that avoid the libstdc++
+// distribution objects whose sequences are not portable across platforms.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace p2prank::util {
+
+/// SplitMix64: tiny, fast generator. Primarily used to expand one 64-bit
+/// seed into the larger state of Xoshiro256**, and as a portable mixer.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot stateless mix of a 64-bit value (SplitMix64 finalizer).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256**: fast, high-quality general-purpose generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x2545f4914f6cdd1dULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    assert(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection-free
+  /// variant (bias is negligible for n << 2^64, which always holds here).
+  std::uint64_t below(std::uint64_t n) noexcept {
+    assert(n > 0);
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (mean <= 0 -> 0).
+  double exponential(double mean) noexcept {
+    if (mean <= 0.0) return 0.0;
+    double u = uniform();
+    // uniform() can return exactly 0; clamp away from it for log().
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Discrete power-law sample in [1, max_value]: P(x) ~ x^-exponent.
+  /// Sampled by inverting the continuous CDF and rounding down; good enough
+  /// for generating heavy-tailed web-site sizes and degrees.
+  std::uint64_t power_law(double exponent, std::uint64_t max_value) noexcept {
+    assert(exponent > 1.0);
+    assert(max_value >= 1);
+    const double one_minus = 1.0 - exponent;
+    const double max_term = std::pow(static_cast<double>(max_value) + 1.0, one_minus);
+    const double u = uniform();
+    const double x = std::pow(u * (max_term - 1.0) + 1.0, 1.0 / one_minus);
+    auto v = static_cast<std::uint64_t>(x);
+    if (v < 1) v = 1;
+    if (v > max_value) v = max_value;
+    return v;
+  }
+
+  /// Fork a statistically independent generator (for per-node streams).
+  [[nodiscard]] Rng fork() noexcept { return Rng(next() ^ 0x8e9c5f3b1a2d4c6eULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace p2prank::util

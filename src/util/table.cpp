@@ -1,0 +1,128 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2prank::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: headers required");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  if (rows_.empty()) row();
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::logic_error("Table: too many cells in row");
+  }
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(std::string_view value) { return cell(std::string(value)); }
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& out, std::string_view title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 3;
+
+  if (!title.empty()) out << "== " << title << " ==\n";
+  auto rule = [&] { out << std::string(total, '-') << '\n'; };
+  rule();
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::left << std::setw(static_cast<int>(widths[c]) + 3) << headers_[c];
+  }
+  out << '\n';
+  rule();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 3) << r[c];
+    }
+    out << '\n';
+  }
+  rule();
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string escaped = "\"";
+    for (const char c : s) {
+      if (c == '"') escaped += "\"\"";
+      else escaped += c;
+    }
+    escaped += '"';
+    return escaped;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out << ',';
+    out << escape(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) out << ',';
+      out << escape(r[c]);
+    }
+    out << '\n';
+  }
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int unit = 0;
+  while (std::fabs(bytes) >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(unit == 0 ? 0 : 2) << bytes << ' '
+      << kUnits[unit];
+  return out.str();
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream out;
+  out << std::fixed;
+  if (seconds >= 3600.0) {
+    out << std::setprecision(2) << seconds / 3600.0 << " h";
+  } else if (seconds >= 1.0) {
+    out << std::setprecision(1) << seconds << " s";
+  } else {
+    out << std::setprecision(1) << seconds * 1e3 << " ms";
+  }
+  return out.str();
+}
+
+}  // namespace p2prank::util

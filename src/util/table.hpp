@@ -1,0 +1,54 @@
+// Console table and CSV emission for the benchmark harnesses.
+//
+// Every figure/table reproduction prints both a human-readable aligned table
+// (so `for b in build/bench/*; do $b; done` output is scannable) and,
+// optionally, machine-readable CSV for plotting.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2prank::util {
+
+/// Column-aligned text table with a title row. Cells are strings; numeric
+/// helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add_* calls fill it left to right.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(std::string_view value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render aligned text (with separators) to the stream.
+  void print(std::ostream& out, std::string_view title = {}) const;
+
+  /// Render as CSV (headers + rows).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (no trailing-zero trimming).
+[[nodiscard]] std::string format_double(double value, int precision);
+
+/// Format a byte count with binary units ("1.5 MiB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+/// Format seconds in a friendly unit ("2.1 h", "7500 s", "35 ms").
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace p2prank::util

@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace p2prank::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this](const std::stop_token& stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& w : workers_) w.request_stop();
+  cv_.notify_all();
+  // std::jthread joins on destruction.
+}
+
+void ThreadPool::worker_loop(const std::stop_token& stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, stop, [this] { return !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop requested and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, workers_.size());
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  State state;
+  state.remaining.store(chunks, std::memory_order_relaxed);
+
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t begin = 0;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t len = base + (c < extra ? 1 : 0);
+      const std::size_t end = begin + len;
+      tasks_.push([&state, &fn, begin, end] {
+        try {
+          fn(begin, end);
+        } catch (...) {
+          std::lock_guard elock(state.error_mutex);
+          if (!state.error) state.error = std::current_exception();
+        }
+        if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard dlock(state.done_mutex);
+          state.done_cv.notify_one();
+        }
+      });
+      begin = end;
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock done_lock(state.done_mutex);
+  state.done_cv.wait(done_lock, [&state] {
+    return state.remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace p2prank::util

@@ -1,0 +1,50 @@
+// A small fixed-size thread pool with a parallel_for primitive.
+//
+// PageRank kernels (rank/spmv) are embarrassingly row-parallel; the pool
+// gives them deterministic *results* (each index range writes disjoint
+// outputs) while using all cores. The pool is created once and shared — the
+// Core Guidelines discourage spawning threads per call (CP.24: joining
+// threads, here via std::jthread RAII).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace p2prank::util {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Run fn(begin, end) over [0, n) split into roughly equal contiguous
+  /// chunks, one per worker; blocks until all chunks complete. `fn` must be
+  /// safe to call concurrently on disjoint ranges. Exceptions thrown by fn
+  /// propagate (the first one captured) after all chunks finish.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed, sized to the machine).
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop(const std::stop_token& stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace p2prank::util

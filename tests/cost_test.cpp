@@ -1,0 +1,132 @@
+#include "cost/capacity_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p2prank::cost {
+namespace {
+
+TEST(PastryHops, LogLaw) {
+  EXPECT_DOUBLE_EQ(pastry_expected_hops(16.0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(pastry_expected_hops(256.0, 4), 2.0);
+  EXPECT_DOUBLE_EQ(pastry_expected_hops(1.0, 4), 0.0);
+  EXPECT_NEAR(pastry_expected_hops(1000.0, 4), 2.49, 0.01);
+}
+
+TEST(PastryHops, RejectsBadArgs) {
+  EXPECT_THROW((void)pastry_expected_hops(0.5), std::invalid_argument);
+  EXPECT_THROW((void)pastry_expected_hops(16.0, 0), std::invalid_argument);
+}
+
+TEST(PastryHops, PaperValues) {
+  EXPECT_DOUBLE_EQ(paper_pastry_hops(1000), 2.5);
+  EXPECT_DOUBLE_EQ(paper_pastry_hops(10000), 3.5);
+  EXPECT_DOUBLE_EQ(paper_pastry_hops(100000), 4.0);
+  // Other sizes fall back to the log law.
+  EXPECT_NEAR(paper_pastry_hops(256), 2.0, 1e-12);
+}
+
+TEST(Formulas, IndirectCostMatches41And43) {
+  CostParameters p;
+  p.total_pages = 3e9;
+  p.record_bytes = 100.0;
+  p.mean_neighbors = 32.0;
+  const auto c = indirect_cost(1000.0, 2.5, p);
+  EXPECT_DOUBLE_EQ(c.bytes, 2.5 * 100.0 * 3e9);   // D_it = h·l·W
+  EXPECT_DOUBLE_EQ(c.messages, 32.0 * 1000.0);    // S_it = g·N
+}
+
+TEST(Formulas, DirectCostMatches42And44) {
+  CostParameters p;
+  p.total_pages = 3e9;
+  p.record_bytes = 100.0;
+  p.lookup_bytes = 50.0;
+  const auto c = direct_cost(1000.0, 2.5, p);
+  EXPECT_DOUBLE_EQ(c.bytes, 100.0 * 3e9 + 2.5 * 50.0 * 1e6);  // lW + h·r·N²
+  EXPECT_DOUBLE_EQ(c.messages, 3.5 * 1e6);                    // (h+1)·N²
+}
+
+TEST(Table1, ReproducesPaperNumbersExactly) {
+  // Table 1 of the paper: time per iteration 7500/10500/12000 s and node
+  // bottleneck bandwidth 100/10/1 KB/s for N = 1e3/1e4/1e5.
+  const auto rows = table1();
+  ASSERT_EQ(rows.size(), 3u);
+
+  EXPECT_EQ(rows[0].num_rankers, 1000u);
+  EXPECT_DOUBLE_EQ(rows[0].min_interval_seconds, 7500.0);
+  EXPECT_DOUBLE_EQ(rows[0].min_node_bandwidth, 100e3);
+
+  EXPECT_EQ(rows[1].num_rankers, 10000u);
+  EXPECT_DOUBLE_EQ(rows[1].min_interval_seconds, 10500.0);
+  EXPECT_DOUBLE_EQ(rows[1].min_node_bandwidth, 10e3);
+
+  EXPECT_EQ(rows[2].num_rankers, 100000u);
+  EXPECT_DOUBLE_EQ(rows[2].min_interval_seconds, 12000.0);
+  EXPECT_DOUBLE_EQ(rows[2].min_node_bandwidth, 1e3);
+}
+
+TEST(Table1, IterationIntervalIsAtLeastTwoHours) {
+  // "the time interval between two iterations is at least 2 hours".
+  for (const auto& row : table1()) {
+    EXPECT_GE(row.min_interval_seconds, 2.0 * 3600.0);
+  }
+}
+
+TEST(Capacity, IntervalScalesInverselyWithBandwidth) {
+  CostParameters p;
+  const double t1 = min_iteration_interval(2.5, p);
+  p.bisection_bandwidth *= 2.0;
+  const double t2 = min_iteration_interval(2.5, p);
+  EXPECT_DOUBLE_EQ(t1, 2.0 * t2);
+}
+
+TEST(Capacity, RejectsNonPositiveInputs) {
+  CostParameters p;
+  p.bisection_bandwidth = 0.0;
+  EXPECT_THROW((void)min_iteration_interval(2.5, p), std::invalid_argument);
+  EXPECT_THROW((void)min_node_bandwidth(0.0, 2.5, 100.0, CostParameters{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)min_node_bandwidth(10.0, 2.5, 0.0, CostParameters{}),
+               std::invalid_argument);
+}
+
+TEST(Capacity, NodeBandwidthFallsWithMoreRankers) {
+  CostParameters p;
+  const double b1 = min_node_bandwidth(1000.0, 2.5, 7500.0, p);
+  const double b2 = min_node_bandwidth(2000.0, 2.5, 7500.0, p);
+  EXPECT_DOUBLE_EQ(b1, 2.0 * b2);
+}
+
+TEST(Crossover, IndirectWinsBytesOnlyAboveSomeN) {
+  // D_it < D_dt  <=>  h·l·W < l·W + h·r·N²: for web-scale W the crossover N
+  // is large; below it direct ships fewer bytes ("direct transmission seems
+  // better only for small N").
+  CostParameters p;
+  const auto n = byte_crossover_n(p);
+  ASSERT_GT(n, 0u);
+  const double h_below = pastry_expected_hops(static_cast<double>(n) / 2.0);
+  EXPECT_LT(indirect_cost(static_cast<double>(n), paper_pastry_hops(n), p).bytes,
+            direct_cost(static_cast<double>(n), paper_pastry_hops(n), p).bytes);
+  EXPECT_GE(direct_cost(n / 2.0, h_below, p).bytes, 0.0);  // sanity
+}
+
+TEST(Crossover, SmallWebMakesDirectCheapEverywhere) {
+  CostParameters p;
+  p.total_pages = 1e6;  // tiny web: lookup term dominates quickly
+  const auto n = byte_crossover_n(p);
+  ASSERT_GT(n, 0u);
+  EXPECT_LT(n, 1u << 20);
+}
+
+TEST(Crossover, MessagesAlwaysFavorIndirectForModestN) {
+  // S_it = gN vs S_dt = (h+1)N²: indirect wins once N > g/(h+1).
+  CostParameters p;
+  for (const double n : {64.0, 256.0, 1024.0}) {
+    const double h = pastry_expected_hops(n);
+    EXPECT_LT(indirect_cost(n, h, p).messages, direct_cost(n, h, p).messages);
+  }
+}
+
+}  // namespace
+}  // namespace p2prank::cost

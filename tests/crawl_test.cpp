@@ -1,0 +1,187 @@
+#include "crawl/crawler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/distributed.hpp"
+#include "engine/reference.hpp"
+#include "graph/graph_stats.hpp"
+#include "partition/partitioner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::crawl {
+namespace {
+
+CrawlConfig small_config() {
+  CrawlConfig cfg;
+  cfg.seed = 7;
+  cfg.num_sites = 20;
+  cfg.universe_pages = 5000;
+  cfg.revisit_fraction = 0.1;
+  return cfg;
+}
+
+TEST(Crawler, RejectsBadConfig) {
+  CrawlConfig cfg = small_config();
+  cfg.num_sites = 0;
+  EXPECT_THROW(Crawler{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.universe_pages = 3;  // < num_sites
+  EXPECT_THROW(Crawler{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.revisit_fraction = 1.0;
+  EXPECT_THROW(Crawler{cfg}, std::invalid_argument);
+}
+
+TEST(Crawler, FetchReturnsRequestedCountWhileUniverseLasts) {
+  Crawler c(small_config());
+  const auto batch = c.fetch(100);
+  EXPECT_EQ(batch.size(), 100u);
+  EXPECT_GE(c.pages_discovered(), c.pages_fetched());
+}
+
+TEST(Crawler, DeterministicForSeed) {
+  Crawler a(small_config());
+  Crawler b(small_config());
+  const auto ba = a.fetch(200);
+  const auto bb = b.fetch(200);
+  ASSERT_EQ(ba.size(), bb.size());
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(ba[i].url, bb[i].url);
+    EXPECT_EQ(ba[i].out_urls, bb[i].out_urls);
+  }
+}
+
+TEST(Crawler, RefetchingIsIdempotent) {
+  // A revisited page must report exactly the same links.
+  CrawlConfig cfg = small_config();
+  cfg.revisit_fraction = 0.5;  // lots of revisits
+  Crawler c(cfg);
+  std::unordered_map<std::string, std::vector<std::string>> first_seen;
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& page : c.fetch(50)) {
+      const auto [it, fresh] = first_seen.emplace(page.url, page.out_urls);
+      if (!fresh) {
+        EXPECT_EQ(it->second, page.out_urls) << page.url;
+      }
+    }
+  }
+}
+
+TEST(Crawler, RevisitsAreFlaggedAndDoNotGrowTheCrawl) {
+  CrawlConfig cfg = small_config();
+  cfg.revisit_fraction = 0.5;
+  Crawler c(cfg);
+  (void)c.fetch(50);
+  const auto before = c.pages_fetched();
+  bool saw_revisit = false;
+  for (const auto& page : c.fetch(100)) saw_revisit |= page.revisit;
+  EXPECT_TRUE(saw_revisit);
+  EXPECT_LE(c.pages_fetched(), before + 100);
+  // Distinct pages only counted once.
+  std::set<std::string> urls;
+  Crawler c2(cfg);
+  for (const auto& p : c2.fetch(300)) urls.insert(p.url);
+  EXPECT_EQ(urls.size(), c2.pages_fetched());
+}
+
+TEST(Crawler, ExhaustsTheUniverse) {
+  CrawlConfig cfg = small_config();
+  cfg.universe_pages = 300;
+  cfg.num_sites = 5;
+  cfg.revisit_fraction = 0.0;
+  Crawler c(cfg);
+  std::size_t total = 0;
+  while (!c.exhausted()) {
+    const auto batch = c.fetch(64);
+    if (batch.empty()) break;
+    total += batch.size();
+    ASSERT_LE(total, 2 * c.universe_size());  // no livelock
+  }
+  EXPECT_TRUE(c.exhausted());
+  EXPECT_EQ(c.pages_fetched(), c.universe_size());
+}
+
+TEST(Crawler, SnapshotGrowsMonotonically) {
+  Crawler c(small_config());
+  (void)c.fetch(100);
+  const auto g1 = c.snapshot();
+  (void)c.fetch(200);
+  const auto g2 = c.snapshot();
+  EXPECT_GT(g2.num_pages(), g1.num_pages());
+  // Earlier pages keep their ids and urls.
+  for (graph::PageId p = 0; p < g1.num_pages(); ++p) {
+    EXPECT_EQ(g1.url(p), g2.url(p));
+  }
+}
+
+TEST(Crawler, SnapshotExternalLinksShrinkAsCoverageGrows) {
+  CrawlConfig cfg = small_config();
+  cfg.universe_pages = 1000;
+  cfg.revisit_fraction = 0.0;
+  Crawler c(cfg);
+  (void)c.fetch(150);
+  const auto early = graph::compute_stats(c.snapshot());
+  (void)c.fetch(700);
+  const auto late = graph::compute_stats(c.snapshot());
+  EXPECT_GT(late.internal_fraction(), early.internal_fraction());
+}
+
+TEST(Crawler, SnapshotLinkCountsMatchFetchedContent) {
+  Crawler c(small_config());
+  std::size_t total_links = 0;
+  for (const auto& page : c.fetch(200)) {
+    if (!page.revisit) total_links += page.out_urls.size();
+  }
+  const auto g = c.snapshot();
+  EXPECT_EQ(g.num_links() + g.num_external_links(), total_links);
+}
+
+TEST(Crawler, HashPartitionIsStableAcrossSnapshots) {
+  // The Section 4.1 argument: as the crawl grows (and pages are re-fetched),
+  // hash partitioning keeps every page on the same ranker.
+  Crawler c(small_config());
+  (void)c.fetch(150);
+  const auto g1 = c.snapshot();
+  (void)c.fetch(300);
+  const auto g2 = c.snapshot();
+  const auto p = partition::make_hash_site_partitioner();
+  const auto a1 = p->partition(g1, 16);
+  const auto a2 = p->partition(g2, 16);
+  for (graph::PageId page = 0; page < g1.num_pages(); ++page) {
+    ASSERT_EQ(a1[page], a2[page]) << g1.url(page);
+  }
+}
+
+TEST(Crawler, RankingPipelineWithWarmRestartAcrossSnapshots) {
+  util::ThreadPool pool(4);
+  CrawlConfig cfg = small_config();
+  cfg.universe_pages = 2000;
+  Crawler c(cfg);
+
+  (void)c.fetch(500);
+  const auto g1 = c.snapshot();
+  const auto assignment1 = partition::make_hash_site_partitioner()->partition(g1, 8);
+  const auto ref1 = engine::open_system_reference(g1, 0.85, pool);
+  engine::EngineOptions opts;
+  opts.t1 = opts.t2 = 1.0;
+  opts.seed = 3;
+  engine::DistributedRanking sim1(g1, assignment1, 8, opts, pool);
+  sim1.set_reference(ref1);
+  ASSERT_TRUE(sim1.run_until_error(1e-6, 1000.0, 2.0).reached);
+
+  (void)c.fetch(500);
+  const auto g2 = c.snapshot();
+  const auto assignment2 = partition::make_hash_site_partitioner()->partition(g2, 8);
+  const auto ref2 = engine::open_system_reference(g2, 0.85, pool);
+  engine::DistributedRanking sim2(g2, assignment2, 8, opts, pool);
+  sim2.set_reference(ref2);
+  sim2.warm_start(engine::carry_ranks(g1, sim1.global_ranks(), g2));
+  // Carried state is already a decent approximation of the new reference.
+  EXPECT_LT(sim2.relative_error_now(), 0.6);
+  EXPECT_TRUE(sim2.run_until_error(1e-6, 1000.0, 2.0).reached);
+}
+
+}  // namespace
+}  // namespace p2prank::crawl

@@ -1,0 +1,146 @@
+// Property tests for the paper's convergence theory (Section 4.3 + Appendix):
+//   Theorem 4.1 — DPR1's per-node rank sequence is monotone (non-decreasing
+//                 from R0 = 0),
+//   Theorem 4.2 — it is bounded above by the centralized fixed point,
+// and the corollaries the paper draws: both hold for DPR2 with R0 = 0, and
+// they hold *under message loss and asynchrony* too (the sequences just grow
+// more slowly).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/distributed.hpp"
+#include "engine/reference.hpp"
+#include "graph/synthetic_web.hpp"
+#include "partition/partitioner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::engine {
+namespace {
+
+constexpr double kAlpha = 0.85;
+
+util::ThreadPool& pool() {
+  static util::ThreadPool p(4);
+  return p;
+}
+
+struct TheoremParam {
+  Algorithm algorithm;
+  double p;        // delivery probability
+  double t1, t2;   // wait interval
+  std::uint32_t k;
+};
+
+std::string param_name(const ::testing::TestParamInfo<TheoremParam>& info) {
+  const auto& p = info.param;
+  std::string name = p.algorithm == Algorithm::kDPR1 ? "DPR1" : "DPR2";
+  name += "_p" + std::to_string(static_cast<int>(p.p * 100));
+  name += "_t" + std::to_string(static_cast<int>(p.t1)) + "to" +
+          std::to_string(static_cast<int>(p.t2));
+  name += "_k" + std::to_string(p.k);
+  return name;
+}
+
+class TheoremSweep : public ::testing::TestWithParam<TheoremParam> {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new graph::WebGraph(
+        graph::generate_synthetic_web(graph::google2002_config(3000, 77)));
+    reference_ =
+        new std::vector<double>(open_system_reference(*graph_, kAlpha, pool()));
+  }
+  static void TearDownTestSuite() {
+    delete reference_;
+    delete graph_;
+    reference_ = nullptr;
+    graph_ = nullptr;
+  }
+  static graph::WebGraph* graph_;
+  static std::vector<double>* reference_;
+};
+
+graph::WebGraph* TheoremSweep::graph_ = nullptr;
+std::vector<double>* TheoremSweep::reference_ = nullptr;
+
+TEST_P(TheoremSweep, RankSequenceIsMonotoneNonDecreasing) {
+  const auto& prm = GetParam();
+  const auto assignment =
+      partition::make_hash_url_partitioner()->partition(*graph_, prm.k);
+  EngineOptions opts;
+  opts.algorithm = prm.algorithm;
+  opts.alpha = kAlpha;
+  opts.delivery_probability = prm.p;
+  opts.t1 = prm.t1;
+  opts.t2 = prm.t2;
+  opts.seed = 99;
+  DistributedRanking sim(*graph_, assignment, prm.k, opts, pool());
+  sim.set_reference(*reference_);
+  const auto samples = sim.run(40.0, 2.0);
+  for (const auto& s : samples) {
+    // Theorem 4.1: no page's rank ever decreases (tolerance for fp noise).
+    EXPECT_GE(s.min_rank_delta, -1e-12) << "t=" << s.time;
+  }
+}
+
+TEST_P(TheoremSweep, RanksBoundedAboveByCentralizedFixedPoint) {
+  const auto& prm = GetParam();
+  const auto assignment =
+      partition::make_hash_url_partitioner()->partition(*graph_, prm.k);
+  EngineOptions opts;
+  opts.algorithm = prm.algorithm;
+  opts.alpha = kAlpha;
+  opts.delivery_probability = prm.p;
+  opts.t1 = prm.t1;
+  opts.t2 = prm.t2;
+  opts.seed = 17;
+  DistributedRanking sim(*graph_, assignment, prm.k, opts, pool());
+  sim.set_reference(*reference_);
+  (void)sim.run(40.0, 8.0);
+  const auto ranks = sim.global_ranks();
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    // Theorem 4.2: R_u,m <= R*_u for every page at every time.
+    ASSERT_LE(ranks[i], (*reference_)[i] + 1e-9) << "page " << i;
+  }
+}
+
+TEST_P(TheoremSweep, AverageRankGrowsTowardReferenceAverage) {
+  const auto& prm = GetParam();
+  const auto assignment =
+      partition::make_hash_url_partitioner()->partition(*graph_, prm.k);
+  EngineOptions opts;
+  opts.algorithm = prm.algorithm;
+  opts.alpha = kAlpha;
+  opts.delivery_probability = prm.p;
+  opts.t1 = prm.t1;
+  opts.t2 = prm.t2;
+  opts.seed = 3;
+  DistributedRanking sim(*graph_, assignment, prm.k, opts, pool());
+  sim.set_reference(*reference_);
+  const auto samples = sim.run(40.0, 4.0);
+  double ref_avg = 0.0;
+  for (const double r : *reference_) ref_avg += r;
+  ref_avg /= static_cast<double>(reference_->size());
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].average_rank, samples[i - 1].average_rank - 1e-12);
+    EXPECT_LE(samples[i].average_rank, ref_avg + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, TheoremSweep,
+    ::testing::Values(
+        // The paper's Fig. 6/7 configurations (scaled k).
+        TheoremParam{Algorithm::kDPR1, 1.0, 0.0, 6.0, 16},
+        TheoremParam{Algorithm::kDPR1, 0.7, 0.0, 6.0, 16},
+        TheoremParam{Algorithm::kDPR1, 0.7, 0.0, 15.0, 16},
+        // Theorem extension: DPR2 with R0 = 0.
+        TheoremParam{Algorithm::kDPR2, 1.0, 0.0, 6.0, 16},
+        TheoremParam{Algorithm::kDPR2, 0.7, 0.0, 6.0, 16},
+        // Near-lockstep (Fig. 8 style) and different k.
+        TheoremParam{Algorithm::kDPR1, 1.0, 15.0, 15.0, 4},
+        TheoremParam{Algorithm::kDPR2, 0.5, 1.0, 3.0, 64}),
+    param_name);
+
+}  // namespace
+}  // namespace p2prank::engine

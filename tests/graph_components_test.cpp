@@ -1,0 +1,150 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph_builder.hpp"
+#include "graph/synthetic_web.hpp"
+#include "test_support.hpp"
+
+namespace p2prank::graph {
+namespace {
+
+TEST(Scc, EmptyGraph) {
+  GraphBuilder b;
+  const auto g = std::move(b).build();
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 0u);
+}
+
+TEST(Scc, TwoCycleIsOneComponent) {
+  const auto g = test::two_cycle();
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 1u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+}
+
+TEST(Scc, ChainIsAllSingletons) {
+  const auto g = test::chain(5);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 5u);
+  std::set<std::uint32_t> ids(scc.component.begin(), scc.component.end());
+  EXPECT_EQ(ids.size(), 5u);
+}
+
+TEST(Scc, ComponentIdsAreReverseTopological) {
+  // Edge u->v across components implies component[u] >= component[v].
+  const auto g = generate_synthetic_web(google2002_config(3000, 3));
+  const auto scc = strongly_connected_components(g);
+  for (PageId u = 0; u < g.num_pages(); ++u) {
+    for (const PageId v : g.out_links(u)) {
+      ASSERT_GE(scc.component[u], scc.component[v]);
+    }
+  }
+}
+
+TEST(Scc, SizesSumToPageCount) {
+  const auto g = generate_synthetic_web(google2002_config(3000, 5));
+  const auto scc = strongly_connected_components(g);
+  std::size_t total = 0;
+  for (const auto s : scc.component_sizes()) total += s;
+  EXPECT_EQ(total, g.num_pages());
+}
+
+TEST(Scc, MixedGraphStructure) {
+  // Two 2-cycles connected by a one-way bridge: 2 components of size 2.
+  GraphBuilder b;
+  const auto a1 = b.add_page("s.edu/a1", "s.edu");
+  const auto a2 = b.add_page("s.edu/a2", "s.edu");
+  const auto c1 = b.add_page("s.edu/b1", "s.edu");
+  const auto c2 = b.add_page("s.edu/b2", "s.edu");
+  b.add_link(a1, a2);
+  b.add_link(a2, a1);
+  b.add_link(c1, c2);
+  b.add_link(c2, c1);
+  b.add_link(a1, c1);  // bridge
+  const auto g = std::move(b).build();
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 2u);
+  EXPECT_EQ(scc.component[a1], scc.component[a2]);
+  EXPECT_EQ(scc.component[c1], scc.component[c2]);
+  EXPECT_NE(scc.component[a1], scc.component[c1]);
+  // Downstream component must carry the smaller id.
+  EXPECT_GT(scc.component[a1], scc.component[c1]);
+}
+
+TEST(Scc, HandlesDeepChainsIteratively) {
+  // 50k-long chain would overflow a recursive Tarjan.
+  GraphBuilder b;
+  std::vector<PageId> ids;
+  for (int i = 0; i < 50000; ++i) {
+    ids.push_back(b.add_page("s.edu/p" + std::to_string(i), "s.edu"));
+  }
+  for (int i = 0; i + 1 < 50000; ++i) b.add_link(ids[i], ids[i + 1]);
+  const auto g = std::move(b).build();
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 50000u);
+}
+
+TEST(RankSinks, TwoCycleWithNoEscapeIsASink) {
+  const auto g = test::two_cycle();
+  const auto sinks = find_rank_sinks(g);
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0].size(), 2u);
+}
+
+TEST(RankSinks, ExternalLinkDrainsTheSink) {
+  // Same 2-cycle but one page also links off-crawl: rank escapes.
+  GraphBuilder b;
+  const auto a = b.add_page("s.edu/a", "s.edu");
+  const auto c = b.add_page("s.edu/b", "s.edu");
+  b.add_link(a, c);
+  b.add_link(c, a);
+  b.add_external_link(a);
+  const auto g = std::move(b).build();
+  EXPECT_TRUE(find_rank_sinks(g).empty());
+}
+
+TEST(RankSinks, SelfLoopSingletonIsASink) {
+  GraphBuilder b;
+  const auto a = b.add_page("s.edu/a", "s.edu");
+  const auto c = b.add_page("s.edu/b", "s.edu");
+  b.add_link(a, a);  // keeps its own rank forever
+  b.add_link(c, a);
+  const auto g = std::move(b).build();
+  const auto sinks = find_rank_sinks(g);
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0], std::vector<PageId>{a});
+}
+
+TEST(RankSinks, DanglingPagesOnlyWithFlag) {
+  const auto g = test::star(3);  // hub has no out-links at all
+  EXPECT_TRUE(find_rank_sinks(g, false).empty());
+  const auto with = find_rank_sinks(g, true);
+  ASSERT_EQ(with.size(), 1u);
+  EXPECT_EQ(with[0].size(), 1u);
+  EXPECT_EQ(with[0][0], *g.find("s.edu/hub"));
+}
+
+TEST(RankSinks, SortedLargestFirst) {
+  GraphBuilder b;
+  // Sink A: 3-cycle. Sink B: 2-cycle.
+  std::vector<PageId> tri;
+  for (int i = 0; i < 3; ++i) {
+    tri.push_back(b.add_page("s.edu/t" + std::to_string(i), "s.edu"));
+  }
+  for (int i = 0; i < 3; ++i) b.add_link(tri[i], tri[(i + 1) % 3]);
+  const auto d1 = b.add_page("s.edu/d1", "s.edu");
+  const auto d2 = b.add_page("s.edu/d2", "s.edu");
+  b.add_link(d1, d2);
+  b.add_link(d2, d1);
+  const auto g = std::move(b).build();
+  const auto sinks = find_rank_sinks(g);
+  ASSERT_EQ(sinks.size(), 2u);
+  EXPECT_EQ(sinks[0].size(), 3u);
+  EXPECT_EQ(sinks[1].size(), 2u);
+}
+
+}  // namespace
+}  // namespace p2prank::graph

@@ -1,0 +1,122 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph_stats.hpp"
+#include "graph/synthetic_web.hpp"
+#include "test_support.hpp"
+
+namespace p2prank::graph {
+namespace {
+
+TEST(GraphIo, RoundTripsTinyGraph) {
+  const auto g = test::leaky_pair();
+  std::stringstream buffer;
+  save_graph(g, buffer);
+  const auto loaded = load_graph(buffer);
+
+  EXPECT_EQ(loaded.num_pages(), g.num_pages());
+  EXPECT_EQ(loaded.num_links(), g.num_links());
+  EXPECT_EQ(loaded.num_external_links(), g.num_external_links());
+  const auto a = loaded.find("s.edu/a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(loaded.external_out_degree(*a), 1u);
+  EXPECT_EQ(loaded.out_degree(*a), 2u);
+}
+
+TEST(GraphIo, RoundTripsSyntheticCrawl) {
+  const auto g = generate_synthetic_web(google2002_config(3000, 21));
+  std::stringstream buffer;
+  save_graph(g, buffer);
+  const auto loaded = load_graph(buffer);
+
+  EXPECT_EQ(loaded.num_pages(), g.num_pages());
+  EXPECT_EQ(loaded.num_links(), g.num_links());
+  EXPECT_EQ(loaded.num_external_links(), g.num_external_links());
+  EXPECT_EQ(loaded.num_sites(), g.num_sites());
+
+  const auto s1 = compute_stats(g);
+  const auto s2 = compute_stats(loaded);
+  EXPECT_EQ(s1.intra_site_links, s2.intra_site_links);
+  EXPECT_EQ(s1.dangling_pages, s2.dangling_pages);
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "P s.edu/a s.edu\n"
+      "P s.edu/b s.edu\n"
+      "L s.edu/a s.edu/b\n");
+  const auto g = load_graph(in);
+  EXPECT_EQ(g.num_pages(), 2u);
+  EXPECT_EQ(g.num_links(), 1u);
+}
+
+TEST(GraphIo, LinkToUndeclaredTargetBecomesExternal) {
+  std::stringstream in(
+      "P s.edu/a s.edu\n"
+      "L s.edu/a other.com/x\n");
+  const auto g = load_graph(in);
+  EXPECT_EQ(g.num_links(), 0u);
+  EXPECT_EQ(g.num_external_links(), 1u);
+}
+
+TEST(GraphIo, XRecordAccumulatesExternalCount) {
+  std::stringstream in(
+      "P s.edu/a s.edu\n"
+      "X s.edu/a 5\n");
+  const auto g = load_graph(in);
+  const auto a = g.find("s.edu/a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(g.external_out_degree(*a), 5u);
+}
+
+TEST(GraphIo, RejectsUnknownTag) {
+  std::stringstream in("Q wat\n");
+  EXPECT_THROW(load_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsMalformedRecords) {
+  std::stringstream p_bad("P only-url\n");
+  EXPECT_THROW(load_graph(p_bad), std::runtime_error);
+  std::stringstream l_bad("L one\n");
+  EXPECT_THROW(load_graph(l_bad), std::runtime_error);
+  std::stringstream x_bad("X url notanumber\n");
+  EXPECT_THROW(load_graph(x_bad), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsUndeclaredLinkSource) {
+  std::stringstream in("L ghost.edu/a ghost.edu/b\n");
+  EXPECT_THROW(load_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, ErrorMessagesCarryLineNumbers) {
+  std::stringstream in(
+      "P s.edu/a s.edu\n"
+      "BAD record\n");
+  try {
+    (void)load_graph(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const auto g = test::two_cycle();
+  const std::string path = ::testing::TempDir() + "/p2prank_io_test.graph";
+  save_graph_file(g, path);
+  const auto loaded = load_graph_file(path);
+  EXPECT_EQ(loaded.num_pages(), 2u);
+  EXPECT_EQ(loaded.num_links(), 2u);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_graph_file("/nonexistent/path.graph"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace p2prank::graph

@@ -1,0 +1,139 @@
+// Random-graph generators, plus the paper's core properties re-checked on
+// graph families far from the crawl model (the theorems only need
+// ||A|| <= alpha < 1, so they must hold here too).
+#include "graph/random_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/distributed.hpp"
+#include "engine/reference.hpp"
+#include "graph/graph_stats.hpp"
+#include "partition/partitioner.hpp"
+#include "rank/link_matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::graph {
+namespace {
+
+util::ThreadPool& pool() {
+  static util::ThreadPool p(4);
+  return p;
+}
+
+TEST(ErdosRenyi, Validation) {
+  EXPECT_THROW((void)erdos_renyi(1, 5, 1), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, ExactCounts) {
+  const auto g = erdos_renyi(100, 1000, 7);
+  EXPECT_EQ(g.num_pages(), 100u);
+  EXPECT_EQ(g.num_links(), 1000u);
+  EXPECT_EQ(g.num_external_links(), 0u);
+}
+
+TEST(ErdosRenyi, NoSelfLoops) {
+  const auto g = erdos_renyi(50, 2000, 9);
+  for (PageId u = 0; u < g.num_pages(); ++u) {
+    for (const PageId v : g.out_links(u)) ASSERT_NE(u, v);
+  }
+}
+
+TEST(ErdosRenyi, DegreesAreFlat) {
+  // No heavy tail: max in-degree within a small factor of the mean.
+  const auto g = erdos_renyi(1000, 20000, 11);
+  const auto stats = compute_stats(g);
+  EXPECT_LT(stats.max_in_degree, 4.0 * 20.0);
+}
+
+TEST(ErdosRenyi, DeterministicPerSeed) {
+  const auto a = erdos_renyi(100, 500, 3);
+  const auto b = erdos_renyi(100, 500, 3);
+  for (PageId p = 0; p < a.num_pages(); ++p) {
+    ASSERT_EQ(a.out_degree(p), b.out_degree(p));
+  }
+}
+
+TEST(PreferentialAttachment, Validation) {
+  EXPECT_THROW((void)preferential_attachment(1, 2, 1), std::invalid_argument);
+  EXPECT_THROW((void)preferential_attachment(10, 0, 1), std::invalid_argument);
+}
+
+TEST(PreferentialAttachment, EdgeCount) {
+  const auto g = preferential_attachment(500, 3, 5);
+  EXPECT_EQ(g.num_links(), 499u * 3u);
+}
+
+TEST(PreferentialAttachment, ProducesExtremeHubs) {
+  const auto g = preferential_attachment(2000, 4, 5);
+  const auto stats = compute_stats(g);
+  const double mean_in =
+      static_cast<double>(g.num_links()) / static_cast<double>(g.num_pages());
+  EXPECT_GT(stats.max_in_degree, 25.0 * mean_in);
+}
+
+TEST(PreferentialAttachment, EarlyNodesDominate) {
+  const auto g = preferential_attachment(2000, 4, 8);
+  std::uint64_t early = 0;
+  std::uint64_t late = 0;
+  for (PageId p = 0; p < 100; ++p) early += g.in_degree(p);
+  for (PageId p = 1900; p < 2000; ++p) late += g.in_degree(p);
+  EXPECT_GT(early, 10 * late);
+}
+
+// ---- the paper's properties on hostile graph families -----------------------
+
+class FamilySweep : public ::testing::TestWithParam<int> {
+ protected:
+  static WebGraph make(int family) {
+    switch (family) {
+      case 0: return erdos_renyi(3000, 30000, 13);
+      case 1: return preferential_attachment(3000, 8, 13);
+      default: std::abort();
+    }
+  }
+};
+
+TEST_P(FamilySweep, ContractionBoundHolds) {
+  const auto g = make(GetParam());
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  EXPECT_LE(m.contraction_norm(), 0.85 + 1e-12);
+}
+
+TEST_P(FamilySweep, DistributedMatchesCentralized) {
+  const auto g = make(GetParam());
+  const auto assignment = partition::make_hash_url_partitioner()->partition(g, 8);
+  const auto reference = engine::open_system_reference(g, 0.85, pool());
+
+  engine::EngineOptions opts;
+  opts.t1 = opts.t2 = 1.0;
+  opts.seed = 3;
+  opts.delivery_probability = 0.8;  // and lossy, for good measure
+  engine::DistributedRanking sim(g, assignment, 8, opts, pool());
+  sim.set_reference(reference);
+  EXPECT_TRUE(sim.run_until_error(1e-5, 3000.0, 2.0).reached);
+}
+
+TEST_P(FamilySweep, MonotoneUnderLoss) {
+  const auto g = make(GetParam());
+  const auto assignment = partition::make_hash_url_partitioner()->partition(g, 8);
+  const auto reference = engine::open_system_reference(g, 0.85, pool());
+  engine::EngineOptions opts;
+  opts.t1 = 0.0;
+  opts.t2 = 4.0;
+  opts.delivery_probability = 0.6;
+  opts.seed = 9;
+  engine::DistributedRanking sim(g, assignment, 8, opts, pool());
+  sim.set_reference(reference);
+  for (const auto& s : sim.run(40.0, 4.0)) {
+    EXPECT_GE(s.min_rank_delta, -1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilySweep, ::testing::Values(0, 1),
+                         [](const auto& info) {
+                           return info.param == 0 ? "erdos_renyi"
+                                                  : "preferential_attachment";
+                         });
+
+}  // namespace
+}  // namespace p2prank::graph

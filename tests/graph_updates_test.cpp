@@ -1,0 +1,134 @@
+#include "graph/graph_updates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/synthetic_web.hpp"
+#include "test_support.hpp"
+
+namespace p2prank::graph {
+namespace {
+
+TEST(GraphUpdates, EmptyUpdateListIsIdentity) {
+  const auto g = test::two_cycle();
+  const auto g2 = apply_updates(g, {});
+  EXPECT_EQ(g2.num_pages(), g.num_pages());
+  EXPECT_EQ(g2.num_links(), g.num_links());
+  for (PageId p = 0; p < g.num_pages(); ++p) EXPECT_EQ(g2.url(p), g.url(p));
+}
+
+TEST(GraphUpdates, AddLinkBetweenExistingPages) {
+  const auto g = test::two_cycle();
+  const std::vector<LinkUpdate> ups{LinkUpdate::add_link("s.edu/a", "s.edu/a")};
+  const auto g2 = apply_updates(g, ups);
+  EXPECT_EQ(g2.num_links(), 3u);
+  const auto a = *g2.find("s.edu/a");
+  EXPECT_EQ(g2.out_degree(a), 2u);
+}
+
+TEST(GraphUpdates, RemoveLink) {
+  const auto g = test::two_cycle();
+  const std::vector<LinkUpdate> ups{LinkUpdate::remove_link("s.edu/a", "s.edu/b")};
+  const auto g2 = apply_updates(g, ups);
+  EXPECT_EQ(g2.num_links(), 1u);
+  const auto a = *g2.find("s.edu/a");
+  EXPECT_TRUE(g2.is_dangling(a));
+}
+
+TEST(GraphUpdates, RemoveOneOfParallelEdges) {
+  graph::GraphBuilder b;
+  const auto a = b.add_page("s.edu/a", "s.edu");
+  const auto c = b.add_page("s.edu/b", "s.edu");
+  b.add_link(a, c);
+  b.add_link(a, c);
+  const auto g = std::move(b).build();
+  const std::vector<LinkUpdate> ups{LinkUpdate::remove_link("s.edu/a", "s.edu/b")};
+  const auto g2 = apply_updates(g, ups);
+  EXPECT_EQ(g2.num_links(), 1u);
+}
+
+TEST(GraphUpdates, RemovingMissingLinkThrows) {
+  const auto g = test::two_cycle();
+  const std::vector<LinkUpdate> ups{LinkUpdate::remove_link("s.edu/b", "s.edu/b")};
+  EXPECT_THROW((void)apply_updates(g, ups), std::invalid_argument);
+}
+
+TEST(GraphUpdates, UnknownPageThrows) {
+  const auto g = test::two_cycle();
+  const std::vector<LinkUpdate> ups{LinkUpdate::add_link("ghost.edu/x", "s.edu/a")};
+  EXPECT_THROW((void)apply_updates(g, ups), std::invalid_argument);
+}
+
+TEST(GraphUpdates, AddPageAppendsWithoutDisturbingIds) {
+  const auto g = test::two_cycle();
+  const std::vector<LinkUpdate> ups{
+      LinkUpdate::add_page("new.edu/fresh"),
+      LinkUpdate::add_link("new.edu/fresh", "s.edu/a"),
+  };
+  const auto g2 = apply_updates(g, ups);
+  EXPECT_EQ(g2.num_pages(), 3u);
+  // Old ids preserved.
+  EXPECT_EQ(g2.url(0), g.url(0));
+  EXPECT_EQ(g2.url(1), g.url(1));
+  const auto fresh = g2.find("new.edu/fresh");
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(*fresh, 2u);
+  EXPECT_EQ(g2.in_degree(*g2.find("s.edu/a")), 2u);
+}
+
+TEST(GraphUpdates, AddPageIsIdempotent) {
+  const auto g = test::two_cycle();
+  const std::vector<LinkUpdate> ups{
+      LinkUpdate::add_page("s.edu/a"),
+      LinkUpdate::add_page("new.edu/x"),
+      LinkUpdate::add_page("new.edu/x"),
+  };
+  const auto g2 = apply_updates(g, ups);
+  EXPECT_EQ(g2.num_pages(), 3u);
+}
+
+TEST(GraphUpdates, ExternalLinkBookkeeping) {
+  const auto g = test::leaky_pair();  // a has 1 external link
+  const std::vector<LinkUpdate> ups{
+      LinkUpdate::add_external("s.edu/a"),
+      LinkUpdate::remove_external("s.edu/a"),
+      LinkUpdate::add_external("s.edu/b"),
+  };
+  const auto g2 = apply_updates(g, ups);
+  EXPECT_EQ(g2.external_out_degree(*g2.find("s.edu/a")), 1u);
+  EXPECT_EQ(g2.external_out_degree(*g2.find("s.edu/b")), 1u);
+}
+
+TEST(GraphUpdates, RemoveExternalBelowZeroThrows) {
+  const auto g = test::two_cycle();  // no external links
+  const std::vector<LinkUpdate> ups{LinkUpdate::remove_external("s.edu/a")};
+  EXPECT_THROW((void)apply_updates(g, ups), std::invalid_argument);
+}
+
+TEST(GraphUpdates, LinkToJustAddedPageWorksInOrder) {
+  const auto g = test::two_cycle();
+  const std::vector<LinkUpdate> ups{
+      LinkUpdate::add_page("new.edu/p"),
+      LinkUpdate::add_link("s.edu/a", "new.edu/p"),
+  };
+  const auto g2 = apply_updates(g, ups);
+  const auto p = *g2.find("new.edu/p");
+  EXPECT_EQ(g2.in_degree(p), 1u);
+}
+
+TEST(GraphUpdates, SurvivesSyntheticScale) {
+  const auto g = generate_synthetic_web(google2002_config(2000, 77));
+  std::vector<LinkUpdate> ups;
+  // Rewire a few pages.
+  ups.push_back(LinkUpdate::add_page("brand-new.edu/index"));
+  ups.push_back(LinkUpdate::add_link("brand-new.edu/index", g.url(0)));
+  ups.push_back(LinkUpdate::add_link(g.url(1), "brand-new.edu/index"));
+  const auto g2 = apply_updates(g, ups);
+  EXPECT_EQ(g2.num_pages(), g.num_pages() + 1);
+  EXPECT_EQ(g2.num_links(), g.num_links() + 2);
+  EXPECT_EQ(g2.num_external_links(), g.num_external_links());
+}
+
+}  // namespace
+}  // namespace p2prank::graph

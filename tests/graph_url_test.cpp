@@ -1,0 +1,80 @@
+#include "graph/url.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2prank::graph {
+namespace {
+
+TEST(ParseUrl, FullHttpUrl) {
+  const auto p = parse_url("http://www.Example.edu/path/page.html");
+  EXPECT_EQ(p.scheme, "http");
+  EXPECT_EQ(p.host, "www.example.edu");
+  EXPECT_EQ(p.path, "/path/page.html");
+}
+
+TEST(ParseUrl, BareHostForm) {
+  const auto p = parse_url("cs.tsinghua.edu/index.html");
+  EXPECT_EQ(p.scheme, "");
+  EXPECT_EQ(p.host, "cs.tsinghua.edu");
+  EXPECT_EQ(p.path, "/index.html");
+}
+
+TEST(ParseUrl, SchemeRelative) {
+  const auto p = parse_url("//host.edu/a");
+  EXPECT_EQ(p.host, "host.edu");
+  EXPECT_EQ(p.path, "/a");
+}
+
+TEST(ParseUrl, PathOnly) {
+  const auto p = parse_url("/local/path");
+  EXPECT_EQ(p.host, "");
+  EXPECT_EQ(p.path, "/local/path");
+}
+
+TEST(ParseUrl, DropsFragment) {
+  const auto p = parse_url("http://h.edu/p#section2");
+  EXPECT_EQ(p.path, "/p");
+}
+
+TEST(ParseUrl, KeepsQuery) {
+  const auto p = parse_url("http://h.edu/p?q=1");
+  EXPECT_EQ(p.path, "/p?q=1");
+}
+
+TEST(ParseUrl, StripsDefaultHttpPort) {
+  EXPECT_EQ(parse_url("http://h.edu:80/p").host, "h.edu");
+  EXPECT_EQ(parse_url("https://h.edu:443/p").host, "h.edu");
+}
+
+TEST(ParseUrl, KeepsNonDefaultPort) {
+  EXPECT_EQ(parse_url("http://h.edu:8080/p").host, "h.edu:8080");
+}
+
+TEST(ParseUrl, HostOnlyNoPath) {
+  const auto p = parse_url("http://h.edu");
+  EXPECT_EQ(p.host, "h.edu");
+  EXPECT_EQ(p.path, "");
+}
+
+TEST(SiteOf, ExtractsLowercasedHost) {
+  EXPECT_EQ(site_of("HTTP://WWW.MIT.EDU/a/b"), "www.mit.edu");
+  EXPECT_EQ(site_of("site5.edu/page3.html"), "site5.edu");
+}
+
+TEST(SiteOf, EmptyForPathOnly) { EXPECT_EQ(site_of("/just/a/path"), ""); }
+
+TEST(NormalizeUrl, CanonicalForm) {
+  EXPECT_EQ(normalize_url("http://H.edu/a"), "h.edu/a");
+  EXPECT_EQ(normalize_url("h.edu/a"), "h.edu/a");
+}
+
+TEST(NormalizeUrl, BareHostGetsSlash) {
+  EXPECT_EQ(normalize_url("http://h.edu"), "h.edu/");
+}
+
+TEST(NormalizeUrl, SameResourceDifferentFormsCollapse) {
+  EXPECT_EQ(normalize_url("http://Host.edu/p#frag"), normalize_url("host.edu/p"));
+}
+
+}  // namespace
+}  // namespace p2prank::graph

@@ -1,0 +1,185 @@
+#include "overlay/can.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace p2prank::overlay {
+namespace {
+
+CanConfig config(std::uint32_t n, int d = 2) {
+  CanConfig cfg;
+  cfg.num_nodes = n;
+  cfg.dimensions = d;
+  cfg.seed = 31;
+  return cfg;
+}
+
+TEST(Can, RejectsBadConfig) {
+  EXPECT_THROW(CanOverlay{config(0)}, std::invalid_argument);
+  EXPECT_THROW(CanOverlay{config(8, 0)}, std::invalid_argument);
+  EXPECT_THROW(CanOverlay{config(8, 9)}, std::invalid_argument);
+}
+
+TEST(Can, ZonesTileTheSpace) {
+  const CanOverlay o(config(64));
+  // Total volume of all zones must be 1 (they tile [0,1)^2).
+  double volume = 0.0;
+  for (NodeIndex n = 0; n < 64; ++n) {
+    double v = 1.0;
+    for (const auto& [lo, hi] : o.zone_of(n)) v *= hi - lo;
+    volume += v;
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-12);
+}
+
+TEST(Can, ZonesAreDisjoint) {
+  const CanOverlay o(config(32));
+  for (NodeIndex a = 0; a < 32; ++a) {
+    for (NodeIndex b = a + 1; b < 32; ++b) {
+      const auto za = o.zone_of(a);
+      const auto zb = o.zone_of(b);
+      bool overlap_all = true;
+      for (std::size_t j = 0; j < za.size(); ++j) {
+        if (std::max(za[j].first, zb[j].first) >=
+            std::min(za[j].second, zb[j].second)) {
+          overlap_all = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(overlap_all) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Can, OwnIdMapsToOwnZone) {
+  const CanOverlay o(config(128));
+  for (NodeIndex n = 0; n < 128; ++n) {
+    EXPECT_EQ(o.responsible_node(o.id_of(n)), n);
+  }
+}
+
+TEST(Can, ResponsibleNodeIsDeterministic) {
+  const CanOverlay o(config(64));
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId key = node_id_from_u64(rng.next());
+    EXPECT_EQ(o.responsible_node(key), o.responsible_node(key));
+  }
+}
+
+TEST(Can, RouteEndsAtResponsibleNode) {
+  const CanOverlay o(config(256));
+  util::Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto from = static_cast<NodeIndex>(rng.below(256));
+    const NodeId key = node_id_from_u64(rng.next());
+    const auto path = o.route(from, key);
+    const NodeIndex dest = o.responsible_node(key);
+    if (from == dest) {
+      EXPECT_TRUE(path.empty());
+    } else {
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.back(), dest);
+    }
+  }
+}
+
+TEST(Can, HopsAreNeighbors) {
+  const CanOverlay o(config(128));
+  util::Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto from = static_cast<NodeIndex>(rng.below(128));
+    NodeIndex cur = from;
+    for (const NodeIndex hop : o.route(from, node_id_from_u64(rng.next()))) {
+      const auto nb = o.neighbors(cur);
+      ASSERT_TRUE(std::find(nb.begin(), nb.end(), hop) != nb.end());
+      cur = hop;
+    }
+  }
+}
+
+TEST(Can, NeighborRelationIsSymmetric) {
+  const CanOverlay o(config(100));
+  for (NodeIndex a = 0; a < 100; ++a) {
+    for (const NodeIndex b : o.neighbors(a)) {
+      const auto nb = o.neighbors(b);
+      EXPECT_TRUE(std::find(nb.begin(), nb.end(), a) != nb.end())
+          << a << " -> " << b;
+    }
+  }
+}
+
+TEST(Can, MeanNeighborsIsOrderTwoD) {
+  // CAN: each node keeps O(2d) neighbors, independent of N.
+  const CanOverlay small(config(64, 2));
+  const CanOverlay large(config(1024, 2));
+  const auto ps = probe_overlay(small, 10, 1);
+  const auto pl = probe_overlay(large, 10, 1);
+  EXPECT_LT(std::fabs(pl.mean_neighbors - ps.mean_neighbors),
+            0.8 * ps.mean_neighbors);
+  EXPECT_GE(pl.mean_neighbors, 3.0);
+  EXPECT_LE(pl.mean_neighbors, 16.0);
+}
+
+TEST(Can, HopsGrowPolynomially) {
+  // Expected route length ~ (d/4)·N^(1/d): for d=2, quadrupling N should
+  // roughly double hops — much steeper than Pastry's log.
+  const CanOverlay small(config(64, 2));
+  const CanOverlay large(config(1024, 2));
+  const auto ps = probe_overlay(small, 500, 5);
+  const auto pl = probe_overlay(large, 500, 5);
+  EXPECT_GT(pl.mean_hops, 1.5 * ps.mean_hops);
+}
+
+TEST(Can, HigherDimensionMeansFewerHops) {
+  const CanOverlay d2(config(512, 2));
+  const CanOverlay d4(config(512, 4));
+  const auto p2 = probe_overlay(d2, 500, 7);
+  const auto p4 = probe_overlay(d4, 500, 7);
+  EXPECT_LT(p4.mean_hops, p2.mean_hops);
+}
+
+TEST(Can, SingleNodeOwnsEverything) {
+  const CanOverlay o(config(1));
+  EXPECT_EQ(o.responsible_node(node_id_from_u64(123)), 0u);
+  EXPECT_TRUE(o.route(0, node_id_from_u64(123)).empty());
+}
+
+struct DimParam {
+  std::uint32_t n;
+  int d;
+};
+
+class CanSweep : public ::testing::TestWithParam<DimParam> {};
+
+TEST_P(CanSweep, DeliveryCorrectAcrossSizesAndDims) {
+  const CanOverlay o(config(GetParam().n, GetParam().d));
+  util::Rng rng(11);
+  for (int trial = 0; trial < 150; ++trial) {
+    const auto from = static_cast<NodeIndex>(rng.below(GetParam().n));
+    const NodeId key = node_id_from_u64(rng.next());
+    const auto path = o.route(from, key);
+    const NodeIndex dest = o.responsible_node(key);
+    if (!path.empty()) {
+      EXPECT_EQ(path.back(), dest);
+    } else {
+      EXPECT_EQ(from, dest);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CanSweep,
+                         ::testing::Values(DimParam{2, 2}, DimParam{16, 2},
+                                           DimParam{256, 2}, DimParam{64, 3},
+                                           DimParam{256, 4}, DimParam{512, 8}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "d" +
+                                  std::to_string(info.param.d);
+                         });
+
+}  // namespace
+}  // namespace p2prank::overlay

@@ -1,0 +1,150 @@
+#include "overlay/chord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace p2prank::overlay {
+namespace {
+
+ChordConfig config(std::uint32_t n) {
+  ChordConfig cfg;
+  cfg.num_nodes = n;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Chord, RejectsBadConfig) {
+  EXPECT_THROW(ChordOverlay{config(0)}, std::invalid_argument);
+  auto cfg = config(4);
+  cfg.successor_list = 0;
+  EXPECT_THROW(ChordOverlay{cfg}, std::invalid_argument);
+}
+
+TEST(Chord, ResponsibleNodeIsSuccessor) {
+  ChordOverlay o(config(200));
+  util::Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId key = node_id_from_u64(rng.next());
+    const NodeIndex r = o.responsible_node(key);
+    // r's id >= key, and the predecessor's id < key (with ring wrap).
+    if (o.id_of(r) >= key) {
+      if (r > 0) {
+        EXPECT_LT(o.id_of(r - 1), key);
+      }
+    } else {
+      // wrapped: key larger than every id, successor is node 0
+      EXPECT_EQ(r, 0u);
+      EXPECT_GT(key, o.id_of(199));
+    }
+  }
+}
+
+TEST(Chord, SuccessorWrapsAround) {
+  ChordOverlay o(config(10));
+  EXPECT_EQ(o.successor(9), 0u);
+  EXPECT_EQ(o.successor(3), 4u);
+}
+
+TEST(Chord, RouteEndsAtResponsibleNode) {
+  ChordOverlay o(config(300));
+  util::Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto from = static_cast<NodeIndex>(rng.below(300));
+    const NodeId key = node_id_from_u64(rng.next());
+    const auto path = o.route(from, key);
+    const NodeIndex dest = o.responsible_node(key);
+    if (from == dest) {
+      EXPECT_TRUE(path.empty());
+    } else {
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.back(), dest);
+    }
+  }
+}
+
+TEST(Chord, HopsAreNeighbors) {
+  ChordOverlay o(config(200));
+  util::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto from = static_cast<NodeIndex>(rng.below(200));
+    const NodeId key = node_id_from_u64(rng.next());
+    NodeIndex cur = from;
+    for (const NodeIndex hop : o.route(from, key)) {
+      const auto nb = o.neighbors(cur);
+      EXPECT_TRUE(std::find(nb.begin(), nb.end(), hop) != nb.end());
+      cur = hop;
+    }
+  }
+}
+
+TEST(Chord, FingersNeverIncludeSelf) {
+  ChordOverlay o(config(100));
+  for (NodeIndex node = 0; node < 100; ++node) {
+    const auto nb = o.neighbors(node);
+    EXPECT_TRUE(std::find(nb.begin(), nb.end(), node) == nb.end());
+  }
+}
+
+TEST(Chord, FingerCountIsLogarithmic) {
+  ChordOverlay o(config(1024));
+  const auto probe = probe_overlay(o, 10, 1);
+  // ~log2(N) distinct fingers + successor list.
+  EXPECT_GT(probe.mean_neighbors, 6.0);
+  EXPECT_LT(probe.mean_neighbors, 25.0);
+}
+
+TEST(Chord, MeanHopsAreHalfLog2N) {
+  ChordOverlay o(config(1024));
+  const auto probe = probe_overlay(o, 2000, 9);
+  // Chord's expected route length is ~0.5·log2(N) = 5.
+  EXPECT_NEAR(probe.mean_hops, 5.0, 1.5);
+}
+
+TEST(Chord, SingleNodeRoutesNowhere) {
+  ChordOverlay o(config(1));
+  EXPECT_TRUE(o.route(0, node_id_from_u64(42)).empty());
+}
+
+struct SizeParam {
+  std::uint32_t n;
+};
+
+class ChordSizeSweep : public ::testing::TestWithParam<SizeParam> {};
+
+TEST_P(ChordSizeSweep, DeliveryCorrectAtEveryScale) {
+  ChordOverlay o(config(GetParam().n));
+  util::Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto from = static_cast<NodeIndex>(rng.below(GetParam().n));
+    const NodeId key = node_id_from_u64(rng.next());
+    const auto path = o.route(from, key);
+    const NodeIndex dest = o.responsible_node(key);
+    if (!path.empty()) {
+      EXPECT_EQ(path.back(), dest);
+    } else {
+      EXPECT_EQ(from, dest);
+    }
+  }
+}
+
+TEST_P(ChordSizeSweep, HopsBoundedByLog2N) {
+  ChordOverlay o(config(GetParam().n));
+  const auto probe = probe_overlay(o, 300, 21);
+  EXPECT_LE(probe.max_hops,
+            std::log2(static_cast<double>(GetParam().n)) + 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChordSizeSweep,
+                         ::testing::Values(SizeParam{2}, SizeParam{8},
+                                           SizeParam{64}, SizeParam{512},
+                                           SizeParam{2048}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n);
+                         });
+
+}  // namespace
+}  // namespace p2prank::overlay

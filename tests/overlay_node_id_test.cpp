@@ -1,0 +1,108 @@
+#include "overlay/node_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace p2prank::overlay {
+namespace {
+
+TEST(NodeIdDigits, MostSignificantFirst) {
+  // hi = 0xABCD... : first hex digit (b=4) is 0xA.
+  NodeId id{0xABCD000000000000ULL, 0x0000000000000001ULL};
+  EXPECT_EQ(id.digit(0, 4), 0xAu);
+  EXPECT_EQ(id.digit(1, 4), 0xBu);
+  EXPECT_EQ(id.digit(2, 4), 0xCu);
+  EXPECT_EQ(id.digit(3, 4), 0xDu);
+  EXPECT_EQ(id.digit(31, 4), 0x1u);  // last digit of lo
+}
+
+TEST(NodeIdDigits, CrossWordDigits) {
+  NodeId id{0x0000000000000005ULL, 0xF000000000000000ULL};
+  EXPECT_EQ(id.digit(15, 4), 0x5u);  // last digit of hi
+  EXPECT_EQ(id.digit(16, 4), 0xFu);  // first digit of lo
+}
+
+TEST(NodeIdDigits, BinaryDigits) {
+  NodeId id{1ULL << 63, 0};
+  EXPECT_EQ(id.digit(0, 1), 1u);
+  EXPECT_EQ(id.digit(1, 1), 0u);
+}
+
+TEST(NodeIdPrefix, SharedPrefixDigits) {
+  NodeId a{0xAB00000000000000ULL, 0};
+  NodeId b{0xAB00000000000000ULL, 0};
+  EXPECT_EQ(a.shared_prefix_digits(b, 4), 32);
+  NodeId c{0xAC00000000000000ULL, 0};
+  EXPECT_EQ(a.shared_prefix_digits(c, 4), 1);  // share 'A', differ at 'B'/'C'
+  NodeId d{0x1000000000000000ULL, 0};
+  EXPECT_EQ(a.shared_prefix_digits(d, 4), 0);
+}
+
+TEST(NodeIdHex, Formats32Chars) {
+  NodeId id{0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL};
+  EXPECT_EQ(id.to_hex(), "0123456789abcdeffedcba9876543210");
+}
+
+TEST(NodeIdFrom, KeyIsDeterministic) {
+  EXPECT_EQ(node_id_from_key("ranker-1"), node_id_from_key("ranker-1"));
+  EXPECT_NE(node_id_from_key("ranker-1"), node_id_from_key("ranker-2"));
+}
+
+TEST(NodeIdFrom, U64ValuesAreWellSpread) {
+  std::set<std::uint64_t> highs;
+  for (std::uint64_t i = 0; i < 1000; ++i) highs.insert(node_id_from_u64(i).hi);
+  EXPECT_EQ(highs.size(), 1000u);
+}
+
+TEST(LinearDistance, SymmetricAndZeroOnEqual) {
+  NodeId a{5, 10};
+  NodeId b{5, 30};
+  EXPECT_EQ(linear_distance(a, a), (NodeId{0, 0}));
+  EXPECT_EQ(linear_distance(a, b), linear_distance(b, a));
+  EXPECT_EQ(linear_distance(a, b), (NodeId{0, 20}));
+}
+
+TEST(LinearDistance, BorrowsAcrossWords) {
+  NodeId a{1, 0};
+  NodeId b{0, 1};
+  // (1,0) - (0,1) = (0, 2^64 - 1).
+  EXPECT_EQ(linear_distance(a, b), (NodeId{0, ~0ULL}));
+}
+
+TEST(RingDistance, WrapsAround) {
+  NodeId a{~0ULL, ~0ULL};  // max id
+  NodeId b{0, 0};
+  EXPECT_EQ(ring_distance(a, b), (NodeId{0, 1}));  // one step clockwise
+  EXPECT_EQ(ring_distance(b, a), (NodeId{~0ULL, ~0ULL}));
+}
+
+TEST(RingDistance, ZeroOnEqual) {
+  NodeId a{3, 4};
+  EXPECT_EQ(ring_distance(a, a), (NodeId{0, 0}));
+}
+
+TEST(InRingRange, BasicHalfOpen) {
+  NodeId from{0, 10};
+  NodeId to{0, 20};
+  EXPECT_FALSE(in_ring_range({0, 10}, from, to));  // exclusive lower
+  EXPECT_TRUE(in_ring_range({0, 15}, from, to));
+  EXPECT_TRUE(in_ring_range({0, 20}, from, to));  // inclusive upper
+  EXPECT_FALSE(in_ring_range({0, 21}, from, to));
+}
+
+TEST(InRingRange, WrappingInterval) {
+  NodeId from{~0ULL, ~0ULL - 5};
+  NodeId to{0, 5};
+  EXPECT_TRUE(in_ring_range({0, 0}, from, to));
+  EXPECT_TRUE(in_ring_range({~0ULL, ~0ULL}, from, to));
+  EXPECT_FALSE(in_ring_range({0, 6}, from, to));
+}
+
+TEST(NodeIdOrdering, ComparesLexicographicallyHiLo) {
+  EXPECT_LT((NodeId{0, ~0ULL}), (NodeId{1, 0}));
+  EXPECT_LT((NodeId{1, 2}), (NodeId{1, 3}));
+}
+
+}  // namespace
+}  // namespace p2prank::overlay

@@ -1,0 +1,193 @@
+#include "overlay/pastry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace p2prank::overlay {
+namespace {
+
+PastryConfig config(std::uint32_t n, int b = 4) {
+  PastryConfig cfg;
+  cfg.num_nodes = n;
+  cfg.bits_per_digit = b;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+TEST(Pastry, RejectsBadConfig) {
+  EXPECT_THROW(PastryOverlay{config(0)}, std::invalid_argument);
+  EXPECT_THROW(PastryOverlay{config(10, 3)}, std::invalid_argument);
+  auto cfg = config(10);
+  cfg.leaf_set_size = 5;  // odd
+  EXPECT_THROW(PastryOverlay{cfg}, std::invalid_argument);
+}
+
+TEST(Pastry, IdsAreSortedAndUnique) {
+  PastryOverlay o(config(500));
+  for (NodeIndex i = 1; i < 500; ++i) {
+    EXPECT_LT(o.id_of(i - 1), o.id_of(i));
+  }
+}
+
+TEST(Pastry, ResponsibleNodeIsNumericallyClosest) {
+  PastryOverlay o(config(200));
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId key = node_id_from_u64(rng.next());
+    const NodeIndex r = o.responsible_node(key);
+    const NodeId best = linear_distance(o.id_of(r), key);
+    for (NodeIndex i = 0; i < 200; ++i) {
+      EXPECT_GE(linear_distance(o.id_of(i), key), best) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Pastry, ResponsibleNodeOfOwnIdIsSelf) {
+  PastryOverlay o(config(100));
+  for (NodeIndex i = 0; i < 100; ++i) {
+    EXPECT_EQ(o.responsible_node(o.id_of(i)), i);
+  }
+}
+
+TEST(Pastry, RouteEndsAtResponsibleNode) {
+  PastryOverlay o(config(300));
+  util::Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto from = static_cast<NodeIndex>(rng.below(300));
+    const NodeId key = node_id_from_u64(rng.next());
+    const auto path = o.route(from, key);
+    const NodeIndex dest = o.responsible_node(key);
+    if (from == dest) {
+      EXPECT_TRUE(path.empty());
+    } else {
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.back(), dest);
+    }
+  }
+}
+
+TEST(Pastry, EveryHopIsANeighborOfThePreviousNode) {
+  PastryOverlay o(config(300));
+  util::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto from = static_cast<NodeIndex>(rng.below(300));
+    const NodeId key = node_id_from_u64(rng.next());
+    NodeIndex cur = from;
+    for (const NodeIndex hop : o.route(from, key)) {
+      const auto nb = o.neighbors(cur);
+      EXPECT_TRUE(std::find(nb.begin(), nb.end(), hop) != nb.end())
+          << "hop from " << cur << " to " << hop << " not a neighbor";
+      cur = hop;
+    }
+  }
+}
+
+TEST(Pastry, RoutingTableEntriesHaveCorrectPrefixShape) {
+  PastryOverlay o(config(300));
+  for (NodeIndex node = 0; node < 300; node += 17) {
+    const NodeId my = o.id_of(node);
+    for (int r = 0; r < o.num_rows(); ++r) {
+      for (int c = 0; c < 16; ++c) {
+        const NodeIndex entry = o.table_entry(node, r, c);
+        if (entry == kInvalidNode) continue;
+        const NodeId other = o.id_of(entry);
+        EXPECT_EQ(my.shared_prefix_digits(other, 4), r);
+        EXPECT_EQ(other.digit(r, 4), static_cast<unsigned>(c));
+      }
+    }
+  }
+}
+
+TEST(Pastry, LeafSetHasConfiguredSize) {
+  auto cfg = config(300);
+  cfg.leaf_set_size = 8;
+  PastryOverlay o(cfg);
+  for (NodeIndex node = 0; node < 300; node += 37) {
+    EXPECT_EQ(o.leaf_set(node).size(), 8u);
+  }
+}
+
+TEST(Pastry, LeafSetOfTinyOverlayIsEveryoneElse) {
+  PastryOverlay o(config(5));
+  for (NodeIndex node = 0; node < 5; ++node) {
+    const auto leaves = o.leaf_set(node);
+    EXPECT_EQ(leaves.size(), 4u);
+    std::set<NodeIndex> seen(leaves.begin(), leaves.end());
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_FALSE(seen.contains(node));
+  }
+}
+
+TEST(Pastry, SingleNodeRoutesNowhere) {
+  PastryOverlay o(config(1));
+  const auto path = o.route(0, node_id_from_u64(99));
+  EXPECT_TRUE(path.empty());
+}
+
+TEST(Pastry, MeanHopsFollowsLogBase16) {
+  // The paper quotes ~2.5 hops at N=1000 (b=4). Expect log_16(N) +- 1.
+  PastryOverlay o(config(1000));
+  const auto probe = probe_overlay(o, 2000, 99);
+  const double expected = std::log2(1000.0) / 4.0;  // ~2.49
+  EXPECT_NEAR(probe.mean_hops, expected, 0.8);
+  EXPECT_LE(probe.max_hops, 7.0);
+}
+
+TEST(Pastry, NeighborCountIsDozens) {
+  // "one node commonly has roughly some dozens of neighbors".
+  PastryOverlay o(config(1000));
+  const auto probe = probe_overlay(o, 10, 1);
+  EXPECT_GT(probe.mean_neighbors, 15.0);
+  EXPECT_LT(probe.mean_neighbors, 120.0);
+}
+
+TEST(Pastry, SmallerDigitBaseMeansMoreHops) {
+  PastryOverlay b4(config(512, 4));
+  PastryOverlay b2(config(512, 2));
+  const auto p4 = probe_overlay(b4, 1000, 3);
+  const auto p2 = probe_overlay(b2, 1000, 3);
+  EXPECT_GT(p2.mean_hops, p4.mean_hops);
+}
+
+struct SizeParam {
+  std::uint32_t n;
+};
+
+class PastrySizeSweep : public ::testing::TestWithParam<SizeParam> {};
+
+TEST_P(PastrySizeSweep, DeliveryIsCorrectAtEveryScale) {
+  PastryOverlay o(config(GetParam().n));
+  util::Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto from = static_cast<NodeIndex>(rng.below(GetParam().n));
+    const NodeId key = node_id_from_u64(rng.next());
+    const auto path = o.route(from, key);
+    const NodeIndex dest = o.responsible_node(key);
+    if (!path.empty()) {
+      EXPECT_EQ(path.back(), dest);
+    }
+  }
+}
+
+TEST_P(PastrySizeSweep, HopsGrowLogarithmically) {
+  PastryOverlay o(config(GetParam().n));
+  const auto probe = probe_overlay(o, 500, 2);
+  const double bound = std::log2(static_cast<double>(GetParam().n)) / 4.0 + 1.5;
+  EXPECT_LE(probe.mean_hops, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PastrySizeSweep,
+                         ::testing::Values(SizeParam{2}, SizeParam{16},
+                                           SizeParam{64}, SizeParam{256},
+                                           SizeParam{1024}, SizeParam{4096}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n);
+                         });
+
+}  // namespace
+}  // namespace p2prank::overlay

@@ -1,0 +1,202 @@
+#include "partition/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "graph/synthetic_web.hpp"
+#include "partition/partition_stats.hpp"
+
+namespace p2prank::partition {
+namespace {
+
+class PartitionFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new graph::WebGraph(
+        graph::generate_synthetic_web(graph::google2002_config(20000, 33)));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    graph_ = nullptr;
+  }
+  static graph::WebGraph* graph_;
+};
+
+graph::WebGraph* PartitionFixture::graph_ = nullptr;
+
+TEST_F(PartitionFixture, AllStrategiesProduceValidAssignments) {
+  const std::uint32_t k = 16;
+  for (const auto& p :
+       {make_random_partitioner(1), make_hash_url_partitioner(),
+        make_hash_site_partitioner(), make_balanced_site_partitioner()}) {
+    const auto groups = p->partition(*graph_, k);
+    ASSERT_EQ(groups.size(), graph_->num_pages()) << p->name();
+    for (const auto g : groups) ASSERT_LT(g, k) << p->name();
+  }
+}
+
+TEST_F(PartitionFixture, KOfOnePutsEverythingInGroupZero) {
+  for (const auto& p : {make_random_partitioner(1), make_hash_url_partitioner(),
+                        make_hash_site_partitioner(),
+                        make_balanced_site_partitioner()}) {
+    const auto groups = p->partition(*graph_, 1);
+    for (const auto g : groups) ASSERT_EQ(g, 0u) << p->name();
+  }
+}
+
+TEST_F(PartitionFixture, ZeroKRejected) {
+  EXPECT_THROW((void)make_hash_site_partitioner()->partition(*graph_, 0),
+               std::invalid_argument);
+}
+
+TEST_F(PartitionFixture, SitePartitionKeepsSitesWhole) {
+  const auto groups = make_hash_site_partitioner()->partition(*graph_, 32);
+  for (graph::SiteId s = 0; s < graph_->num_sites(); ++s) {
+    const auto pages = graph_->pages_of_site(s);
+    for (const auto p : pages) ASSERT_EQ(groups[p], groups[pages[0]]);
+  }
+}
+
+TEST_F(PartitionFixture, BalancedSiteKeepsSitesWhole) {
+  const auto groups = make_balanced_site_partitioner()->partition(*graph_, 32);
+  for (graph::SiteId s = 0; s < graph_->num_sites(); ++s) {
+    const auto pages = graph_->pages_of_site(s);
+    for (const auto p : pages) ASSERT_EQ(groups[p], groups[pages[0]]);
+  }
+}
+
+TEST_F(PartitionFixture, SitePartitionCutsFarFewerLinksThanUrlPartition) {
+  // The core claim of Section 4.1: at ~90% intra-site locality, dividing at
+  // site granularity sheds most cut links.
+  const std::uint32_t k = 16;
+  const auto by_site = compute_partition_stats(
+      *graph_, make_hash_site_partitioner()->partition(*graph_, k), k);
+  const auto by_url = compute_partition_stats(
+      *graph_, make_hash_url_partitioner()->partition(*graph_, k), k);
+  EXPECT_LT(by_site.cut_fraction(), 0.2);
+  EXPECT_GT(by_url.cut_fraction(), 0.8);
+  EXPECT_LT(static_cast<double>(by_site.cut_links),
+            0.25 * static_cast<double>(by_url.cut_links));
+}
+
+TEST_F(PartitionFixture, RandomAndUrlCutSimilarly) {
+  const std::uint32_t k = 16;
+  const auto random = compute_partition_stats(
+      *graph_, make_random_partitioner(5)->partition(*graph_, k), k);
+  const auto by_url = compute_partition_stats(
+      *graph_, make_hash_url_partitioner()->partition(*graph_, k), k);
+  EXPECT_NEAR(random.cut_fraction(), by_url.cut_fraction(), 0.05);
+}
+
+TEST_F(PartitionFixture, HashStrategiesAreRecrawlStable) {
+  // A page revisited later must land on the same ranker: assign_url is
+  // defined and agrees with the bulk partition.
+  for (const auto& p : {make_hash_url_partitioner(), make_hash_site_partitioner()}) {
+    const std::uint32_t k = 8;
+    const auto groups = p->partition(*graph_, k);
+    for (graph::PageId page = 0; page < graph_->num_pages(); page += 101) {
+      GroupId g = 0;
+      ASSERT_TRUE(p->assign_url(graph_->url(page), k, g)) << p->name();
+      EXPECT_EQ(g, groups[page]) << p->name() << " url=" << graph_->url(page);
+    }
+  }
+}
+
+TEST_F(PartitionFixture, RandomStrategyCannotAnswerSingleUrl) {
+  GroupId g = 0;
+  EXPECT_FALSE(make_random_partitioner(1)->assign_url("s.edu/a", 8, g));
+}
+
+TEST_F(PartitionFixture, BalancedSiteBeatsHashSiteOnBalance) {
+  const std::uint32_t k = 8;
+  const auto hashed = compute_partition_stats(
+      *graph_, make_hash_site_partitioner()->partition(*graph_, k), k);
+  const auto balanced = compute_partition_stats(
+      *graph_, make_balanced_site_partitioner()->partition(*graph_, k), k);
+  EXPECT_LE(balanced.imbalance(), hashed.imbalance());
+  // No site-granularity partition can beat the largest single site; LPT is
+  // within 4/3 of the optimum, which is max(ideal, largest site).
+  std::size_t largest_site = 0;
+  for (graph::SiteId s = 0; s < graph_->num_sites(); ++s) {
+    largest_site = std::max(largest_site, graph_->pages_of_site(s).size());
+  }
+  const double ideal =
+      static_cast<double>(graph_->num_pages()) / static_cast<double>(k);
+  const double optimum = std::max(ideal, static_cast<double>(largest_site));
+  EXPECT_LE(balanced.imbalance(), 4.0 / 3.0 * optimum / ideal + 1e-9);
+}
+
+TEST_F(PartitionFixture, StatsAfferentEqualsEfferentTotals) {
+  const std::uint32_t k = 16;
+  const auto groups = make_hash_url_partitioner()->partition(*graph_, k);
+  const auto stats = compute_partition_stats(*graph_, groups, k);
+  std::size_t eff = 0;
+  std::size_t aff = 0;
+  for (std::uint32_t g = 0; g < k; ++g) {
+    eff += stats.group_efferent[g];
+    aff += stats.group_afferent[g];
+  }
+  EXPECT_EQ(eff, stats.cut_links);
+  EXPECT_EQ(aff, stats.cut_links);
+}
+
+TEST_F(PartitionFixture, GroupSizesSumToPages) {
+  const std::uint32_t k = 13;
+  const auto stats = compute_partition_stats(
+      *graph_, make_random_partitioner(9)->partition(*graph_, k), k);
+  std::size_t total = 0;
+  for (const auto s : stats.group_sizes) total += s;
+  EXPECT_EQ(total, graph_->num_pages());
+}
+
+TEST_F(PartitionFixture, StatsRejectSizeMismatch) {
+  std::vector<GroupId> wrong(graph_->num_pages() - 1, 0);
+  EXPECT_THROW((void)compute_partition_stats(*graph_, wrong, 4),
+               std::invalid_argument);
+}
+
+struct CutParam {
+  std::uint32_t k;
+};
+
+class SiteCutSweep : public PartitionFixture,
+                     public ::testing::WithParamInterface<CutParam> {};
+
+TEST_P(SiteCutSweep, CutFractionBoundedByInterSiteLinks) {
+  // Site partitioning can only cut inter-site links, so the cut fraction is
+  // bounded by 1 - intra_site_fraction (~10%) at any k.
+  const auto k = GetParam().k;
+  const auto stats = compute_partition_stats(
+      *graph_, make_hash_site_partitioner()->partition(*graph_, k), k);
+  EXPECT_LE(stats.cut_fraction(), 0.15) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SiteCutSweep,
+                         ::testing::Values(CutParam{2}, CutParam{4}, CutParam{16},
+                                           CutParam{64}, CutParam{256}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k);
+                         });
+
+class CutGrowthSweep : public PartitionFixture,
+                       public ::testing::WithParamInterface<CutParam> {};
+
+TEST_P(CutGrowthSweep, UrlCutFractionApproachesOneMinusOneOverK) {
+  const auto k = GetParam().k;
+  const auto stats = compute_partition_stats(
+      *graph_, make_hash_url_partitioner()->partition(*graph_, k), k);
+  const double expected = 1.0 - 1.0 / static_cast<double>(k);
+  EXPECT_NEAR(stats.cut_fraction(), expected, 0.05) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, CutGrowthSweep,
+                         ::testing::Values(CutParam{2}, CutParam{4}, CutParam{8},
+                                           CutParam{32}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k);
+                         });
+
+}  // namespace
+}  // namespace p2prank::partition

@@ -1,0 +1,123 @@
+#include "rank/hits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph_builder.hpp"
+#include "graph/synthetic_web.hpp"
+#include "test_support.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::rank {
+namespace {
+
+util::ThreadPool& pool() {
+  static util::ThreadPool p(2);
+  return p;
+}
+
+double l2(const std::vector<double>& v) {
+  double sq = 0.0;
+  for (const double x : v) sq += x * x;
+  return std::sqrt(sq);
+}
+
+TEST(Hits, EmptyGraph) {
+  graph::GraphBuilder b;
+  const auto g = std::move(b).build();
+  const auto r = hits(g, {}, pool());
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.authorities.empty());
+}
+
+TEST(Hits, EdgelessGraphIsAllZero) {
+  graph::GraphBuilder b;
+  b.add_page("s.edu/a", "s.edu");
+  b.add_page("s.edu/b", "s.edu");
+  const auto g = std::move(b).build();
+  const auto r = hits(g, {}, pool());
+  EXPECT_TRUE(r.converged);
+  for (const double x : r.authorities) EXPECT_EQ(x, 0.0);
+  for (const double x : r.hubs) EXPECT_EQ(x, 0.0);
+}
+
+TEST(Hits, StarGraphSeparatesHubsFromAuthorities) {
+  // Leaves point at the hub page: the "hub" page of the star is the
+  // *authority* in HITS terms; the leaves are hubs.
+  const auto g = test::star(4);
+  const auto r = hits(g, {}, pool());
+  ASSERT_TRUE(r.converged);
+  const auto center = *g.find("s.edu/hub");
+  EXPECT_NEAR(r.authorities[center], 1.0, 1e-9);  // all authority mass
+  EXPECT_NEAR(r.hubs[center], 0.0, 1e-9);
+  for (graph::PageId p = 0; p < g.num_pages(); ++p) {
+    if (p == center) continue;
+    EXPECT_NEAR(r.hubs[p], 0.5, 1e-9);  // 4 equal hubs, unit L2
+    EXPECT_NEAR(r.authorities[p], 0.0, 1e-9);
+  }
+}
+
+TEST(Hits, VectorsAreUnitL2) {
+  const auto g = graph::generate_synthetic_web(graph::google2002_config(3000, 3));
+  const auto r = hits(g, {}, pool());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(l2(r.authorities), 1.0, 1e-9);
+  EXPECT_NEAR(l2(r.hubs), 1.0, 1e-9);
+}
+
+TEST(Hits, ScoresAreNonNegative) {
+  const auto g = graph::generate_synthetic_web(graph::google2002_config(3000, 9));
+  const auto r = hits(g, {}, pool());
+  for (const double x : r.authorities) ASSERT_GE(x, 0.0);
+  for (const double x : r.hubs) ASSERT_GE(x, 0.0);
+}
+
+TEST(Hits, BipartiteCommunityDominates) {
+  // Dense bipartite core (3 hubs x 3 authorities) plus a lone edge: the
+  // core must dominate both score vectors (HITS' defining behaviour).
+  graph::GraphBuilder b;
+  std::vector<graph::PageId> hubs_ids;
+  std::vector<graph::PageId> auth_ids;
+  for (int i = 0; i < 3; ++i) {
+    hubs_ids.push_back(b.add_page("s.edu/h" + std::to_string(i), "s.edu"));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auth_ids.push_back(b.add_page("s.edu/a" + std::to_string(i), "s.edu"));
+  }
+  const auto lone_src = b.add_page("s.edu/lone_src", "s.edu");
+  const auto lone_dst = b.add_page("s.edu/lone_dst", "s.edu");
+  for (const auto h : hubs_ids) {
+    for (const auto a : auth_ids) b.add_link(h, a);
+  }
+  b.add_link(lone_src, lone_dst);
+  const auto g = std::move(b).build();
+
+  const auto r = hits(g, {}, pool());
+  ASSERT_TRUE(r.converged);
+  for (const auto a : auth_ids) EXPECT_GT(r.authorities[a], r.authorities[lone_dst]);
+  for (const auto h : hubs_ids) EXPECT_GT(r.hubs[h], r.hubs[lone_src]);
+}
+
+TEST(Hits, IterationCapReported) {
+  const auto g = graph::generate_synthetic_web(graph::google2002_config(2000, 5));
+  HitsOptions opts;
+  opts.max_iterations = 2;
+  opts.epsilon = 0.0;
+  const auto r = hits(g, opts, pool());
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 2u);
+}
+
+TEST(Hits, DeterministicAcrossRuns) {
+  const auto g = graph::generate_synthetic_web(graph::google2002_config(2000, 6));
+  const auto r1 = hits(g, {}, pool());
+  const auto r2 = hits(g, {}, pool());
+  ASSERT_EQ(r1.authorities.size(), r2.authorities.size());
+  for (std::size_t i = 0; i < r1.authorities.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.authorities[i], r2.authorities[i]);
+  }
+}
+
+}  // namespace
+}  // namespace p2prank::rank

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/processes.hpp"
+
+namespace p2prank::sim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RejectsPastAndNegative) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_at(6.0, EventQueue::Handler{}), std::invalid_argument);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  // A self-perpetuating chain of 5 events.
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(1.0, chain);
+  q.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] { ++fired; });
+  q.schedule_at(2.5, [&] { ++fired; });
+  const auto executed = q.run_until(2.0);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWhenIdle) {
+  EventQueue q;
+  q.run_until(42.0);
+  EXPECT_EQ(q.now(), 42.0);
+}
+
+TEST(EventQueue, RunUntilExecutesCascadedEventsWithinWindow) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    ++fired;
+    q.schedule_in(0.5, [&] { ++fired; });   // at 1.5, inside window
+    q.schedule_in(10.0, [&] { ++fired; });  // at 11, outside
+  });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunRespectsMaxEvents) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i + 1.0, [&] { ++fired; });
+  const auto executed = q.run(4);
+  EXPECT_EQ(executed, 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(WaitProcess, RejectsBadInterval) {
+  EXPECT_THROW(WaitProcess(-1.0, 5.0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(WaitProcess(5.0, 2.0, 3, 1), std::invalid_argument);
+}
+
+TEST(WaitProcess, MeansDrawnFromInterval) {
+  WaitProcess w(2.0, 8.0, 1000, 9);
+  for (std::size_t u = 0; u < 1000; ++u) {
+    EXPECT_GE(w.mean_of(u), 2.0);
+    EXPECT_LE(w.mean_of(u), 8.0);
+  }
+}
+
+TEST(WaitProcess, DegenerateIntervalGivesExactMean) {
+  WaitProcess w(15.0, 15.0, 10, 9);
+  for (std::size_t u = 0; u < 10; ++u) EXPECT_DOUBLE_EQ(w.mean_of(u), 15.0);
+}
+
+TEST(WaitProcess, WaitsAreExponentialWithNodeMean) {
+  WaitProcess w(4.0, 4.0, 1, 10);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += w.next_wait(0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(WaitProcess, WaitsNonNegative) {
+  WaitProcess w(0.0, 6.0, 5, 11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(w.next_wait(static_cast<std::size_t>(i % 5)), 0.0);
+  }
+}
+
+TEST(LossModel, RejectsBadProbability) {
+  EXPECT_THROW(LossModel(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(LossModel(1.1, 1), std::invalid_argument);
+}
+
+TEST(LossModel, AlwaysDeliversAtOne) {
+  LossModel m(1.0, 2);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(m.delivered());
+}
+
+TEST(LossModel, NeverDeliversAtZero) {
+  LossModel m(0.0, 2);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(m.delivered());
+}
+
+TEST(LossModel, FrequencyMatchesProbability) {
+  LossModel m(0.7, 3);
+  int delivered = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) delivered += m.delivered() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(delivered) / kN, 0.7, 0.01);
+}
+
+}  // namespace
+}  // namespace p2prank::sim

@@ -1,0 +1,60 @@
+// Shared fixtures for the p2prank test suite: tiny graphs with known
+// closed-form ranks, and helpers for building crawls inline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.hpp"
+#include "graph/web_graph.hpp"
+
+namespace p2prank::test {
+
+/// Two pages linking to each other, same site.
+///   a <-> b
+/// Open-system fixed point (E = 1): R = β + α·R  =>  R(a) = R(b) = 1.
+inline graph::WebGraph two_cycle() {
+  graph::GraphBuilder b;
+  const auto a = b.add_page("s.edu/a", "s.edu");
+  const auto c = b.add_page("s.edu/b", "s.edu");
+  b.add_link(a, c);
+  b.add_link(c, a);
+  return std::move(b).build();
+}
+
+/// Star: n leaves all pointing at one hub; hub dangling.
+/// R(leaf) = β;  R(hub) = β + n·α·β.
+inline graph::WebGraph star(int leaves) {
+  graph::GraphBuilder b;
+  const auto hub = b.add_page("s.edu/hub", "s.edu");
+  for (int i = 0; i < leaves; ++i) {
+    const auto leaf = b.add_page("s.edu/leaf" + std::to_string(i), "s.edu");
+    b.add_link(leaf, hub);
+  }
+  return std::move(b).build();
+}
+
+/// Chain a0 -> a1 -> ... -> a_{n-1} across two sites (split at the middle).
+inline graph::WebGraph chain(int n) {
+  graph::GraphBuilder b;
+  std::vector<graph::PageId> ids;
+  for (int i = 0; i < n; ++i) {
+    const std::string site = i < n / 2 ? "left.edu" : "right.edu";
+    ids.push_back(b.add_page(site + "/p" + std::to_string(i), site));
+  }
+  for (int i = 0; i + 1 < n; ++i) b.add_link(ids[i], ids[i + 1]);
+  return std::move(b).build();
+}
+
+/// A page with one internal and one external link: rank leaks.
+///   a -> b (internal), a -> (uncrawled), b dangling.
+inline graph::WebGraph leaky_pair() {
+  graph::GraphBuilder b;
+  const auto a = b.add_page("s.edu/a", "s.edu");
+  const auto c = b.add_page("s.edu/b", "s.edu");
+  b.add_link(a, c);
+  b.add_external_link(a);
+  return std::move(b).build();
+}
+
+}  // namespace p2prank::test

@@ -1,0 +1,194 @@
+#include "transport/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "overlay/chord.hpp"
+#include "overlay/pastry.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::transport {
+namespace {
+
+using overlay::NodeIndex;
+
+overlay::PastryOverlay pastry(std::uint32_t n) {
+  overlay::PastryConfig cfg;
+  cfg.num_nodes = n;
+  cfg.seed = 4242;
+  return overlay::PastryOverlay(cfg);
+}
+
+TEST(ExchangeDemand, IgnoresSelfAndZero) {
+  ExchangeDemand d(4);
+  d.add(1, 1, 100);  // self
+  d.add(1, 2, 0);    // zero
+  EXPECT_EQ(d.total_records(), 0u);
+  EXPECT_TRUE(d.from(1).empty());
+}
+
+TEST(ExchangeDemand, RejectsOutOfRange) {
+  ExchangeDemand d(4);
+  EXPECT_THROW(d.add(4, 0, 1), std::out_of_range);
+  EXPECT_THROW(d.add(0, 9, 1), std::out_of_range);
+  EXPECT_THROW(ExchangeDemand(0), std::invalid_argument);
+}
+
+TEST(ExchangeDemand, AllPairsCountsAreRight) {
+  const auto d = ExchangeDemand::all_pairs(5, 10);
+  EXPECT_EQ(d.total_records(), 5u * 4u * 10u);
+  for (NodeIndex s = 0; s < 5; ++s) EXPECT_EQ(d.from(s).size(), 4u);
+}
+
+TEST(DirectExchange, DeliversEverything) {
+  const auto o = pastry(32);
+  const auto d = ExchangeDemand::all_pairs(32, 7);
+  const auto report = run_direct_exchange(o, d, WireFormat{});
+  EXPECT_EQ(report.records_delivered, d.total_records());
+}
+
+TEST(DirectExchange, MessageCountIsDataPlusLookups) {
+  const auto o = pastry(32);
+  const auto d = ExchangeDemand::all_pairs(32, 1);
+  const auto report = run_direct_exchange(o, d, WireFormat{});
+  EXPECT_EQ(report.data_messages, 32u * 31u);
+  // Lookups: roughly h per destination pair, h in [1, log16(32)+2].
+  EXPECT_GT(report.lookup_messages, report.data_messages / 2);
+  EXPECT_EQ(report.rounds, 1u);
+}
+
+TEST(DirectExchange, CachedLookupsRemoveLookupCost) {
+  const auto o = pastry(32);
+  const auto d = ExchangeDemand::all_pairs(32, 3);
+  const auto cold = run_direct_exchange(o, d, WireFormat{}, false);
+  const auto warm = run_direct_exchange(o, d, WireFormat{}, true);
+  EXPECT_EQ(warm.lookup_messages, 0u);
+  EXPECT_EQ(warm.lookup_bytes, 0.0);
+  EXPECT_EQ(warm.data_messages, cold.data_messages);
+  EXPECT_LT(warm.total_bytes(), cold.total_bytes());
+}
+
+TEST(DirectExchange, BytesMatchWireFormat) {
+  const auto o = pastry(4);
+  ExchangeDemand d(4);
+  d.add(0, 1, 10);
+  WireFormat wire;
+  wire.record_bytes = 100.0;
+  wire.header_bytes = 40.0;
+  const auto report = run_direct_exchange(o, d, wire, true);
+  EXPECT_DOUBLE_EQ(report.data_bytes, 40.0 + 1000.0);
+}
+
+TEST(IndirectExchange, DeliversEverything) {
+  const auto o = pastry(32);
+  const auto d = ExchangeDemand::all_pairs(32, 7);
+  const auto report = run_indirect_exchange(o, d, WireFormat{});
+  EXPECT_EQ(report.records_delivered, d.total_records());
+}
+
+TEST(IndirectExchange, NoLookupMessagesAtAll) {
+  const auto o = pastry(32);
+  const auto d = ExchangeDemand::all_pairs(32, 2);
+  const auto report = run_indirect_exchange(o, d, WireFormat{});
+  EXPECT_EQ(report.lookup_messages, 0u);
+  EXPECT_EQ(report.lookup_bytes, 0.0);
+}
+
+TEST(IndirectExchange, FarFewerMessagesThanDirectAtScale) {
+  const auto o = pastry(128);
+  const auto d = ExchangeDemand::all_pairs(128, 1);
+  const auto direct = run_direct_exchange(o, d, WireFormat{});
+  const auto indirect = run_indirect_exchange(o, d, WireFormat{});
+  // S_dt = (h+1)N² vs S_it rounds-amortized ~ gN: must be far apart at N=128.
+  EXPECT_LT(indirect.data_messages * 5, direct.total_messages());
+}
+
+TEST(IndirectExchange, RecordsTravelMultipleHops) {
+  const auto o = pastry(128);
+  const auto d = ExchangeDemand::all_pairs(128, 1);
+  const auto report = run_indirect_exchange(o, d, WireFormat{});
+  // Mean hops per record should be around log16(128) ~ 1.75, certainly > 1.
+  const double mean_hops = static_cast<double>(report.record_hops) /
+                           static_cast<double>(report.records_delivered);
+  EXPECT_GT(mean_hops, 1.0);
+  EXPECT_LT(mean_hops, 5.0);
+  EXPECT_GE(report.rounds, 2u);
+}
+
+TEST(IndirectExchange, MoreTotalBytesThanCachedDirect) {
+  // Indirect moves every record h times; direct (with cached addresses)
+  // moves it once — the bandwidth-vs-messages tradeoff of Section 4.4.
+  const auto o = pastry(64);
+  const auto d = ExchangeDemand::all_pairs(64, 5);
+  const auto direct = run_direct_exchange(o, d, WireFormat{}, true);
+  const auto indirect = run_indirect_exchange(o, d, WireFormat{});
+  EXPECT_GT(indirect.data_bytes, direct.data_bytes);
+}
+
+TEST(IndirectExchange, EmptyDemandIsNoop) {
+  const auto o = pastry(8);
+  const ExchangeDemand d(8);
+  const auto report = run_indirect_exchange(o, d, WireFormat{});
+  EXPECT_EQ(report.records_delivered, 0u);
+  EXPECT_EQ(report.data_messages, 0u);
+  EXPECT_EQ(report.rounds, 0u);
+}
+
+TEST(IndirectExchange, WorksOnChordToo) {
+  overlay::ChordConfig cfg;
+  cfg.num_nodes = 32;
+  cfg.seed = 5;
+  const overlay::ChordOverlay o(cfg);
+  const auto d = ExchangeDemand::all_pairs(32, 3);
+  const auto report = run_indirect_exchange(o, d, WireFormat{});
+  EXPECT_EQ(report.records_delivered, d.total_records());
+}
+
+TEST(IndirectExchange, SparseDemandOnlyTouchesRelevantPaths) {
+  const auto o = pastry(64);
+  ExchangeDemand d(64);
+  d.add(3, 40, 100);
+  const auto report = run_indirect_exchange(o, d, WireFormat{});
+  EXPECT_EQ(report.records_delivered, 100u);
+  // One path: messages == hops of that route.
+  EXPECT_EQ(report.data_messages, report.rounds);
+  EXPECT_EQ(report.record_hops, 100u * report.rounds);
+}
+
+TEST(Exchange, RejectsOverlaySmallerThanRankers) {
+  const auto o = pastry(4);
+  const auto d = ExchangeDemand::all_pairs(8, 1);
+  EXPECT_THROW((void)run_direct_exchange(o, d, WireFormat{}), std::invalid_argument);
+  EXPECT_THROW((void)run_indirect_exchange(o, d, WireFormat{}),
+               std::invalid_argument);
+}
+
+struct NParam {
+  std::uint32_t n;
+};
+
+class ScalingSweep : public ::testing::TestWithParam<NParam> {};
+
+TEST_P(ScalingSweep, IndirectMessagesScaleFarBelowDirect) {
+  const auto n = GetParam().n;
+  const auto o = pastry(n);
+  const auto d = ExchangeDemand::all_pairs(n, 1);
+  const auto direct = run_direct_exchange(o, d, WireFormat{});
+  const auto indirect = run_indirect_exchange(o, d, WireFormat{});
+  // Direct messages ~ (h+1)N²; indirect ~ h'·g·N. Ratio grows with N.
+  const double ratio = static_cast<double>(direct.total_messages()) /
+                       static_cast<double>(indirect.data_messages);
+  if (n >= 64) {
+    EXPECT_GT(ratio, static_cast<double>(n) / 16.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScalingSweep,
+                         ::testing::Values(NParam{16}, NParam{64}, NParam{256}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n);
+                         });
+
+}  // namespace
+}  // namespace p2prank::transport

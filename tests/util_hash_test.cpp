@@ -1,0 +1,60 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace p2prank::util {
+namespace {
+
+TEST(Fnv1a, KnownVectors) {
+  // Standard FNV-1a 64 test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a, IsConstexpr) {
+  constexpr auto h = fnv1a("compile-time");
+  static_assert(h != 0);
+  SUCCEED();
+}
+
+TEST(StableHash, StableAcrossCalls) {
+  EXPECT_EQ(stable_hash("www.example.edu"), stable_hash("www.example.edu"));
+}
+
+TEST(StableHash, SensitiveToEveryCharacter) {
+  EXPECT_NE(stable_hash("site1.edu"), stable_hash("site2.edu"));
+  EXPECT_NE(stable_hash("abc"), stable_hash("abd"));
+  EXPECT_NE(stable_hash("abc"), stable_hash("abcd"));
+}
+
+TEST(StableHash, LowBitsAreWellMixed) {
+  // Bucket 10k sequential keys into 16 buckets; each bucket should get a
+  // roughly fair share (this is what partitioning relies on).
+  int buckets[16] = {};
+  for (int i = 0; i < 10000; ++i) {
+    ++buckets[stable_hash("page" + std::to_string(i)) % 16];
+  }
+  for (const int count : buckets) {
+    EXPECT_GT(count, 400);
+    EXPECT_LT(count, 900);
+  }
+}
+
+TEST(HashCombine, OrderDependent) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, NoTrivialCollisionsOnSmallInputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 50; ++a) {
+    for (std::uint64_t b = 0; b < 50; ++b) seen.insert(hash_combine(a, b));
+  }
+  EXPECT_EQ(seen.size(), 2500u);
+}
+
+}  // namespace
+}  // namespace p2prank::util

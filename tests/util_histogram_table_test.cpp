@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+
+namespace p2prank::util {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Log2Histogram, ZeroGoesToBucketZero) {
+  Log2Histogram h;
+  h.add(0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Log2Histogram, PowersLandInDistinctBuckets) {
+  Log2Histogram h;
+  h.add(1);   // bucket 1: [1,1]
+  h.add(2);   // bucket 2: [2,3]
+  h.add(3);   // bucket 2
+  h.add(4);   // bucket 3: [4,7]
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Log2Histogram, BucketFloor) {
+  EXPECT_EQ(Log2Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_floor(4), 8u);
+}
+
+TEST(Log2Histogram, OutOfRangeBucketReadsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.bucket(17), 0u);
+}
+
+TEST(Log2Histogram, ToStringListsNonEmptyBuckets) {
+  Log2Histogram h;
+  h.add(5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[4, 7]: 1"), std::string::npos);
+}
+
+TEST(LinearHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(LinearHistogram, BinsValuesCorrectly) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LinearHistogram, ClampsOutOfRange) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(LinearHistogram, BinBounds) {
+  LinearHistogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(0.85, 2);
+  t.row().cell("iterations").cell(std::uint64_t{42});
+  std::ostringstream out;
+  t.print(out, "params");
+  const std::string s = out.str();
+  EXPECT_NE(s.find("params"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("0.85"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), std::logic_error);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.row().cell("has,comma").cell("has\"quote");
+  std::ostringstream out;
+  t.print_csv(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripSimple) {
+  Table t({"x"});
+  t.row().cell(std::uint64_t{7});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "x\n7\n");
+}
+
+TEST(Formatting, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(Formatting, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(1024.0 * 1024.0), "1.00 MiB");
+}
+
+TEST(Formatting, FormatSeconds) {
+  EXPECT_EQ(format_seconds(7500.0), "2.08 h");
+  EXPECT_EQ(format_seconds(12.0), "12.0 s");
+  EXPECT_EQ(format_seconds(0.035), "35.0 ms");
+}
+
+}  // namespace
+}  // namespace p2prank::util

@@ -1,0 +1,127 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace p2prank::util {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats whole;
+  OnlineStats left;
+  OnlineStats right;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Quantile, EmptyIsZero) { EXPECT_EQ(quantile({}, 0.5), 0.0); }
+
+TEST(Quantile, MedianOfOddSet) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> v{4.0, 2.0, 8.0, 6.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 8.0);
+}
+
+TEST(Quantile, InterpolatesBetweenRanks) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Norms, L1Norm) {
+  const std::vector<double> v{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(l1_norm(v), 6.0);
+}
+
+TEST(Norms, L1Distance) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{0.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), 3.0);
+}
+
+TEST(Norms, AccurateSumHandlesManySmallTerms) {
+  const std::vector<double> v(1000000, 1e-6);
+  EXPECT_NEAR(accurate_sum(v), 1.0, 1e-9);
+}
+
+TEST(RelativeError, ZeroWhenEqual) {
+  const std::vector<double> a{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(relative_error(a, a), 0.0);
+}
+
+TEST(RelativeError, MatchesDefinition) {
+  const std::vector<double> a{1.0, 1.0};
+  const std::vector<double> b{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(relative_error(a, b), 0.5);  // ||a-b|| / ||b|| = 2/4
+}
+
+TEST(RelativeError, BothZeroVectorsIsZero) {
+  const std::vector<double> z{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(relative_error(z, z), 0.0);
+}
+
+TEST(RelativeError, InfiniteAgainstZeroReference) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> z{0.0};
+  EXPECT_TRUE(std::isinf(relative_error(a, z)));
+}
+
+}  // namespace
+}  // namespace p2prank::util

@@ -1,0 +1,103 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace p2prank::util {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  int value = 0;
+  pool.parallel_for(1, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    ++value;
+  });
+  EXPECT_EQ(value, 1);
+}
+
+TEST(ThreadPool, ParallelForProducesDeterministicSum) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 100000;
+  std::vector<double> out(kN);
+  pool.parallel_for(kN, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = static_cast<double>(i);
+  });
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(kN) * (kN - 1) / 2.0);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [](std::size_t, std::size_t) {
+      throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t begin, std::size_t end) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ManySequentialCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(10, [&](std::size_t begin, std::size_t end) {
+      total += static_cast<int>(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 2000);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+}  // namespace
+}  // namespace p2prank::util

@@ -1,0 +1,26 @@
+// The p2prank command-line tool, as a library so tests can drive it.
+//
+// Subcommands:
+//   generate  — write a synthetic crawl (google2002 statistics) to a file
+//   stats     — structural statistics + rank-sink report for a crawl file
+//   rank      — centralized open-system ranking; top-k or full checkpoint
+//   simulate  — run the distributed engine (DPR1/DPR2) on a crawl and
+//               report the convergence series
+//   plan      — Section 4.5 capacity planning (no crawl needed)
+//
+// Every subcommand reads/writes the text formats of graph_io/checkpoint, so
+// the tool composes with itself:  generate | stats | rank | simulate.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+namespace p2prank::tools {
+
+/// Run the CLI. `args` excludes the program name. Output goes to `out`,
+/// diagnostics to `err`. Returns a process exit code (0 success, 2 usage).
+int run_cli(std::span<const std::string> args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace p2prank::tools

@@ -1,0 +1,12 @@
+// Entry point of the `p2prank` command-line tool; all logic lives in
+// cli.cpp so the test suite can drive it.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return p2prank::tools::run_cli(args, std::cout, std::cerr);
+}
