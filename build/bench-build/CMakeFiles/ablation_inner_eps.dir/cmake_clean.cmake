@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_inner_eps"
+  "../bench/ablation_inner_eps.pdb"
+  "CMakeFiles/ablation_inner_eps.dir/ablation_inner_eps.cpp.o"
+  "CMakeFiles/ablation_inner_eps.dir/ablation_inner_eps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inner_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

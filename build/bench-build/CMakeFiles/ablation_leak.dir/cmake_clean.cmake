@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_leak"
+  "../bench/ablation_leak.pdb"
+  "CMakeFiles/ablation_leak.dir/ablation_leak.cpp.o"
+  "CMakeFiles/ablation_leak.dir/ablation_leak.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_monotonic"
+  "../bench/fig7_monotonic.pdb"
+  "CMakeFiles/fig7_monotonic.dir/fig7_monotonic.cpp.o"
+  "CMakeFiles/fig7_monotonic.dir/fig7_monotonic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_monotonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

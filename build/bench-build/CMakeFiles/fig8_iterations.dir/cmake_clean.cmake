@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_iterations"
+  "../bench/fig8_iterations.pdb"
+  "CMakeFiles/fig8_iterations.dir/fig8_iterations.cpp.o"
+  "CMakeFiles/fig8_iterations.dir/fig8_iterations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

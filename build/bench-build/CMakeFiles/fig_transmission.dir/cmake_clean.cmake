@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_transmission"
+  "../bench/fig_transmission.pdb"
+  "CMakeFiles/fig_transmission.dir/fig_transmission.cpp.o"
+  "CMakeFiles/fig_transmission.dir/fig_transmission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

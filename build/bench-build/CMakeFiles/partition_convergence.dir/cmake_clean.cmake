@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/partition_convergence"
+  "../bench/partition_convergence.pdb"
+  "CMakeFiles/partition_convergence.dir/partition_convergence.cpp.o"
+  "CMakeFiles/partition_convergence.dir/partition_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

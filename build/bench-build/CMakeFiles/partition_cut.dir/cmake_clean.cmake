@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/partition_cut"
+  "../bench/partition_cut.pdb"
+  "CMakeFiles/partition_cut.dir/partition_cut.cpp.o"
+  "CMakeFiles/partition_cut.dir/partition_cut.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_capacity"
+  "../bench/table1_capacity.pdb"
+  "CMakeFiles/table1_capacity.dir/table1_capacity.cpp.o"
+  "CMakeFiles/table1_capacity.dir/table1_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dynamic_crawl"
+  "../examples/dynamic_crawl.pdb"
+  "CMakeFiles/dynamic_crawl.dir/dynamic_crawl.cpp.o"
+  "CMakeFiles/dynamic_crawl.dir/dynamic_crawl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

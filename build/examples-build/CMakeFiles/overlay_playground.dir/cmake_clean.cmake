@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/overlay_playground"
+  "../examples/overlay_playground.pdb"
+  "CMakeFiles/overlay_playground.dir/overlay_playground.cpp.o"
+  "CMakeFiles/overlay_playground.dir/overlay_playground.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

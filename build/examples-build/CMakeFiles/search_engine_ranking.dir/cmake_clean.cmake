@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/search_engine_ranking"
+  "../examples/search_engine_ranking.pdb"
+  "CMakeFiles/search_engine_ranking.dir/search_engine_ranking.cpp.o"
+  "CMakeFiles/search_engine_ranking.dir/search_engine_ranking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_engine_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

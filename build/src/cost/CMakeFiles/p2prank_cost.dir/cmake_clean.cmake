@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_cost.dir/capacity_model.cpp.o"
+  "CMakeFiles/p2prank_cost.dir/capacity_model.cpp.o.d"
+  "libp2prank_cost.a"
+  "libp2prank_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

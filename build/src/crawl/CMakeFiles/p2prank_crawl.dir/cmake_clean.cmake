@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_crawl.dir/crawler.cpp.o"
+  "CMakeFiles/p2prank_crawl.dir/crawler.cpp.o.d"
+  "libp2prank_crawl.a"
+  "libp2prank_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

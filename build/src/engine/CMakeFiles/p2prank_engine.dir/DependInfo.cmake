@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/checkpoint.cpp" "src/engine/CMakeFiles/p2prank_engine.dir/checkpoint.cpp.o" "gcc" "src/engine/CMakeFiles/p2prank_engine.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/engine/distributed.cpp" "src/engine/CMakeFiles/p2prank_engine.dir/distributed.cpp.o" "gcc" "src/engine/CMakeFiles/p2prank_engine.dir/distributed.cpp.o.d"
+  "/root/repo/src/engine/page_group.cpp" "src/engine/CMakeFiles/p2prank_engine.dir/page_group.cpp.o" "gcc" "src/engine/CMakeFiles/p2prank_engine.dir/page_group.cpp.o.d"
+  "/root/repo/src/engine/reference.cpp" "src/engine/CMakeFiles/p2prank_engine.dir/reference.cpp.o" "gcc" "src/engine/CMakeFiles/p2prank_engine.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/p2prank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/p2prank_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/p2prank_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2prank_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2prank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_engine.dir/checkpoint.cpp.o"
+  "CMakeFiles/p2prank_engine.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/p2prank_engine.dir/distributed.cpp.o"
+  "CMakeFiles/p2prank_engine.dir/distributed.cpp.o.d"
+  "CMakeFiles/p2prank_engine.dir/page_group.cpp.o"
+  "CMakeFiles/p2prank_engine.dir/page_group.cpp.o.d"
+  "CMakeFiles/p2prank_engine.dir/reference.cpp.o"
+  "CMakeFiles/p2prank_engine.dir/reference.cpp.o.d"
+  "libp2prank_engine.a"
+  "libp2prank_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

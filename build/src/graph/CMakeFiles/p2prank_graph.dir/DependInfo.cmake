@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/p2prank_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/p2prank_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/graph_builder.cpp" "src/graph/CMakeFiles/p2prank_graph.dir/graph_builder.cpp.o" "gcc" "src/graph/CMakeFiles/p2prank_graph.dir/graph_builder.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/graph/CMakeFiles/p2prank_graph.dir/graph_io.cpp.o" "gcc" "src/graph/CMakeFiles/p2prank_graph.dir/graph_io.cpp.o.d"
+  "/root/repo/src/graph/graph_stats.cpp" "src/graph/CMakeFiles/p2prank_graph.dir/graph_stats.cpp.o" "gcc" "src/graph/CMakeFiles/p2prank_graph.dir/graph_stats.cpp.o.d"
+  "/root/repo/src/graph/graph_updates.cpp" "src/graph/CMakeFiles/p2prank_graph.dir/graph_updates.cpp.o" "gcc" "src/graph/CMakeFiles/p2prank_graph.dir/graph_updates.cpp.o.d"
+  "/root/repo/src/graph/random_graphs.cpp" "src/graph/CMakeFiles/p2prank_graph.dir/random_graphs.cpp.o" "gcc" "src/graph/CMakeFiles/p2prank_graph.dir/random_graphs.cpp.o.d"
+  "/root/repo/src/graph/synthetic_web.cpp" "src/graph/CMakeFiles/p2prank_graph.dir/synthetic_web.cpp.o" "gcc" "src/graph/CMakeFiles/p2prank_graph.dir/synthetic_web.cpp.o.d"
+  "/root/repo/src/graph/url.cpp" "src/graph/CMakeFiles/p2prank_graph.dir/url.cpp.o" "gcc" "src/graph/CMakeFiles/p2prank_graph.dir/url.cpp.o.d"
+  "/root/repo/src/graph/web_graph.cpp" "src/graph/CMakeFiles/p2prank_graph.dir/web_graph.cpp.o" "gcc" "src/graph/CMakeFiles/p2prank_graph.dir/web_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/p2prank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

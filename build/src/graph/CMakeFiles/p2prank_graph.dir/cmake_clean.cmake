@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_graph.dir/components.cpp.o"
+  "CMakeFiles/p2prank_graph.dir/components.cpp.o.d"
+  "CMakeFiles/p2prank_graph.dir/graph_builder.cpp.o"
+  "CMakeFiles/p2prank_graph.dir/graph_builder.cpp.o.d"
+  "CMakeFiles/p2prank_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/p2prank_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/p2prank_graph.dir/graph_stats.cpp.o"
+  "CMakeFiles/p2prank_graph.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/p2prank_graph.dir/graph_updates.cpp.o"
+  "CMakeFiles/p2prank_graph.dir/graph_updates.cpp.o.d"
+  "CMakeFiles/p2prank_graph.dir/random_graphs.cpp.o"
+  "CMakeFiles/p2prank_graph.dir/random_graphs.cpp.o.d"
+  "CMakeFiles/p2prank_graph.dir/synthetic_web.cpp.o"
+  "CMakeFiles/p2prank_graph.dir/synthetic_web.cpp.o.d"
+  "CMakeFiles/p2prank_graph.dir/url.cpp.o"
+  "CMakeFiles/p2prank_graph.dir/url.cpp.o.d"
+  "CMakeFiles/p2prank_graph.dir/web_graph.cpp.o"
+  "CMakeFiles/p2prank_graph.dir/web_graph.cpp.o.d"
+  "libp2prank_graph.a"
+  "libp2prank_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/can.cpp" "src/overlay/CMakeFiles/p2prank_overlay.dir/can.cpp.o" "gcc" "src/overlay/CMakeFiles/p2prank_overlay.dir/can.cpp.o.d"
+  "/root/repo/src/overlay/chord.cpp" "src/overlay/CMakeFiles/p2prank_overlay.dir/chord.cpp.o" "gcc" "src/overlay/CMakeFiles/p2prank_overlay.dir/chord.cpp.o.d"
+  "/root/repo/src/overlay/node_id.cpp" "src/overlay/CMakeFiles/p2prank_overlay.dir/node_id.cpp.o" "gcc" "src/overlay/CMakeFiles/p2prank_overlay.dir/node_id.cpp.o.d"
+  "/root/repo/src/overlay/overlay.cpp" "src/overlay/CMakeFiles/p2prank_overlay.dir/overlay.cpp.o" "gcc" "src/overlay/CMakeFiles/p2prank_overlay.dir/overlay.cpp.o.d"
+  "/root/repo/src/overlay/pastry.cpp" "src/overlay/CMakeFiles/p2prank_overlay.dir/pastry.cpp.o" "gcc" "src/overlay/CMakeFiles/p2prank_overlay.dir/pastry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/p2prank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

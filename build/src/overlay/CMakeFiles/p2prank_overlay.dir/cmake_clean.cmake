@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_overlay.dir/can.cpp.o"
+  "CMakeFiles/p2prank_overlay.dir/can.cpp.o.d"
+  "CMakeFiles/p2prank_overlay.dir/chord.cpp.o"
+  "CMakeFiles/p2prank_overlay.dir/chord.cpp.o.d"
+  "CMakeFiles/p2prank_overlay.dir/node_id.cpp.o"
+  "CMakeFiles/p2prank_overlay.dir/node_id.cpp.o.d"
+  "CMakeFiles/p2prank_overlay.dir/overlay.cpp.o"
+  "CMakeFiles/p2prank_overlay.dir/overlay.cpp.o.d"
+  "CMakeFiles/p2prank_overlay.dir/pastry.cpp.o"
+  "CMakeFiles/p2prank_overlay.dir/pastry.cpp.o.d"
+  "libp2prank_overlay.a"
+  "libp2prank_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_partition.dir/partition_stats.cpp.o"
+  "CMakeFiles/p2prank_partition.dir/partition_stats.cpp.o.d"
+  "CMakeFiles/p2prank_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/p2prank_partition.dir/partitioner.cpp.o.d"
+  "libp2prank_partition.a"
+  "libp2prank_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rank/acceleration.cpp" "src/rank/CMakeFiles/p2prank_rank.dir/acceleration.cpp.o" "gcc" "src/rank/CMakeFiles/p2prank_rank.dir/acceleration.cpp.o.d"
+  "/root/repo/src/rank/centralized.cpp" "src/rank/CMakeFiles/p2prank_rank.dir/centralized.cpp.o" "gcc" "src/rank/CMakeFiles/p2prank_rank.dir/centralized.cpp.o.d"
+  "/root/repo/src/rank/gauss_seidel.cpp" "src/rank/CMakeFiles/p2prank_rank.dir/gauss_seidel.cpp.o" "gcc" "src/rank/CMakeFiles/p2prank_rank.dir/gauss_seidel.cpp.o.d"
+  "/root/repo/src/rank/hits.cpp" "src/rank/CMakeFiles/p2prank_rank.dir/hits.cpp.o" "gcc" "src/rank/CMakeFiles/p2prank_rank.dir/hits.cpp.o.d"
+  "/root/repo/src/rank/link_matrix.cpp" "src/rank/CMakeFiles/p2prank_rank.dir/link_matrix.cpp.o" "gcc" "src/rank/CMakeFiles/p2prank_rank.dir/link_matrix.cpp.o.d"
+  "/root/repo/src/rank/open_system.cpp" "src/rank/CMakeFiles/p2prank_rank.dir/open_system.cpp.o" "gcc" "src/rank/CMakeFiles/p2prank_rank.dir/open_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/p2prank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2prank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

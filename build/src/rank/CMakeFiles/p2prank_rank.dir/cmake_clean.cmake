@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_rank.dir/acceleration.cpp.o"
+  "CMakeFiles/p2prank_rank.dir/acceleration.cpp.o.d"
+  "CMakeFiles/p2prank_rank.dir/centralized.cpp.o"
+  "CMakeFiles/p2prank_rank.dir/centralized.cpp.o.d"
+  "CMakeFiles/p2prank_rank.dir/gauss_seidel.cpp.o"
+  "CMakeFiles/p2prank_rank.dir/gauss_seidel.cpp.o.d"
+  "CMakeFiles/p2prank_rank.dir/hits.cpp.o"
+  "CMakeFiles/p2prank_rank.dir/hits.cpp.o.d"
+  "CMakeFiles/p2prank_rank.dir/link_matrix.cpp.o"
+  "CMakeFiles/p2prank_rank.dir/link_matrix.cpp.o.d"
+  "CMakeFiles/p2prank_rank.dir/open_system.cpp.o"
+  "CMakeFiles/p2prank_rank.dir/open_system.cpp.o.d"
+  "libp2prank_rank.a"
+  "libp2prank_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/p2prank_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/p2prank_sim.dir/processes.cpp.o"
+  "CMakeFiles/p2prank_sim.dir/processes.cpp.o.d"
+  "libp2prank_sim.a"
+  "libp2prank_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/exchange.cpp" "src/transport/CMakeFiles/p2prank_transport.dir/exchange.cpp.o" "gcc" "src/transport/CMakeFiles/p2prank_transport.dir/exchange.cpp.o.d"
+  "/root/repo/src/transport/wire.cpp" "src/transport/CMakeFiles/p2prank_transport.dir/wire.cpp.o" "gcc" "src/transport/CMakeFiles/p2prank_transport.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/p2prank_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2prank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_transport.dir/exchange.cpp.o"
+  "CMakeFiles/p2prank_transport.dir/exchange.cpp.o.d"
+  "CMakeFiles/p2prank_transport.dir/wire.cpp.o"
+  "CMakeFiles/p2prank_transport.dir/wire.cpp.o.d"
+  "libp2prank_transport.a"
+  "libp2prank_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_util.dir/hash.cpp.o"
+  "CMakeFiles/p2prank_util.dir/hash.cpp.o.d"
+  "CMakeFiles/p2prank_util.dir/histogram.cpp.o"
+  "CMakeFiles/p2prank_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/p2prank_util.dir/stats.cpp.o"
+  "CMakeFiles/p2prank_util.dir/stats.cpp.o.d"
+  "CMakeFiles/p2prank_util.dir/table.cpp.o"
+  "CMakeFiles/p2prank_util.dir/table.cpp.o.d"
+  "CMakeFiles/p2prank_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/p2prank_util.dir/thread_pool.cpp.o.d"
+  "libp2prank_util.a"
+  "libp2prank_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

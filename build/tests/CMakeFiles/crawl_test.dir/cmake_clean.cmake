@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_test.dir/crawl_test.cpp.o"
+  "CMakeFiles/crawl_test.dir/crawl_test.cpp.o.d"
+  "crawl_test"
+  "crawl_test.pdb"
+  "crawl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

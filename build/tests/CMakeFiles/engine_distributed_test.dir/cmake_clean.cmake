@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_distributed_test.dir/engine_distributed_test.cpp.o"
+  "CMakeFiles/engine_distributed_test.dir/engine_distributed_test.cpp.o.d"
+  "engine_distributed_test"
+  "engine_distributed_test.pdb"
+  "engine_distributed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_fullstack_test.dir/engine_fullstack_test.cpp.o"
+  "CMakeFiles/engine_fullstack_test.dir/engine_fullstack_test.cpp.o.d"
+  "engine_fullstack_test"
+  "engine_fullstack_test.pdb"
+  "engine_fullstack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_fullstack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_group_test.dir/engine_group_test.cpp.o"
+  "CMakeFiles/engine_group_test.dir/engine_group_test.cpp.o.d"
+  "engine_group_test"
+  "engine_group_test.pdb"
+  "engine_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_termination_checkpoint_test.dir/engine_termination_checkpoint_test.cpp.o"
+  "CMakeFiles/engine_termination_checkpoint_test.dir/engine_termination_checkpoint_test.cpp.o.d"
+  "engine_termination_checkpoint_test"
+  "engine_termination_checkpoint_test.pdb"
+  "engine_termination_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_termination_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

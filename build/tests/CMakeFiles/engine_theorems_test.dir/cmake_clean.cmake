@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_theorems_test.dir/engine_theorems_test.cpp.o"
+  "CMakeFiles/engine_theorems_test.dir/engine_theorems_test.cpp.o.d"
+  "engine_theorems_test"
+  "engine_theorems_test.pdb"
+  "engine_theorems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_theorems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

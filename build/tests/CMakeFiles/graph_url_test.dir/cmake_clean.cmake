@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_url_test.dir/graph_url_test.cpp.o"
+  "CMakeFiles/graph_url_test.dir/graph_url_test.cpp.o.d"
+  "graph_url_test"
+  "graph_url_test.pdb"
+  "graph_url_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_url_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_node_id_test.dir/overlay_node_id_test.cpp.o"
+  "CMakeFiles/overlay_node_id_test.dir/overlay_node_id_test.cpp.o.d"
+  "overlay_node_id_test"
+  "overlay_node_id_test.pdb"
+  "overlay_node_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_node_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

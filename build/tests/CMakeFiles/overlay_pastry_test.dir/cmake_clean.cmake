@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_pastry_test.dir/overlay_pastry_test.cpp.o"
+  "CMakeFiles/overlay_pastry_test.dir/overlay_pastry_test.cpp.o.d"
+  "overlay_pastry_test"
+  "overlay_pastry_test.pdb"
+  "overlay_pastry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_pastry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

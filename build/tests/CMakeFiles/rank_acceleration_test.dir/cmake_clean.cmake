@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_acceleration_test.dir/rank_acceleration_test.cpp.o"
+  "CMakeFiles/rank_acceleration_test.dir/rank_acceleration_test.cpp.o.d"
+  "rank_acceleration_test"
+  "rank_acceleration_test.pdb"
+  "rank_acceleration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_acceleration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_gauss_seidel_test.dir/rank_gauss_seidel_test.cpp.o"
+  "CMakeFiles/rank_gauss_seidel_test.dir/rank_gauss_seidel_test.cpp.o.d"
+  "rank_gauss_seidel_test"
+  "rank_gauss_seidel_test.pdb"
+  "rank_gauss_seidel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_gauss_seidel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

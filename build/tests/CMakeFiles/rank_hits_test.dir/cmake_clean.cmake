@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_hits_test.dir/rank_hits_test.cpp.o"
+  "CMakeFiles/rank_hits_test.dir/rank_hits_test.cpp.o.d"
+  "rank_hits_test"
+  "rank_hits_test.pdb"
+  "rank_hits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_hits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_open_system_test.dir/rank_open_system_test.cpp.o"
+  "CMakeFiles/rank_open_system_test.dir/rank_open_system_test.cpp.o.d"
+  "rank_open_system_test"
+  "rank_open_system_test.pdb"
+  "rank_open_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_open_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport_wire_test.cpp" "tests/CMakeFiles/transport_wire_test.dir/transport_wire_test.cpp.o" "gcc" "tests/CMakeFiles/transport_wire_test.dir/transport_wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/p2prank_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawl/CMakeFiles/p2prank_crawl.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/p2prank_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/p2prank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/p2prank_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/p2prank_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/p2prank_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2prank_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/p2prank_transport.dir/DependInfo.cmake"
+  "/root/repo/build/tools/CMakeFiles/p2prank_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2prank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank.dir/main.cpp.o"
+  "CMakeFiles/p2prank.dir/main.cpp.o.d"
+  "p2prank"
+  "p2prank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

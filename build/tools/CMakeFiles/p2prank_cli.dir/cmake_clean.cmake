@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prank_cli.dir/cli.cpp.o"
+  "CMakeFiles/p2prank_cli.dir/cli.cpp.o.d"
+  "libp2prank_cli.a"
+  "libp2prank_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prank_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
