@@ -14,6 +14,7 @@
 #include "rank/open_system.hpp"
 #include "transport/exchange.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -24,6 +25,21 @@ const graph::WebGraph& bench_graph() {
   static const graph::WebGraph g =
       graph::generate_synthetic_web(graph::google2002_config(50000, 42));
   return g;
+}
+
+// Hot-loop traffic per sweep (see DESIGN.md "Kernel layout" for the
+// accounting): the per-edge multiply streams 20 bytes/edge, the
+// contribution sweep 12, plus per-row vector traffic.
+std::int64_t multiply_bytes(const rank::LinkMatrix& m) {
+  return static_cast<std::int64_t>(m.num_entries()) * 20 +
+         static_cast<std::int64_t>(m.dimension()) * 8;
+}
+std::int64_t contribution_bytes(const rank::LinkMatrix& m) {
+  return static_cast<std::int64_t>(m.num_entries()) * 12 +
+         static_cast<std::int64_t>(m.dimension()) * 32;
+}
+std::int64_t fused_bytes(const rank::LinkMatrix& m) {
+  return contribution_bytes(m) + static_cast<std::int64_t>(m.dimension()) * 16;
 }
 
 void BM_SpmvSweepSerial(benchmark::State& state) {
@@ -37,6 +53,8 @@ void BM_SpmvSweepSerial(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(m.num_entries()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          multiply_bytes(m));
 }
 BENCHMARK(BM_SpmvSweepSerial);
 
@@ -52,8 +70,90 @@ void BM_SpmvSweepParallel(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(m.num_entries()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          multiply_bytes(m));
 }
 BENCHMARK(BM_SpmvSweepParallel);
+
+void BM_SpmvSweepContributionSerial(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  std::vector<double> x(m.dimension(), 1.0);
+  std::vector<double> y(m.dimension());
+  rank::SweepScratch scratch;
+  for (auto _ : state) {
+    m.sweep(x, y, scratch);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.num_entries()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          contribution_bytes(m));
+}
+BENCHMARK(BM_SpmvSweepContributionSerial);
+
+void BM_SpmvSweepContribution(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  auto& pool = util::ThreadPool::shared();
+  std::vector<double> x(m.dimension(), 1.0);
+  std::vector<double> y(m.dimension());
+  rank::SweepScratch scratch;
+  for (auto _ : state) {
+    m.sweep(x, y, scratch, pool);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.num_entries()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          contribution_bytes(m));
+}
+BENCHMARK(BM_SpmvSweepContribution);
+
+void BM_SpmvSweepFused(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  auto& pool = util::ThreadPool::shared();
+  std::vector<double> x(m.dimension(), 1.0);
+  std::vector<double> y(m.dimension());
+  const std::vector<double> forcing(m.dimension(), 0.15);
+  rank::SweepScratch scratch;
+  for (auto _ : state) {
+    auto stats = m.sweep_and_residual(x, y, forcing, scratch, pool);
+    benchmark::DoNotOptimize(stats.l1_delta);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.num_entries()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          fused_bytes(m));
+}
+BENCHMARK(BM_SpmvSweepFused);
+
+// The unfused equivalent of BM_SpmvSweepFused: sweep, add forcing, then a
+// separate residual pass — what open_system solves did before fusion.
+void BM_SpmvSweepThenResidual(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  auto& pool = util::ThreadPool::shared();
+  std::vector<double> x(m.dimension(), 1.0);
+  std::vector<double> y(m.dimension());
+  const std::vector<double> forcing(m.dimension(), 0.15);
+  rank::SweepScratch scratch;
+  for (auto _ : state) {
+    m.sweep(x, y, scratch, pool);
+    for (std::size_t v = 0; v < y.size(); ++v) y[v] += forcing[v];
+    const double delta = util::l1_distance(y, x);
+    benchmark::DoNotOptimize(delta);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.num_entries()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      (contribution_bytes(m) + static_cast<std::int64_t>(m.dimension()) * 40));
+}
+BENCHMARK(BM_SpmvSweepThenResidual);
 
 void BM_OpenSystemSolve(benchmark::State& state) {
   const auto& g = bench_graph();

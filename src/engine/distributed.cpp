@@ -165,13 +165,16 @@ void DistributedRanking::run_step(std::uint32_t group) {
   inbox.clear();
 
   const bool detect = opts_.stability_epsilon > 0.0;
-  if (detect) {
+  const bool dpr1 = opts_.algorithm == Algorithm::kDPR1;
+  // DPR2's single sweep reports its own fused residual, so only DPR1's
+  // multi-sweep solve needs a before-snapshot to measure the step delta.
+  if (detect && dpr1) {
     const auto r = pg.ranks();
     step_scratch_.assign(r.begin(), r.end());
   }
 
   // Compute R.
-  if (opts_.algorithm == Algorithm::kDPR1) {
+  if (dpr1) {
     inner_sweeps_ += pg.solve_to_convergence(opts_.inner_epsilon,
                                              opts_.inner_max_iterations, pool_);
   } else {
@@ -183,7 +186,8 @@ void DistributedRanking::run_step(std::uint32_t group) {
   if (detect) {
     // Report this step's stability to the coordinator (reliable control
     // message; the simulator applies it immediately).
-    const double delta = util::l1_distance(pg.ranks(), step_scratch_);
+    const double delta = dpr1 ? util::l1_distance(pg.ranks(), step_scratch_)
+                              : pg.last_sweep_delta();
     const bool stable = delta <= opts_.stability_epsilon;
     ++status_messages_;
     if (stable != (stable_flag_[group] != 0)) {

@@ -41,6 +41,7 @@ void PageGroup::reset_state() {
   std::fill(ranks_.begin(), ranks_.end(), 0.0);
   std::fill(x_.begin(), x_.end(), 0.0);
   forcing_ = beta_e_;
+  last_sweep_delta_ = 0.0;
   received_.clear();
   for (auto& block : blocks_) {
     std::fill(block.last_sent.begin(), block.last_sent.end(),
@@ -147,7 +148,9 @@ std::size_t PageGroup::solve_to_convergence(double epsilon,
 }
 
 void PageGroup::sweep_once(util::ThreadPool& pool) {
-  rank::open_system_sweep(matrix_, ranks_, scratch_, forcing_, pool);
+  last_sweep_delta_ =
+      rank::open_system_sweep(matrix_, ranks_, scratch_, forcing_, sweep_scratch_, pool)
+          .l1_delta;
   std::swap(ranks_, scratch_);
 }
 

@@ -85,8 +85,14 @@ class PageGroup {
   std::size_t solve_to_convergence(double epsilon, std::size_t max_iterations,
                                    util::ThreadPool& pool);
 
-  /// DPR2 body: exactly one Jacobi sweep of R = A·R + βE + X.
+  /// DPR2 body: exactly one Jacobi sweep of R = A·R + βE + X (fused
+  /// contribution kernel; the sweep's residual is recorded, not recomputed).
   void sweep_once(util::ThreadPool& pool);
+
+  /// L1 norm of (R_new − R_old) of the most recent sweep_once(); 0 before
+  /// the first sweep. Lets DPR2 stability detection skip a second pass
+  /// (and a snapshot copy) over R.
+  [[nodiscard]] double last_sweep_delta() const noexcept { return last_sweep_delta_; }
 
   /// Compute the outgoing Y slice for one destination group from current R.
   /// With threshold > 0, entries whose value moved less than `threshold`
@@ -129,6 +135,8 @@ class PageGroup {
   std::vector<double> x_;               // X, local (sum of latest slices)
   std::vector<double> forcing_;         // βE + X, kept in sync with x_
   std::vector<double> scratch_;         // sweep target
+  rank::SweepScratch sweep_scratch_;    // contribution vector + partials
+  double last_sweep_delta_ = 0.0;       // L1 residual of the last sweep_once
   std::vector<EfferentBlock> blocks_;   // sorted by dest_group
   std::vector<std::uint32_t> efferent_dests_;
   // Latest received value per (source group, local page) — patch semantics.

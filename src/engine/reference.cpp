@@ -66,10 +66,11 @@ std::size_t centralized_iterations_to_error(const graph::WebGraph& g, double alp
                                     rank::beta_of(alpha) * 1.0);
   std::vector<double> ranks(matrix.dimension(), 0.0);
   std::vector<double> next(matrix.dimension(), 0.0);
+  rank::SweepScratch scratch;
   const double ref_norm = util::l1_norm(reference);
 
   for (std::size_t it = 1; it <= max_iterations; ++it) {
-    rank::open_system_sweep(matrix, ranks, next, forcing, pool);
+    (void)rank::open_system_sweep(matrix, ranks, next, forcing, scratch, pool);
     std::swap(ranks, next);
     if (util::l1_distance(ranks, reference) <= threshold * ref_norm) return it;
   }

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace p2prank::rank {
 
@@ -15,7 +16,25 @@ void check_alpha(double alpha) {
   }
 }
 
+constexpr std::uint32_t kAbsent = std::numeric_limits<std::uint32_t>::max();
+
 }  // namespace
+
+void LinkMatrix::finish_layout() {
+  const std::size_t dim = dimension();
+  if (dim == 0) {
+    sweep_grain_ = 1;
+    return;
+  }
+  // Size grains to ~64KB of hot row data each: 12 bytes per edge (4B source
+  // index + 8B contribution gather) plus the 8B y write per row. The grain
+  // is a function of the matrix alone — never the pool — which fixes the FP
+  // combine order of fused residual partials (determinism contract).
+  constexpr std::size_t kGrainBytes = 64 * 1024;
+  const std::size_t bytes = num_entries() * 12 + dim * 8;
+  const std::size_t per_row = std::max<std::size_t>(1, bytes / dim);
+  sweep_grain_ = std::clamp<std::size_t>(kGrainBytes / per_row, 1, dim);
+}
 
 LinkMatrix LinkMatrix::from_graph(const graph::WebGraph& g, double alpha) {
   check_alpha(alpha);
@@ -23,6 +42,13 @@ LinkMatrix LinkMatrix::from_graph(const graph::WebGraph& g, double alpha) {
   LinkMatrix m;
   m.alpha_ = alpha;
   m.offsets_.assign(n + 1, 0);
+  // Per-source weight α/d_global(u); edges replicate these exact doubles so
+  // the contribution sweep is bitwise-identical to the per-edge multiply.
+  m.source_weight_.resize(n);
+  for (graph::PageId u = 0; u < n; ++u) {
+    const auto d = g.out_degree(u);
+    m.source_weight_[u] = d > 0 ? alpha / static_cast<double>(d) : 0.0;
+  }
   for (graph::PageId v = 0; v < n; ++v) {
     m.offsets_[v + 1] = m.offsets_[v] + g.in_links(v).size();
   }
@@ -32,10 +58,11 @@ LinkMatrix LinkMatrix::from_graph(const graph::WebGraph& g, double alpha) {
   for (graph::PageId v = 0; v < n; ++v) {
     for (const graph::PageId u : g.in_links(v)) {
       m.sources_[pos] = u;
-      m.weights_[pos] = alpha / static_cast<double>(g.out_degree(u));
+      m.weights_[pos] = m.source_weight_[u];
       ++pos;
     }
   }
+  m.finish_layout();
   return m;
 }
 
@@ -45,20 +72,45 @@ LinkMatrix LinkMatrix::from_subset(const graph::WebGraph& g,
   check_alpha(alpha);
   assert(std::is_sorted(pages.begin(), pages.end()));
 
-  // Global -> local index for membership tests.
-  std::unordered_map<graph::PageId, std::uint32_t> local;
-  local.reserve(pages.size());
-  for (std::uint32_t i = 0; i < pages.size(); ++i) local.emplace(pages[i], i);
+  // Global -> local index. Pages are sorted, so membership is a binary
+  // search; when the id range is tight, a dense table is cheaper still. No
+  // hashing either way — this runs on every crash/rewire in the engine.
+  const graph::PageId base = pages.empty() ? 0 : pages.front();
+  const std::uint64_t range =
+      pages.empty() ? 0
+                    : static_cast<std::uint64_t>(pages.back()) - base + 1;
+  const bool use_dense =
+      !pages.empty() &&
+      range <= std::max<std::uint64_t>(4096, 8 * static_cast<std::uint64_t>(pages.size()));
+  std::vector<std::uint32_t> dense;
+  if (use_dense) {
+    dense.assign(range, kAbsent);
+    for (std::uint32_t i = 0; i < pages.size(); ++i) dense[pages[i] - base] = i;
+  }
+  const auto local_of = [&](graph::PageId u) -> std::uint32_t {
+    if (use_dense) {
+      if (u < base || u - base >= range) return kAbsent;
+      return dense[u - base];
+    }
+    const auto it = std::lower_bound(pages.begin(), pages.end(), u);
+    if (it == pages.end() || *it != u) return kAbsent;
+    return static_cast<std::uint32_t>(it - pages.begin());
+  };
 
   LinkMatrix m;
   m.alpha_ = alpha;
   m.offsets_.assign(pages.size() + 1, 0);
+  m.source_weight_.resize(pages.size());
+  for (std::uint32_t i = 0; i < pages.size(); ++i) {
+    const auto d = g.out_degree(pages[i]);
+    m.source_weight_[i] = d > 0 ? alpha / static_cast<double>(d) : 0.0;
+  }
 
   // Count in-subset in-edges per local destination.
   for (std::uint32_t i = 0; i < pages.size(); ++i) {
     std::uint64_t count = 0;
     for (const graph::PageId u : g.in_links(pages[i])) {
-      if (local.contains(u)) ++count;
+      if (local_of(u) != kAbsent) ++count;
     }
     m.offsets_[i + 1] = m.offsets_[i] + count;
   }
@@ -67,25 +119,60 @@ LinkMatrix LinkMatrix::from_subset(const graph::WebGraph& g,
   std::uint64_t pos = 0;
   for (std::uint32_t i = 0; i < pages.size(); ++i) {
     for (const graph::PageId u : g.in_links(pages[i])) {
-      const auto it = local.find(u);
-      if (it == local.end()) continue;
-      m.sources_[pos] = it->second;
-      m.weights_[pos] = alpha / static_cast<double>(g.out_degree(u));
+      const std::uint32_t local = local_of(u);
+      if (local == kAbsent) continue;
+      m.sources_[pos] = local;
+      m.weights_[pos] = m.source_weight_[local];
       ++pos;
     }
   }
   assert(pos == m.sources_.size());
+  m.finish_layout();
   return m;
 }
 
+namespace {
+
+// All kernels accumulate rows with this exact two-lane pattern (even edges
+// into lane 0, odd into lane 1, lanes combined once at the end). Two
+// in-flight adds hide the FP-add latency that a single serial chain exposes
+// on short rows, and sharing the pattern is what makes the weighted and
+// contribution kernels bitwise-identical.
+inline double row_sum_contribution(const double* contrib, const std::uint32_t* sources,
+                                   std::uint64_t begin, std::uint64_t end) noexcept {
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  std::uint64_t e = begin;
+  for (; e + 1 < end; e += 2) {
+    acc0 += contrib[sources[e]];
+    acc1 += contrib[sources[e + 1]];
+  }
+  if (e < end) acc0 += contrib[sources[e]];
+  return acc0 + acc1;
+}
+
+inline double row_sum_weighted(const double* x, const std::uint32_t* sources,
+                               const double* weights, std::uint64_t begin,
+                               std::uint64_t end) noexcept {
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  std::uint64_t e = begin;
+  for (; e + 1 < end; e += 2) {
+    acc0 += x[sources[e]] * weights[e];
+    acc1 += x[sources[e + 1]] * weights[e + 1];
+  }
+  if (e < end) acc0 += x[sources[e]] * weights[e];
+  return acc0 + acc1;
+}
+
+}  // namespace
+
 void LinkMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   assert(x.size() == dimension() && y.size() == dimension());
+  const std::uint32_t* const sources = sources_.data();
+  const double* const weights = weights_.data();
   for (std::size_t v = 0; v < dimension(); ++v) {
-    double acc = 0.0;
-    const auto src = row_sources(v);
-    const auto w = row_weights(v);
-    for (std::size_t e = 0; e < src.size(); ++e) acc += x[src[e]] * w[e];
-    y[v] = acc;
+    y[v] = row_sum_weighted(x.data(), sources, weights, offsets_[v], offsets_[v + 1]);
   }
 }
 
@@ -97,15 +184,95 @@ void LinkMatrix::multiply(std::span<const double> x, std::span<double> y,
     multiply(x, y);
     return;
   }
+  const std::uint32_t* const sources = sources_.data();
+  const double* const weights = weights_.data();
   pool.parallel_for(dimension(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t v = begin; v < end; ++v) {
-      double acc = 0.0;
-      const auto src = row_sources(v);
-      const auto w = row_weights(v);
-      for (std::size_t e = 0; e < src.size(); ++e) acc += x[src[e]] * w[e];
-      y[v] = acc;
+      y[v] = row_sum_weighted(x.data(), sources, weights, offsets_[v], offsets_[v + 1]);
     }
   });
+}
+
+void LinkMatrix::sweep(std::span<const double> x, std::span<double> y,
+                       SweepScratch& scratch) const {
+  assert(x.size() == dimension() && y.size() == dimension());
+  const std::size_t dim = dimension();
+  scratch.contrib.resize(dim);
+  double* const contrib = scratch.contrib.data();
+  const double* const sw = source_weight_.data();
+  for (std::size_t u = 0; u < dim; ++u) contrib[u] = x[u] * sw[u];
+  const std::uint32_t* const sources = sources_.data();
+  for (std::size_t v = 0; v < dim; ++v) {
+    y[v] = row_sum_contribution(contrib, sources, offsets_[v], offsets_[v + 1]);
+  }
+}
+
+void LinkMatrix::sweep(std::span<const double> x, std::span<double> y,
+                       SweepScratch& scratch, util::ThreadPool& pool) const {
+  assert(x.size() == dimension() && y.size() == dimension());
+  const std::size_t dim = dimension();
+  scratch.contrib.resize(dim);
+  double* const contrib = scratch.contrib.data();
+  const double* const sw = source_weight_.data();
+  pool.parallel_for(dim, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) contrib[u] = x[u] * sw[u];
+  });
+  const std::uint32_t* const sources = sources_.data();
+  pool.parallel_for_grains(
+      dim, sweep_grain_,
+      [&](std::size_t /*grain*/, std::size_t begin, std::size_t end) {
+        for (std::size_t v = begin; v < end; ++v) {
+          y[v] = row_sum_contribution(contrib, sources, offsets_[v], offsets_[v + 1]);
+        }
+      });
+}
+
+SweepStats LinkMatrix::sweep_and_residual(std::span<const double> in,
+                                          std::span<double> out,
+                                          std::span<const double> forcing,
+                                          SweepScratch& scratch,
+                                          util::ThreadPool& pool) const {
+  const std::size_t dim = dimension();
+  assert(in.size() == dim && out.size() == dim);
+  assert(forcing.empty() || forcing.size() == dim);
+  assert(in.data() != out.data());
+  scratch.contrib.resize(dim);
+  const std::size_t total = util::ThreadPool::num_grains(dim, sweep_grain_);
+  scratch.partial_l1.assign(total, 0.0);
+  scratch.partial_linf.assign(total, 0.0);
+
+  double* const contrib = scratch.contrib.data();
+  const double* const sw = source_weight_.data();
+  pool.parallel_for(dim, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) contrib[u] = in[u] * sw[u];
+  });
+
+  const std::uint32_t* const sources = sources_.data();
+  const double* const force = forcing.empty() ? nullptr : forcing.data();
+  pool.parallel_for_grains(
+      dim, sweep_grain_,
+      [&](std::size_t grain, std::size_t begin, std::size_t end) {
+        double l1 = 0.0;
+        double linf = 0.0;
+        for (std::size_t v = begin; v < end; ++v) {
+          double acc =
+              row_sum_contribution(contrib, sources, offsets_[v], offsets_[v + 1]);
+          if (force != nullptr) acc += force[v];
+          const double diff = std::fabs(acc - in[v]);
+          l1 += diff;
+          if (diff > linf) linf = diff;
+          out[v] = acc;
+        }
+        scratch.partial_l1[grain] = l1;
+        scratch.partial_linf[grain] = linf;
+      });
+
+  SweepStats stats;
+  for (std::size_t g = 0; g < total; ++g) {
+    stats.l1_delta += scratch.partial_l1[g];
+    stats.linf_delta = std::max(stats.linf_delta, scratch.partial_linf[g]);
+  }
+  return stats;
 }
 
 double LinkMatrix::contraction_norm() const noexcept {

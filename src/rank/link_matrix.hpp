@@ -8,6 +8,18 @@
 // share it carries leaves the open system. Likewise, links from u to pages
 // *outside the subset* are not rows of this matrix — their rank share exits
 // the group and is the business of the efferent matrix (engine/).
+//
+// Two multiply kernels exist:
+//   * multiply()  — streams a per-edge weight (weights_). Kept for the
+//     efferent path and as the bitwise reference in tests.
+//   * sweep()/sweep_and_residual() — the hot path. Every edge weight is just
+//     α/d(source), so a per-sweep *contribution* vector
+//     contrib[u] = x[u]·(α/d(u)) replaces the per-edge weight stream: the
+//     edge loop reads 12 bytes/edge (4B source index + 8B gather) instead of
+//     20 (4B index + 8B weight + 8B gather). Because weights_[e] is stored
+//     as the identical double source_weight_[src[e]], the per-edge product
+//     x[src]·w is bit-for-bit the same in both kernels, so they produce
+//     bitwise-identical y. See DESIGN.md "Kernel layout".
 #pragma once
 
 #include <cstdint>
@@ -19,6 +31,21 @@
 #include "util/thread_pool.hpp"
 
 namespace p2prank::rank {
+
+/// Residual of one fused sweep: norms of (out − in), accumulated per grain
+/// during the sweep and combined in grain order (deterministic).
+struct SweepStats {
+  double l1_delta = 0.0;
+  double linf_delta = 0.0;
+};
+
+/// Reusable scratch for contribution sweeps; pass the same instance to
+/// successive sweeps to amortize the allocations across iterations.
+struct SweepScratch {
+  std::vector<double> contrib;       // x[u]·α/d(u) per local source
+  std::vector<double> partial_l1;    // per-grain residual partials
+  std::vector<double> partial_linf;
+};
 
 class LinkMatrix {
  public:
@@ -35,12 +62,37 @@ class LinkMatrix {
   [[nodiscard]] std::size_t num_entries() const noexcept { return sources_.size(); }
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
 
-  /// y = A x (single-threaded).
+  /// y = A x (single-threaded, per-edge weight stream). The bitwise
+  /// reference kernel.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
   /// y = A x using the pool (row-parallel; deterministic).
   void multiply(std::span<const double> x, std::span<double> y,
                 util::ThreadPool& pool) const;
+
+  /// y = A x via the contribution vector (single-threaded). Bitwise
+  /// identical to multiply().
+  void sweep(std::span<const double> x, std::span<double> y,
+             SweepScratch& scratch) const;
+
+  /// y = A x via the contribution vector, row-parallel over fixed grains.
+  /// Bitwise identical to multiply() for any pool size.
+  void sweep(std::span<const double> x, std::span<double> y, SweepScratch& scratch,
+             util::ThreadPool& pool) const;
+
+  /// Fused Jacobi sweep: out = A·in + forcing (forcing may be empty = zero),
+  /// returning the L1/L∞ norms of (out − in) accumulated during the sweep —
+  /// no second pass over the vectors. in/out must not alias. The residual is
+  /// combined from per-grain partials in grain order, and grains depend only
+  /// on the matrix, so the result (y *and* stats) is bitwise-deterministic
+  /// across runs and pool sizes.
+  SweepStats sweep_and_residual(std::span<const double> in, std::span<double> out,
+                                std::span<const double> forcing,
+                                SweepScratch& scratch, util::ThreadPool& pool) const;
+
+  /// Rows per parallel grain of sweep kernels (~64KB of row data each);
+  /// a function of the matrix shape only. Exposed for tests and sizing.
+  [[nodiscard]] std::size_t sweep_grain() const noexcept { return sweep_grain_; }
 
   /// Weighted in-edges of local row v: parallel spans of sources/weights.
   [[nodiscard]] std::span<const std::uint32_t> row_sources(std::size_t v) const noexcept {
@@ -48,6 +100,12 @@ class LinkMatrix {
   }
   [[nodiscard]] std::span<const double> row_weights(std::size_t v) const noexcept {
     return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// α/d_global(u) per local source u (0 for pages with no out-links); the
+  /// per-source form of the edge weights the sweep kernels scale x by.
+  [[nodiscard]] std::span<const double> source_weights() const noexcept {
+    return source_weight_;
   }
 
   /// The paper's ||A||_∞ (source-major row sums): the maximum, over source
@@ -59,10 +117,14 @@ class LinkMatrix {
  private:
   LinkMatrix() = default;
 
-  std::vector<std::uint64_t> offsets_;   // size dim+1
-  std::vector<std::uint32_t> sources_;   // local source index per entry
-  std::vector<double> weights_;          // alpha / d_global(source)
+  void finish_layout();
+
+  std::vector<std::uint64_t> offsets_;       // size dim+1
+  std::vector<std::uint32_t> sources_;       // local source index per entry
+  std::vector<double> weights_;              // alpha / d_global(source), per edge
+  std::vector<double> source_weight_;        // alpha / d_global(u), per local source
   double alpha_ = 0.0;
+  std::size_t sweep_grain_ = 1;              // rows per grain (fixed per matrix)
 };
 
 }  // namespace p2prank::rank

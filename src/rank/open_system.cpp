@@ -5,19 +5,23 @@
 #include <stdexcept>
 #include <utility>
 
-#include "util/stats.hpp"
-
 namespace p2prank::rank {
 
-void open_system_sweep(const LinkMatrix& A, std::span<const double> in,
-                       std::span<double> out, std::span<const double> forcing,
-                       util::ThreadPool& pool) {
+SweepStats open_system_sweep(const LinkMatrix& A, std::span<const double> in,
+                             std::span<double> out, std::span<const double> forcing,
+                             SweepScratch& scratch, util::ThreadPool& pool) {
   assert(in.size() == A.dimension());
   assert(out.size() == A.dimension());
   assert(forcing.size() == A.dimension());
   assert(in.data() != out.data());
-  A.multiply(in, out, pool);
-  for (std::size_t v = 0; v < out.size(); ++v) out[v] += forcing[v];
+  return A.sweep_and_residual(in, out, forcing, scratch, pool);
+}
+
+void open_system_sweep(const LinkMatrix& A, std::span<const double> in,
+                       std::span<double> out, std::span<const double> forcing,
+                       util::ThreadPool& pool) {
+  SweepScratch scratch;
+  (void)open_system_sweep(A, in, out, forcing, scratch, pool);
 }
 
 SolveResult solve_open_system(const LinkMatrix& A, std::span<const double> forcing,
@@ -35,10 +39,13 @@ SolveResult solve_open_system(const LinkMatrix& A, std::span<const double> forci
   result.ranks.assign(initial.begin(), initial.end());
   if (result.ranks.empty()) result.ranks.assign(n, 0.0);
   std::vector<double> next(n, 0.0);
+  SweepScratch scratch;
 
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-    open_system_sweep(A, result.ranks, next, forcing, pool);
-    const double delta = util::l1_distance(next, result.ranks);
+    // Fused sweep: the L1 residual is accumulated inside the sweep, so
+    // there is no second full pass over R per iteration.
+    const double delta =
+        open_system_sweep(A, result.ranks, next, forcing, scratch, pool).l1_delta;
     std::swap(result.ranks, next);
     ++result.iterations;
     result.final_delta = delta;

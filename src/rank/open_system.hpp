@@ -16,7 +16,15 @@
 namespace p2prank::rank {
 
 /// One Jacobi sweep: out = A·in + forcing. `forcing` is βE + X (the caller
-/// composes it). in/out must not alias.
+/// composes it). in/out must not alias. Runs the fused contribution kernel
+/// and returns the sweep's L1/L∞ residual for free; `scratch` carries the
+/// contribution vector across calls (no per-sweep allocation).
+SweepStats open_system_sweep(const LinkMatrix& A, std::span<const double> in,
+                             std::span<double> out, std::span<const double> forcing,
+                             SweepScratch& scratch, util::ThreadPool& pool);
+
+/// Convenience overload allocating its own scratch (fine for one-shot
+/// sweeps; hot loops should hold a SweepScratch and use the overload above).
 void open_system_sweep(const LinkMatrix& A, std::span<const double> in,
                        std::span<double> out, std::span<const double> forcing,
                        util::ThreadPool& pool);

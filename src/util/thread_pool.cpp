@@ -1,9 +1,6 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <utility>
 
 namespace p2prank::util {
 
@@ -19,73 +16,80 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.request_stop();
-  cv_.notify_all();
+  wake_cv_.notify_all();
   // std::jthread joins on destruction.
 }
 
 void ThreadPool::worker_loop(const std::stop_token& stop) {
+  std::uint64_t seen = 0;
   for (;;) {
-    std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, stop, [this] { return !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stop requested and queue drained
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      std::unique_lock lock(wake_mutex_);
+      wake_cv_.wait(lock, stop, [this, seen] { return epoch_ != seen; });
+      if (epoch_ == seen) return;  // stop requested, no further job
+      seen = epoch_;
     }
-    task();
+    run_grains();
+    // Depart the epoch; the last worker out releases the waiting caller.
+    if (departed_.fetch_add(1, std::memory_order_acq_rel) + 1 == workers_.size()) {
+      std::lock_guard lock(done_mutex_);
+      done_cv_.notify_one();
+    }
   }
 }
 
-void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
-  const std::size_t chunks = std::min(n, workers_.size());
-  if (chunks <= 1) {
-    fn(0, n);
-    return;
-  }
-
-  struct State {
-    std::atomic<std::size_t> remaining;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
-    std::mutex error_mutex;
-  };
-  State state;
-  state.remaining.store(chunks, std::memory_order_relaxed);
-
-  const std::size_t base = n / chunks;
-  const std::size_t extra = n % chunks;
-  std::size_t begin = 0;
-  {
-    std::lock_guard lock(mutex_);
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t len = base + (c < extra ? 1 : 0);
-      const std::size_t end = begin + len;
-      tasks_.push([&state, &fn, begin, end] {
-        try {
-          fn(begin, end);
-        } catch (...) {
-          std::lock_guard elock(state.error_mutex);
-          if (!state.error) state.error = std::current_exception();
-        }
-        if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard dlock(state.done_mutex);
-          state.done_cv.notify_one();
-        }
-      });
-      begin = end;
+void ThreadPool::run_grains() noexcept {
+  for (;;) {
+    const std::size_t g = next_grain_.fetch_add(1, std::memory_order_relaxed);
+    if (g >= job_num_grains_) return;
+    const std::size_t begin = g * job_grain_;
+    const std::size_t end = std::min(job_n_, begin + job_grain_);
+    try {
+      job_fn_(job_ctx_, g, begin, end);
+    } catch (...) {
+      std::lock_guard lock(error_mutex_);
+      if (!job_error_) job_error_ = std::current_exception();
     }
   }
-  cv_.notify_all();
+}
 
-  std::unique_lock done_lock(state.done_mutex);
-  state.done_cv.wait(done_lock, [&state] {
-    return state.remaining.load(std::memory_order_acquire) == 0;
+void ThreadPool::dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ctx) {
+  // One fork-join in flight at a time; concurrent callers serialize here.
+  std::lock_guard dispatch_lock(dispatch_mutex_);
+
+  job_fn_ = fn;
+  job_ctx_ = ctx;
+  job_n_ = n;
+  job_grain_ = grain;
+  job_num_grains_ = num_grains(n, grain);
+  job_error_ = nullptr;
+  next_grain_.store(0, std::memory_order_relaxed);
+  departed_.store(0, std::memory_order_relaxed);
+
+  {
+    // The epoch bump publishes the descriptor: workers read it only after
+    // observing the new epoch under the same mutex.
+    std::lock_guard lock(wake_mutex_);
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+
+  run_grains();  // the caller is a full participant
+
+  // Wait until every worker has joined and departed this epoch; after that
+  // no thread can still touch the descriptor, so the next dispatch (or the
+  // caller's stack unwinding) is safe.
+  std::unique_lock lock(done_mutex_);
+  done_cv_.wait(lock, [this] {
+    return departed_.load(std::memory_order_acquire) == workers_.size();
   });
-  if (state.error) std::rethrow_exception(state.error);
+  lock.unlock();
+
+  if (job_error_) {
+    std::exception_ptr error = job_error_;
+    job_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 ThreadPool& ThreadPool::shared() {

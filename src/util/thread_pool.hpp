@@ -1,17 +1,30 @@
-// A small fixed-size thread pool with a parallel_for primitive.
+// A fixed-size thread pool with a low-overhead fork-join parallel_for.
 //
 // PageRank kernels (rank/spmv) are embarrassingly row-parallel; the pool
 // gives them deterministic *results* (each index range writes disjoint
 // outputs) while using all cores. The pool is created once and shared — the
 // Core Guidelines discourage spawning threads per call (CP.24: joining
 // threads, here via std::jthread RAII).
+//
+// Dispatch is a broadcast fork-join, not a task queue: one job descriptor
+// lives in the pool, workers are woken by an epoch bump and claim fixed-size
+// grains off an atomic counter, and the caller participates in the work.
+// No per-call heap allocation (the callable is passed by reference through a
+// function pointer + context, never wrapped in std::function) and no mutex
+// convoy on the hot path — the only locking is the wake/done handshake.
+//
+// Determinism contract: grain boundaries depend only on (n, grain), never on
+// the worker count or claim order, so a kernel that does fixed per-grain
+// arithmetic and combines per-grain partials in grain order produces
+// bitwise-identical results across runs and pool sizes.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <exception>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -28,22 +41,112 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Run fn(begin, end) over [0, n) split into roughly equal contiguous
-  /// chunks, one per worker; blocks until all chunks complete. `fn` must be
-  /// safe to call concurrently on disjoint ranges. Exceptions thrown by fn
-  /// propagate (the first one captured) after all chunks finish.
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+  /// Below this many indices a dispatch is not worth the fork-join wakeup:
+  /// the body runs inline on the caller. Keeps micro-sweeps (1-page groups,
+  /// tiny partitions) from paying broadcast + barrier cost per call.
+  static constexpr std::size_t kInlineCutoff = 2048;
+
+  /// Number of grains a grained dispatch splits [0, n) into.
+  [[nodiscard]] static constexpr std::size_t num_grains(std::size_t n,
+                                                        std::size_t grain) noexcept {
+    return grain == 0 ? 0 : (n + grain - 1) / grain;
+  }
+
+  /// Run fn(begin, end) over [0, n) split into contiguous chunks; blocks
+  /// until all chunks complete. `fn` must be safe to call concurrently on
+  /// disjoint ranges. Exceptions thrown by fn propagate (the first one
+  /// captured) after all chunks finish. Chunking depends on the pool size;
+  /// use parallel_for_grains when the decomposition itself must be fixed.
+  template <typename F>
+  void parallel_for(std::size_t n, const F& fn) {
+    if (n == 0) return;
+    if (n < kInlineCutoff || workers_.size() <= 1) {
+      fn(std::size_t{0}, n);
+      return;
+    }
+    dispatch(n, plain_grain(n), &invoke_range<F>,
+             const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+  /// Run fn(grain_index, begin, end) over [0, n) split into fixed-size
+  /// grains of `grain` indices (the last may be short). Grain boundaries
+  /// depend only on (n, grain) — never on the pool — so per-grain partial
+  /// results combined in grain order are bitwise-deterministic across pool
+  /// sizes. Grains are claimed dynamically; blocks until all complete.
+  template <typename F>
+  void parallel_for_grains(std::size_t n, std::size_t grain, const F& fn) {
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    const std::size_t total = num_grains(n, grain);
+    if (n < kInlineCutoff || workers_.size() <= 1 || total <= 1) {
+      // Inline path still walks the exact grain decomposition so fused
+      // kernels see identical per-grain partials with or without dispatch.
+      for (std::size_t g = 0; g < total; ++g) {
+        const std::size_t begin = g * grain;
+        fn(g, begin, std::min(n, begin + grain));
+      }
+      return;
+    }
+    dispatch(n, grain, &invoke_grain<F>,
+             const_cast<void*>(static_cast<const void*>(&fn)));
+  }
 
   /// Process-wide shared pool (lazily constructed, sized to the machine).
   [[nodiscard]] static ThreadPool& shared();
 
  private:
+  /// Type-erased grain body: (context, grain_index, begin, end).
+  using GrainFn = void (*)(void*, std::size_t, std::size_t, std::size_t);
+
+  template <typename F>
+  static void invoke_range(void* ctx, std::size_t /*grain*/, std::size_t begin,
+                           std::size_t end) {
+    (*static_cast<const F*>(ctx))(begin, end);
+  }
+  template <typename F>
+  static void invoke_grain(void* ctx, std::size_t grain, std::size_t begin,
+                           std::size_t end) {
+    (*static_cast<const F*>(ctx))(grain, begin, end);
+  }
+
+  /// Grain size for the plain (chunked) API: a few grains per executor so
+  /// uneven chunks still balance, without descending into tiny grains.
+  [[nodiscard]] std::size_t plain_grain(std::size_t n) const noexcept {
+    const std::size_t executors = workers_.size() + 1;  // workers + caller
+    const std::size_t target = 4 * executors;
+    return std::max<std::size_t>(1, (n + target - 1) / target);
+  }
+
+  void dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ctx);
+  /// Claim and execute grains of the current job until none remain.
+  void run_grains() noexcept;
   void worker_loop(const std::stop_token& stop);
 
-  std::mutex mutex_;
-  std::condition_variable_any cv_;
-  std::queue<std::function<void()>> tasks_;
+  // --- Fork-join state (one job at a time; dispatch_mutex_ serializes). ---
+  std::mutex dispatch_mutex_;
+  // Job descriptor; written by dispatch() before the epoch bump, read by
+  // workers after they observe the new epoch (wake_mutex_ orders both).
+  GrainFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_grain_ = 0;
+  std::size_t job_num_grains_ = 0;
+  std::atomic<std::size_t> next_grain_{0};
+  std::atomic<std::size_t> departed_{0};
+  std::exception_ptr job_error_;
+  std::mutex error_mutex_;
+
+  // Wake handshake: epoch_ counts jobs; every worker joins each epoch
+  // exactly once (dispatch_mutex_ prevents a worker missing one).
+  std::mutex wake_mutex_;
+  std::condition_variable_any wake_cv_;
+  std::uint64_t epoch_ = 0;
+
+  // Done handshake: the caller waits for all workers to depart the epoch,
+  // so no worker can still touch the job descriptor after dispatch returns.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+
   std::vector<std::jthread> workers_;
 };
 

@@ -1,0 +1,206 @@
+// Determinism contract of the contribution-vector sweep kernels: every
+// variant (serial sweep, pooled sweep, fused sweep+residual) must produce
+// bitwise-identical y — and the fused variants identical residuals — to the
+// serial per-edge multiply, for any pool size, on adversarial shapes
+// (empty rows, dangling-heavy graphs, 1-row and 0-row matrices).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.hpp"
+#include "graph/synthetic_web.hpp"
+#include "rank/link_matrix.hpp"
+#include "test_support.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::rank {
+namespace {
+
+constexpr double kAlpha = 0.85;
+
+std::vector<double> varied_x(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.25 + static_cast<double>(i % 11) * 0.37;
+  }
+  return x;
+}
+
+/// Many pages with no out-links at all (dangling) and a few heavy hubs:
+/// most rows are empty, most sources are dangling.
+graph::WebGraph dangling_heavy(int pages) {
+  graph::GraphBuilder b;
+  std::vector<graph::PageId> ids;
+  for (int i = 0; i < pages; ++i) {
+    ids.push_back(b.add_page("s.edu/p" + std::to_string(i), "s.edu"));
+  }
+  // Only pages 0 and 1 have out-links; everything else dangles.
+  for (int i = 2; i < pages; ++i) {
+    b.add_link(ids[0], ids[i]);
+    if (i % 3 == 0) b.add_link(ids[1], ids[i]);
+  }
+  return std::move(b).build();
+}
+
+void expect_bitwise_equal(std::span<const double> got, std::span<const double> want,
+                          const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << label << " index " << i;  // exact, not near
+  }
+}
+
+void check_all_variants(const LinkMatrix& m) {
+  const std::size_t n = m.dimension();
+  const auto x = varied_x(n);
+  std::vector<double> forcing(n);
+  for (std::size_t i = 0; i < n; ++i) forcing[i] = 0.15 + 0.01 * static_cast<double>(i % 5);
+
+  // Reference: serial per-edge multiply, then the unfused forcing add.
+  std::vector<double> y_ref(n, -1.0);
+  m.multiply(x, y_ref);
+  std::vector<double> y_forced_ref = y_ref;
+  for (std::size_t i = 0; i < n; ++i) y_forced_ref[i] += forcing[i];
+  const double l1_ref = util::l1_distance(y_forced_ref, x);
+
+  SweepScratch scratch;
+  std::vector<double> y(n, -2.0);
+  m.sweep(x, y, scratch);
+  expect_bitwise_equal(y, y_ref, "serial sweep");
+
+  SweepStats first_stats;
+  bool have_stats = false;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const std::string label = "pool size " + std::to_string(threads);
+
+    std::fill(y.begin(), y.end(), -3.0);
+    m.multiply(x, y, pool);
+    expect_bitwise_equal(y, y_ref, "pooled multiply, " + label);
+
+    std::fill(y.begin(), y.end(), -4.0);
+    m.sweep(x, y, scratch, pool);
+    expect_bitwise_equal(y, y_ref, "pooled sweep, " + label);
+
+    std::fill(y.begin(), y.end(), -5.0);
+    const SweepStats stats = m.sweep_and_residual(x, y, forcing, scratch, pool);
+    expect_bitwise_equal(y, y_forced_ref, "fused sweep, " + label);
+    if (!have_stats) {
+      first_stats = stats;
+      have_stats = true;
+      // The grain-ordered combine is a different summation order than the
+      // linear l1_distance pass, so compare with a tolerance once...
+      EXPECT_NEAR(stats.l1_delta, l1_ref, 1e-9 * (1.0 + l1_ref));
+    } else {
+      // ...but across pool sizes the residual must be bitwise identical.
+      EXPECT_EQ(stats.l1_delta, first_stats.l1_delta) << label;
+      EXPECT_EQ(stats.linf_delta, first_stats.linf_delta) << label;
+    }
+
+    std::fill(y.begin(), y.end(), -6.0);
+    const SweepStats no_forcing = m.sweep_and_residual(x, y, {}, scratch, pool);
+    expect_bitwise_equal(y, y_ref, "fused sweep no forcing, " + label);
+    (void)no_forcing;
+  }
+
+  // Same pool, repeated runs: identical results (no run-to-run drift).
+  util::ThreadPool pool(4);
+  std::vector<double> y2(n);
+  const SweepStats a = m.sweep_and_residual(x, y, forcing, scratch, pool);
+  const SweepStats b = m.sweep_and_residual(x, y2, forcing, scratch, pool);
+  expect_bitwise_equal(y, y2, "repeated fused run");
+  EXPECT_EQ(a.l1_delta, b.l1_delta);
+  EXPECT_EQ(a.linf_delta, b.linf_delta);
+}
+
+TEST(RankSweep, SyntheticWebAllVariantsBitwiseIdentical) {
+  const auto g = graph::generate_synthetic_web(graph::google2002_config(10000, 17));
+  check_all_variants(LinkMatrix::from_graph(g, kAlpha));
+}
+
+TEST(RankSweep, EmptyRowsStarGraph) {
+  // Star: every leaf row is empty (leaves have no in-links).
+  check_all_variants(LinkMatrix::from_graph(test::star(50), kAlpha));
+}
+
+TEST(RankSweep, DanglingHeavyGraph) {
+  check_all_variants(LinkMatrix::from_graph(dangling_heavy(500), kAlpha));
+}
+
+TEST(RankSweep, ChainGraph) {
+  check_all_variants(LinkMatrix::from_graph(test::chain(97), kAlpha));
+}
+
+TEST(RankSweep, OneRowMatrix) {
+  // Subset of a single page: dimension 1, zero entries.
+  const auto g = test::chain(4);
+  const std::vector<graph::PageId> subset{1};
+  const auto m = LinkMatrix::from_subset(g, subset, kAlpha);
+  ASSERT_EQ(m.dimension(), 1u);
+  ASSERT_EQ(m.num_entries(), 0u);
+  check_all_variants(m);
+
+  // With forcing, y is exactly the forcing; the residual is |f - x|.
+  SweepScratch scratch;
+  util::ThreadPool pool(2);
+  const std::vector<double> x{2.0};
+  const std::vector<double> forcing{0.5};
+  std::vector<double> y{-1.0};
+  const auto stats = m.sweep_and_residual(x, y, forcing, scratch, pool);
+  EXPECT_EQ(y[0], 0.5);
+  EXPECT_EQ(stats.l1_delta, 1.5);
+  EXPECT_EQ(stats.linf_delta, 1.5);
+}
+
+TEST(RankSweep, EmptyMatrix) {
+  const auto g = test::two_cycle();
+  const auto m = LinkMatrix::from_subset(g, {}, kAlpha);
+  SweepScratch scratch;
+  util::ThreadPool pool(2);
+  const auto stats = m.sweep_and_residual({}, {}, {}, scratch, pool);
+  EXPECT_EQ(stats.l1_delta, 0.0);
+  EXPECT_EQ(stats.linf_delta, 0.0);
+  std::vector<double> none;
+  m.sweep({}, none, scratch);
+  m.sweep({}, none, scratch, pool);
+}
+
+TEST(RankSweep, SubsetMatrixAllVariants) {
+  // Exercise the from_subset layout (local indices) under every kernel.
+  const auto g = graph::generate_synthetic_web(graph::google2002_config(4000, 5));
+  std::vector<graph::PageId> members;
+  for (graph::PageId p = 0; p < g.num_pages(); p += 3) members.push_back(p);
+  check_all_variants(LinkMatrix::from_subset(g, members, kAlpha));
+}
+
+TEST(RankSweep, SweepGrainIsMatrixDerived) {
+  const auto g = graph::generate_synthetic_web(graph::google2002_config(10000, 17));
+  const auto m = LinkMatrix::from_graph(g, kAlpha);
+  EXPECT_GE(m.sweep_grain(), 1u);
+  EXPECT_LE(m.sweep_grain(), m.dimension());
+  // Grain count covers the dimension exactly.
+  const std::size_t grains = util::ThreadPool::num_grains(m.dimension(), m.sweep_grain());
+  EXPECT_GE(grains * m.sweep_grain(), m.dimension());
+  EXPECT_LT((grains - 1) * m.sweep_grain(), m.dimension());
+}
+
+TEST(RankSweep, SourceWeightsMatchRowWeights) {
+  // weights_[e] must be the *same double* as source_weights()[src[e]] — the
+  // bitwise-identity of the two kernels rests on this.
+  const auto g = graph::generate_synthetic_web(graph::google2002_config(2000, 9));
+  const auto m = LinkMatrix::from_graph(g, kAlpha);
+  const auto sw = m.source_weights();
+  for (std::size_t v = 0; v < m.dimension(); ++v) {
+    const auto src = m.row_sources(v);
+    const auto w = m.row_weights(v);
+    for (std::size_t e = 0; e < src.size(); ++e) {
+      ASSERT_EQ(w[e], sw[src[e]]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p2prank::rank

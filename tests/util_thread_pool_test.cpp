@@ -99,5 +99,102 @@ TEST(ThreadPool, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
 }
 
+TEST(ThreadPool, SmallNRunsInlineAsOneCall) {
+  // Below the inline cutoff the plain API must not dispatch: exactly one
+  // call covering the whole range (micro-sweeps skip fork-join cost).
+  ThreadPool pool(4);
+  ASSERT_LT(100u, ThreadPool::kInlineCutoff);
+  std::atomic<int> calls{0};
+  pool.parallel_for(100, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, GrainsCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  constexpr std::size_t kGrain = 170;  // deliberately not a divisor of kN
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_grains(kN, kGrain,
+                           [&](std::size_t grain, std::size_t begin, std::size_t end) {
+                             EXPECT_EQ(begin, grain * kGrain);
+                             EXPECT_EQ(end, std::min(kN, begin + kGrain));
+                             for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+                           });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, GrainBoundariesIndependentOfPoolSize) {
+  // The decomposition seen by the body must depend only on (n, grain) —
+  // this is what makes per-grain partial sums bitwise-deterministic.
+  constexpr std::size_t kN = 50000;
+  constexpr std::size_t kGrain = 333;
+  const std::size_t total = ThreadPool::num_grains(kN, kGrain);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<std::uint64_t>> seen(total);
+    pool.parallel_for_grains(
+        kN, kGrain, [&](std::size_t grain, std::size_t begin, std::size_t end) {
+          seen[grain].store((static_cast<std::uint64_t>(begin) << 32) | end);
+        });
+    for (std::size_t g = 0; g < total; ++g) {
+      const std::uint64_t packed = seen[g].load();
+      EXPECT_EQ(packed >> 32, g * kGrain) << "pool " << threads;
+      EXPECT_EQ(packed & 0xffffffffu, std::min(kN, g * kGrain + kGrain))
+          << "pool " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, GrainExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;  // above the inline cutoff: real dispatch
+  EXPECT_THROW(pool.parallel_for_grains(kN, 1000,
+                                        [](std::size_t grain, std::size_t, std::size_t) {
+                                          if (grain == 7) throw std::runtime_error("boom");
+                                        }),
+               std::runtime_error);
+  // The pool must be fully reusable after a throwing grain.
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<std::size_t> covered{0};
+    pool.parallel_for_grains(kN, 1000, [&](std::size_t, std::size_t begin, std::size_t end) {
+      covered.fetch_add(end - begin);
+    });
+    EXPECT_EQ(covered.load(), kN);
+  }
+}
+
+TEST(ThreadPool, ExceptionAboveInlineCutoffPropagates) {
+  // The dispatched (not inline) path of the plain API must also propagate.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  EXPECT_THROW(pool.parallel_for(kN,
+                                 [](std::size_t begin, std::size_t) {
+                                   if (begin == 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(kN, [&](std::size_t begin, std::size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), kN);
+}
+
+TEST(ThreadPool, ManySequentialGrainedDispatches) {
+  // Stress the epoch handshake: no lost wakeups or stuck barriers.
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 20000;
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<std::size_t> covered{0};
+    pool.parallel_for_grains(kN, 512, [&](std::size_t, std::size_t begin, std::size_t end) {
+      covered.fetch_add(end - begin);
+    });
+    ASSERT_EQ(covered.load(), kN) << round;
+  }
+}
+
 }  // namespace
 }  // namespace p2prank::util

@@ -1,0 +1,279 @@
+// bench_report — machine-readable kernel throughput snapshots.
+//
+// Times every rank-sweep kernel variant on the standard 50k-page synthetic
+// graph and appends one labelled run to BENCH_kernels.json, so the perf
+// trajectory of the hot path is recorded PR over PR. The JSON layout (see
+// DESIGN.md "Kernel layout") is:
+//
+//   { "schema": "p2prank-kernel-bench-v1",
+//     "runs": [ { "label", "pages", "edges", "pool_threads",
+//                 "variants": [ {"name", "ns_per_sweep", "items_per_sec",
+//                                "bytes_per_sec"} ... ] } ... ] }
+//
+// items = CSR entries processed; bytes = hot-loop traffic per the
+// accounting in DESIGN.md. Appending to an existing file preserves earlier
+// runs (notably the "seed" baseline measured before the contribution
+// kernel landed), which is what makes deltas auditable.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/synthetic_web.hpp"
+#include "rank/link_matrix.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace p2prank;
+using Clock = std::chrono::steady_clock;
+
+struct VariantResult {
+  std::string name;
+  double ns_per_sweep = 0.0;
+  double items_per_sec = 0.0;
+  double bytes_per_sec = 0.0;
+};
+
+struct Options {
+  std::uint32_t pages = 50000;
+  std::uint64_t seed = 42;
+  double alpha = 0.85;
+  int repetitions = 5;
+  double min_rep_seconds = 0.4;
+  std::string label = "run";
+  std::string out = "BENCH_kernels.json";
+};
+
+/// Best-of-`repetitions` timing of one sweep variant: each repetition runs
+/// the body until `min_rep_seconds` elapse and reports ns/sweep; the
+/// minimum over repetitions filters scheduler noise.
+template <typename Body>
+double time_variant(const Options& opts, const Body& body) {
+  for (int i = 0; i < 3; ++i) body();  // warm caches and scratch
+  double best_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < opts.repetitions; ++rep) {
+    std::size_t sweeps = 0;
+    const auto start = Clock::now();
+    Clock::time_point now;
+    do {
+      body();
+      ++sweeps;
+      now = Clock::now();
+    } while (std::chrono::duration<double>(now - start).count() < opts.min_rep_seconds);
+    const double ns =
+        std::chrono::duration<double, std::nano>(now - start).count() /
+        static_cast<double>(sweeps);
+    best_ns = std::min(best_ns, ns);
+  }
+  return best_ns;
+}
+
+VariantResult make_result(const std::string& name, double ns_per_sweep,
+                          std::size_t items, std::int64_t bytes) {
+  VariantResult r;
+  r.name = name;
+  r.ns_per_sweep = ns_per_sweep;
+  r.items_per_sec = static_cast<double>(items) / (ns_per_sweep * 1e-9);
+  r.bytes_per_sec = static_cast<double>(bytes) / (ns_per_sweep * 1e-9);
+  return r;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string render_run(const Options& opts, std::size_t edges,
+                       std::size_t pool_threads,
+                       const std::vector<VariantResult>& variants) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "    {\n";
+  os << "      \"label\": \"" << json_escape(opts.label) << "\",\n";
+  os << "      \"pages\": " << opts.pages << ",\n";
+  os << "      \"edges\": " << edges << ",\n";
+  os << "      \"graph_seed\": " << opts.seed << ",\n";
+  os << "      \"alpha\": " << opts.alpha << ",\n";
+  os << "      \"pool_threads\": " << pool_threads << ",\n";
+  os << "      \"variants\": [\n";
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& v = variants[i];
+    os << "        {\"name\": \"" << json_escape(v.name) << "\", "
+       << "\"ns_per_sweep\": " << v.ns_per_sweep << ", "
+       << "\"items_per_sec\": " << v.items_per_sec << ", "
+       << "\"bytes_per_sec\": " << v.bytes_per_sec << "}"
+       << (i + 1 < variants.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n";
+  os << "    }";
+  return os.str();
+}
+
+/// Append `run` to the "runs" array of `path`, or create the file. Only
+/// files written by this tool are understood; anything else is replaced.
+void write_report(const std::string& path, const std::string& run) {
+  static constexpr const char* kTail = "\n  ]\n}\n";
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("bench_report: cannot write " + path);
+  const std::size_t tail_at = existing.rfind(kTail);
+  if (!existing.empty() && tail_at != std::string::npos &&
+      tail_at + std::strlen(kTail) == existing.size()) {
+    out << existing.substr(0, tail_at) << ",\n" << run << kTail;
+  } else {
+    out << "{\n  \"schema\": \"p2prank-kernel-bench-v1\",\n  \"runs\": [\n"
+        << run << kTail;
+  }
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string("bench_report: ") + flag +
+                                 " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--pages") {
+      opts.pages = static_cast<std::uint32_t>(std::stoul(need_value("--pages")));
+    } else if (arg == "--seed") {
+      opts.seed = std::stoull(need_value("--seed"));
+    } else if (arg == "--alpha") {
+      opts.alpha = std::stod(need_value("--alpha"));
+    } else if (arg == "--reps") {
+      opts.repetitions = std::stoi(need_value("--reps"));
+    } else if (arg == "--min-rep-seconds") {
+      opts.min_rep_seconds = std::stod(need_value("--min-rep-seconds"));
+    } else if (arg == "--label") {
+      opts.label = need_value("--label");
+    } else if (arg == "--out") {
+      opts.out = need_value("--out");
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_report [--pages N] [--seed S] [--alpha A] "
+                   "[--reps R] [--min-rep-seconds T] [--label L] [--out FILE]\n";
+      std::exit(0);
+    } else {
+      throw std::runtime_error("bench_report: unknown flag " + arg);
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opts = parse_args(argc, argv);
+    const auto g = graph::generate_synthetic_web(
+        graph::google2002_config(opts.pages, opts.seed));
+    const auto m = rank::LinkMatrix::from_graph(g, opts.alpha);
+    auto& pool = util::ThreadPool::shared();
+    const std::size_t n = m.dimension();
+    const std::size_t edges = m.num_entries();
+
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = 0.1 + static_cast<double>(i % 7);
+    std::vector<double> y(n);
+    const std::vector<double> forcing(n, 0.15);
+    rank::SweepScratch scratch;
+
+    // Hot-loop bytes per sweep; accounting documented in DESIGN.md.
+    const auto i64 = [](std::size_t v) { return static_cast<std::int64_t>(v); };
+    const std::int64_t multiply_bytes = i64(edges) * 20 + i64(n) * 8;
+    const std::int64_t contribution_bytes = i64(edges) * 12 + i64(n) * 32;
+    const std::int64_t fused_bytes = contribution_bytes + i64(n) * 16;
+    const std::int64_t unfused_bytes = contribution_bytes + i64(n) * 40;
+
+    std::vector<VariantResult> results;
+    // Frozen copy of the seed's multiply hot loop (single-chain
+    // accumulation over the per-edge weight stream). Every run carries this
+    // in-phase baseline so kernel speedups can be read off one run without
+    // being confounded by machine phase (shared boxes drift ±30%).
+    results.push_back(make_result(
+        "seed_pooled_multiply",
+        time_variant(opts,
+                     [&] {
+                       for (std::size_t v = 0; v < n; ++v) {
+                         double acc = 0.0;
+                         const auto src = m.row_sources(v);
+                         const auto w = m.row_weights(v);
+                         for (std::size_t e = 0; e < src.size(); ++e) {
+                           acc += x[src[e]] * w[e];
+                         }
+                         y[v] = acc;
+                       }
+                     }),
+        edges, multiply_bytes));
+    results.push_back(make_result(
+        "serial_multiply",
+        time_variant(opts, [&] { m.multiply(x, y); }), edges, multiply_bytes));
+    results.push_back(make_result(
+        "pooled_multiply",
+        time_variant(opts, [&] { m.multiply(x, y, pool); }), edges,
+        multiply_bytes));
+    results.push_back(make_result(
+        "contribution_serial",
+        time_variant(opts, [&] { m.sweep(x, y, scratch); }), edges,
+        contribution_bytes));
+    results.push_back(make_result(
+        "contribution_pooled",
+        time_variant(opts, [&] { m.sweep(x, y, scratch, pool); }), edges,
+        contribution_bytes));
+    results.push_back(make_result(
+        "fused_sweep_residual",
+        time_variant(opts,
+                     [&] {
+                       auto stats = m.sweep_and_residual(x, y, forcing, scratch, pool);
+                       if (stats.l1_delta < 0.0) std::abort();  // keep the result live
+                     }),
+        edges, fused_bytes));
+    results.push_back(make_result(
+        "sweep_then_residual",
+        time_variant(opts,
+                     [&] {
+                       m.sweep(x, y, scratch, pool);
+                       for (std::size_t v = 0; v < n; ++v) y[v] += forcing[v];
+                       volatile double delta = util::l1_distance(y, x);
+                       (void)delta;
+                     }),
+        edges, unfused_bytes));
+
+    const std::string run = render_run(opts, edges, pool.size(), results);
+    write_report(opts.out, run);
+
+    std::cout << "graph: " << opts.pages << " pages, " << edges << " edges; pool "
+              << pool.size() << " thread(s)\n";
+    for (const auto& r : results) {
+      std::cout << "  " << r.name << ": " << r.ns_per_sweep / 1e3 << " us/sweep, "
+                << r.items_per_sec / 1e6 << " M items/s, "
+                << r.bytes_per_sec / 1e9 << " GB/s\n";
+    }
+    std::cout << "appended run \"" << opts.label << "\" to " << opts.out << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

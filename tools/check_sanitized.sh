@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build the concurrency-sensitive targets under ThreadSanitizer and run the
+# thread-pool and rank-sweep suites. The ThreadPool fork-join has no locks on
+# its hot path (epoch + atomic grain counter), so TSan is the check that the
+# handshake is actually race-free, not just "has not crashed yet".
+#
+# usage: tools/check_sanitized.sh [extra ctest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan --target util_thread_pool_test rank_sweep_test -j"$(nproc)"
+
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/util_thread_pool_test "$@"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/rank_sweep_test "$@"
+echo "TSan: thread-pool and rank-sweep suites clean"
