@@ -1,0 +1,127 @@
+#include "check/invariants.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2prank::check {
+
+InvariantChecker::InvariantChecker(const engine::DistributedRanking& sim,
+                                   std::vector<double> reference,
+                                   bool check_monotone, bool check_bound,
+                                   bool expect_status_per_step)
+    : sim_(sim),
+      reference_(std::move(reference)),
+      baseline_(sim.global_ranks()),
+      check_monotone_(check_monotone),
+      monotone_armed_(check_monotone),
+      check_bound_(check_bound),
+      expect_status_per_step_(expect_status_per_step) {
+  if (reference_.size() != baseline_.size()) {
+    throw std::invalid_argument("InvariantChecker: reference size mismatch");
+  }
+}
+
+void InvariantChecker::on_crash(std::uint32_t group) {
+  // A crash breaks Thm 4.1's premise for EVERY page, not just the crashed
+  // group's: the rebooted ranker's next Y sends are computed from its reset
+  // (near-zero) ranks and *replace* the higher pre-crash entries in peers'
+  // X, so peers' ranks legitimately decrease — and the dip cascades
+  // transitively for an unbounded settling period. Dis-arm monotonicity
+  // until a consistency-restoring restore; bound/finite/counters stay on.
+  (void)group;
+  monotone_armed_ = false;
+}
+
+void InvariantChecker::on_restore(std::span<const double> restored_ranks,
+                                  bool consistent) {
+  if (restored_ranks.size() != baseline_.size()) {
+    throw std::invalid_argument("InvariantChecker: restored size mismatch");
+  }
+  baseline_.assign(restored_ranks.begin(), restored_ranks.end());
+  // A restore crashes every group and warm-starts from the checkpoint,
+  // which re-primes every X slice consistently from the restored vector.
+  // If that vector was saved during a monotone phase it satisfies
+  // R <= F(R) (each page's value came from an earlier solve whose X inputs
+  // have only grown since), so regrowth from it is monotone again.
+  monotone_armed_ = check_monotone_ && consistent;
+}
+
+void InvariantChecker::check_sample(std::vector<Violation>& out) {
+  ++samples_checked_;
+  const double t = sim_.now();
+  const auto ranks = sim_.global_ranks();
+  const auto page_detail = [&](std::size_t page, const char* relation,
+                               double limit) {
+    std::ostringstream msg;
+    msg.precision(17);
+    msg << "page " << page << ": rank " << ranks[page] << ' ' << relation << ' '
+        << limit;
+    return msg.str();
+  };
+
+  // finite: always-on sanity floor under every other check.
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (!std::isfinite(ranks[i]) || ranks[i] < -kTol) {
+      out.push_back({"finite", t, page_detail(i, "not finite/non-negative;", 0.0)});
+      break;
+    }
+  }
+
+  if (monotone_armed_) {
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      if (ranks[i] < baseline_[i] - kTol) {
+        out.push_back({"monotone", t,
+                       page_detail(i, "decreased below baseline", baseline_[i])});
+        break;
+      }
+    }
+  }
+  if (check_bound_) {
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      if (ranks[i] > reference_[i] + kTol) {
+        out.push_back(
+            {"bound", t, page_detail(i, "exceeds centralized R*", reference_[i])});
+        break;
+      }
+    }
+  }
+  // The sequence between fault resets is what must be monotone; ratchet the
+  // baseline to the ranks just observed (even when the monotone check is
+  // off, keeping it current costs nothing and simplifies re-enabling).
+  baseline_.assign(ranks.begin(), ranks.end());
+
+  // counters
+  const std::uint64_t sent = sim_.messages_sent();
+  const std::uint64_t lost = sim_.messages_lost();
+  const std::uint64_t steps = sim_.total_outer_steps();
+  const auto per_group = sim_.records_sent_per_group();
+  const std::uint64_t group_records =
+      std::accumulate(per_group.begin(), per_group.end(), std::uint64_t{0});
+  std::ostringstream counter_fail;
+  if (lost > sent) {
+    counter_fail << "messages_lost " << lost << " > messages_sent " << sent;
+  } else if (sent < prev_sent_ || lost < prev_lost_) {
+    counter_fail << "message counters went backwards (sent " << prev_sent_
+                 << "->" << sent << ", lost " << prev_lost_ << "->" << lost
+                 << ")";
+  } else if (group_records != sim_.records_sent()) {
+    counter_fail << "per-group records sum " << group_records
+                 << " != records_sent " << sim_.records_sent();
+  } else if (steps < prev_steps_) {
+    counter_fail << "total_outer_steps went backwards (" << prev_steps_ << "->"
+                 << steps << ")";
+  } else if (expect_status_per_step_ && sim_.status_messages() != steps) {
+    counter_fail << "status_messages " << sim_.status_messages()
+                 << " != total_outer_steps " << steps;
+  }
+  if (const auto msg = counter_fail.str(); !msg.empty()) {
+    out.push_back({"counters", t, msg});
+  }
+  prev_sent_ = sent;
+  prev_lost_ = lost;
+  prev_steps_ = steps;
+}
+
+}  // namespace p2prank::check

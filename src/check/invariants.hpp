@@ -1,0 +1,98 @@
+// Runtime theorem checking for chaos scenarios.
+//
+// The InvariantChecker watches one DistributedRanking run and, at every
+// sample point, machine-checks the properties the paper proves (Section 4.3
+// + Appendix) plus the engine's own bookkeeping:
+//
+//   monotone     per-page rank never decreases (Thm 4.1). Holds from R0 = 0
+//                and from any *consistent sub-fixed-point* start (scaled
+//                warm start, or restore from a checkpoint saved during a
+//                monotone phase — any snapshot of a monotone run satisfies
+//                R <= F(R), so regrowth from it is monotone again). A crash
+//                dis-arms the check globally, not just for the crashed
+//                group: the rebooted ranker re-sends Y computed from its
+//                re-grown (lower) ranks, and since Refresh X replaces
+//                rather than maxes, the lowered contributions propagate and
+//                legitimately decrease peers' ranks for an unbounded
+//                settling period. Only a consistency-restoring restore
+//                re-arms monotonicity.
+//   bound        per-page rank <= centralized fixed point R* (Thm 4.2).
+//   finite       every rank is finite and non-negative, always.
+//   counters     messages_lost <= messages_sent, both non-decreasing;
+//                per-group records sum to the records total; outer steps
+//                non-decreasing; with stability detection on, one status
+//                message per outer step.
+//   convergence  (checked by the runner) a loss-free, fault-free tail must
+//                reach the centralized ranks.
+//
+// A violation is a plain value naming the invariant, the virtual time, and
+// a human-readable detail — the ScenarioRunner attaches them to the trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/distributed.hpp"
+
+namespace p2prank::check {
+
+struct Violation {
+  std::string invariant;  ///< "monotone" | "bound" | "finite" | "counters" | "convergence"
+  double time = 0.0;      ///< virtual time of the failing sample
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  /// `reference` is the centralized fixed point R* of the graph the engine
+  /// runs on. `check_monotone`/`check_bound` gate the theorem invariants
+  /// (disabled after a mid-run graph update, where the paper's premises are
+  /// gone). `expect_status_per_step` mirrors stability_epsilon > 0. The
+  /// monotone baseline starts from the engine's *current* ranks, so
+  /// construct the checker after any warm start.
+  InvariantChecker(const engine::DistributedRanking& sim,
+                   std::vector<double> reference, bool check_monotone,
+                   bool check_bound, bool expect_status_per_step);
+
+  /// The runner crashed a non-empty group: its pages drop to 0 and the
+  /// lowered Y it will re-send makes peers non-monotone too — dis-arm the
+  /// monotone check until a consistency-restoring restore.
+  void on_crash(std::uint32_t group);
+  /// The runner crashed every group and warm-started from a checkpoint.
+  /// `consistent` says the checkpoint was saved during a monotone phase
+  /// (no un-restored crash, theorems' premises intact): if so — and the
+  /// checker was constructed with monotone checking on — the monotone
+  /// invariant re-arms with the restored vector as baseline.
+  void on_restore(std::span<const double> restored_ranks, bool consistent);
+
+  [[nodiscard]] bool monotone_armed() const noexcept { return monotone_armed_; }
+
+  /// Check every invariant against the engine's current state. Appends at
+  /// most one violation per invariant kind per call.
+  void check_sample(std::vector<Violation>& out);
+
+  [[nodiscard]] std::uint64_t samples_checked() const noexcept {
+    return samples_checked_;
+  }
+
+  /// Absolute tolerance for the monotone/bound comparisons (ranks are O(1);
+  /// fp noise from the fused sweeps stays orders of magnitude below this).
+  static constexpr double kTol = 1e-9;
+
+ private:
+  const engine::DistributedRanking& sim_;
+  std::vector<double> reference_;
+  std::vector<double> baseline_;  ///< per-page monotone floor
+  bool check_monotone_;   ///< ctor-time gate (premises of Thm 4.1 ever held)
+  bool monotone_armed_;   ///< currently armed (no un-restored crash)
+  bool check_bound_;
+  bool expect_status_per_step_;
+  std::uint64_t prev_sent_ = 0;
+  std::uint64_t prev_lost_ = 0;
+  std::uint64_t prev_steps_ = 0;
+  std::uint64_t samples_checked_ = 0;
+};
+
+}  // namespace p2prank::check

@@ -1,0 +1,48 @@
+#include "check/minimize.hpp"
+
+#include <algorithm>
+
+namespace p2prank::check {
+
+MinimizeResult minimize_schedule(
+    const Scenario& failing,
+    const std::function<bool(const Scenario&)>& still_fails,
+    std::size_t max_attempts) {
+  MinimizeResult result;
+  result.scenario = failing;
+  Scenario& cur = result.scenario;
+
+  // Chunked passes: drop [i, i+len) for len = n, n/2, ..., 1. Trying the
+  // whole schedule first matters — a broken *engine* fails with zero ops,
+  // and one attempt proves it.
+  for (std::size_t len = std::max<std::size_t>(cur.ops.size(), 1); len >= 1;
+       len /= 2) {
+    bool removed_any = true;
+    while (removed_any && result.attempts < max_attempts) {
+      removed_any = false;
+      for (std::size_t i = 0;
+           i + len <= cur.ops.size() && result.attempts < max_attempts;) {
+        Scenario candidate = cur;
+        candidate.ops.erase(
+            candidate.ops.begin() + static_cast<std::ptrdiff_t>(i),
+            candidate.ops.begin() + static_cast<std::ptrdiff_t>(i + len));
+        ++result.attempts;
+        if (still_fails(candidate)) {
+          cur = std::move(candidate);
+          removed_any = true;
+          // keep i: the next chunk slid into place
+        } else {
+          i += 1;  // overlapping windows; len-sized stride would skip ops
+        }
+      }
+    }
+    if (len == 1) {
+      // A full single-op pass with no removal == 1-minimal.
+      result.minimal = !removed_any && result.attempts < max_attempts;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace p2prank::check

@@ -1,0 +1,33 @@
+// Greedy schedule minimization (delta debugging, ddmin-style).
+//
+// Given a failing scenario, shrink its fault schedule to a locally minimal
+// reproducing op list: repeatedly drop contiguous chunks (halving the chunk
+// size down to single ops) and keep any removal after which the scenario
+// still fails. The result is 1-minimal — removing any single remaining op
+// makes the failure disappear — unless the attempt budget runs out first.
+// Replays are deterministic, so "still fails" is a pure predicate of the
+// candidate scenario.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "check/scenario.hpp"
+
+namespace p2prank::check {
+
+struct MinimizeResult {
+  Scenario scenario;        ///< the shrunk scenario (same config, fewer ops)
+  std::size_t attempts = 0; ///< candidate replays executed
+  bool minimal = false;     ///< true when 1-minimality was reached in budget
+};
+
+/// `still_fails` must return true when the candidate scenario reproduces
+/// the violation (typically: !runner.run(candidate).ok()). The input
+/// scenario is assumed failing; its ops only ever shrink.
+[[nodiscard]] MinimizeResult minimize_schedule(
+    const Scenario& failing,
+    const std::function<bool(const Scenario&)>& still_fails,
+    std::size_t max_attempts = 256);
+
+}  // namespace p2prank::check

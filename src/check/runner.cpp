@@ -1,0 +1,283 @@
+#include "check/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/checkpoint.hpp"
+#include "engine/distributed.hpp"
+#include "engine/reference.hpp"
+#include "graph/graph_updates.hpp"
+#include "graph/synthetic_web.hpp"
+#include "partition/partitioner.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::check {
+
+namespace {
+
+std::unique_ptr<partition::Partitioner> make_partitioner(const Scenario& s) {
+  switch (s.partition) {
+    case PartitionKind::kHashUrl: return partition::make_hash_url_partitioner();
+    case PartitionKind::kHashSite: return partition::make_hash_site_partitioner();
+    case PartitionKind::kRandom:
+      return partition::make_random_partitioner(util::mix64(s.graph_seed));
+  }
+  throw std::invalid_argument("ScenarioRunner: bad partition kind");
+}
+
+std::uint32_t largest_group(std::span<const std::uint32_t> assignment,
+                            std::uint32_t k) {
+  std::vector<std::uint32_t> sizes(k, 0);
+  for (const std::uint32_t g : assignment) ++sizes[g];
+  return static_cast<std::uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+/// A small random crawl churn: add links, remove existing links, add
+/// external links. Deterministic from `seed`; removals are deduplicated so
+/// the batch never removes the same link instance twice.
+graph::WebGraph apply_random_update(const graph::WebGraph& g, std::uint64_t seed) {
+  util::Rng rng(util::mix64(seed ^ 0x6b79a1d30c52f8e7ULL));
+  const auto n = static_cast<std::uint64_t>(g.num_pages());
+  std::vector<graph::LinkUpdate> updates;
+  std::vector<std::pair<graph::PageId, graph::PageId>> removed;
+  const std::size_t count = 1 + rng.below(8);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double roll = rng.uniform();
+    if (roll < 0.5) {
+      const auto u = static_cast<graph::PageId>(rng.below(n));
+      const auto v = static_cast<graph::PageId>(rng.below(n));
+      updates.push_back(graph::LinkUpdate::add_link(g.url(u), g.url(v)));
+    } else if (roll < 0.85) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto u = static_cast<graph::PageId>(rng.below(n));
+        const auto links = g.out_links(u);
+        if (links.empty()) continue;
+        const graph::PageId v = links[rng.below(links.size())];
+        if (std::find(removed.begin(), removed.end(), std::pair{u, v}) !=
+            removed.end()) {
+          continue;
+        }
+        removed.emplace_back(u, v);
+        updates.push_back(graph::LinkUpdate::remove_link(g.url(u), g.url(v)));
+        break;
+      }
+    } else {
+      const auto u = static_cast<graph::PageId>(rng.below(n));
+      updates.push_back(graph::LinkUpdate::add_external(g.url(u)));
+    }
+  }
+  if (updates.empty()) {
+    updates.push_back(graph::LinkUpdate::add_external(g.url(0)));
+  }
+  return graph::apply_updates(g, updates);
+}
+
+}  // namespace
+
+std::string ScenarioResult::summary() const {
+  std::ostringstream out;
+  if (ok()) {
+    out << "ok";
+  } else {
+    out << "FAIL " << violations.front().invariant << " @t="
+        << violations.front().time << " (" << violations.front().detail << ')';
+  }
+  out << "  err=" << final_error << " t_end=" << end_time << " samples="
+      << samples_checked << " msgs=" << messages_sent << " lost="
+      << messages_lost;
+  return out.str();
+}
+
+ScenarioRunner::ScenarioRunner(util::ThreadPool& pool, RunnerOptions opts)
+    : pool_(pool), opts_(std::move(opts)) {}
+
+ScenarioResult ScenarioRunner::run(const Scenario& s) {
+  if (s.k == 0 || s.pages == 0) {
+    throw std::invalid_argument("ScenarioRunner: k and pages must be > 0");
+  }
+  if (s.t2 < s.t1 || s.t1 < 0.0) {
+    throw std::invalid_argument("ScenarioRunner: bad wait interval");
+  }
+  if (!(s.delivery_p >= 0.0 && s.delivery_p <= 1.0) ||
+      !(s.warm_start_scale >= 0.0 && s.warm_start_scale <= 1.0)) {
+    throw std::invalid_argument("ScenarioRunner: probability/scale out of range");
+  }
+
+  auto cfg = graph::google2002_config(s.pages, s.graph_seed);
+  // Scale the site count down with the crawl so site-granularity partitions
+  // keep several sites per group at chaos-harness sizes.
+  cfg.num_sites = std::clamp<std::uint32_t>(s.pages / 25, 8, 100);
+  graph::WebGraph g = graph::generate_synthetic_web(cfg);
+
+  const auto partitioner = make_partitioner(s);
+  std::vector<std::uint32_t> assignment = partitioner->partition(g, s.k);
+  std::vector<double> reference =
+      engine::open_system_reference(g, opts_.alpha, pool_);
+
+  engine::EngineOptions eo;
+  eo.algorithm = s.algorithm;
+  eo.alpha = opts_.alpha;
+  eo.delivery_probability = s.delivery_p;
+  eo.t1 = s.t1;
+  eo.t2 = s.t2;
+  eo.delivery_latency = s.delivery_latency;
+  eo.stability_epsilon = s.stability_epsilon;
+  eo.seed = s.engine_seed;
+  if (opts_.break_skip_refresh) {
+    eo.fault_skip_refresh_group = largest_group(assignment, s.k);
+  }
+
+  auto sim = std::make_unique<engine::DistributedRanking>(g, assignment, s.k,
+                                                          eo, pool_);
+  sim->set_reference(reference);
+  if (s.warm_start_scale > 0.0) {
+    std::vector<double> warm(reference);
+    for (double& r : warm) r *= s.warm_start_scale;
+    sim->warm_start(warm);
+  }
+  // Construct after the warm start so the monotone baseline is the actual
+  // starting vector.
+  auto checker = std::make_unique<InvariantChecker>(
+      *sim, reference, /*check_monotone=*/true, /*check_bound=*/true,
+      /*expect_status_per_step=*/eo.stability_epsilon > 0.0);
+
+  ScenarioResult result;
+  double offset = 0.0;  // global time = offset + sim->now() (graph rebuilds
+                        // start a fresh engine clock)
+  std::string checkpoint;
+  // Thm 4.1 bookkeeping: the state is "consistent" (a sub-solution of the
+  // current graph's operator, so ranks grow monotonically) until a crash;
+  // a checkpoint remembers whether it was saved in a consistent phase, and
+  // restoring such a checkpoint makes the state consistent again. A graph
+  // update voids both for good (carried ranks can exceed the new R*).
+  bool state_consistent = true;
+  bool checkpoint_consistent = false;
+
+  const auto advance_to = [&](double global_t) {
+    while (offset + sim->now() + 1e-12 < global_t &&
+           result.violations.size() < opts_.max_violations) {
+      const double next =
+          std::min(global_t, offset + sim->now() + opts_.sample_interval);
+      const double interval = next - offset - sim->now();
+      if (interval <= 0.0) break;  // fp guard: nothing left to simulate
+      (void)sim->run(next - offset, interval);
+      checker->check_sample(result.violations);
+      ++result.samples_checked;
+    }
+  };
+
+  for (const ScheduleOp& op : s.ops) {
+    if (result.violations.size() >= opts_.max_violations) break;
+    advance_to(std::min(op.time, s.active_time));
+    switch (op.kind) {
+      case OpKind::kCrash:
+        if (op.group < s.k) {
+          const bool nonempty = sim->group(op.group).size() > 0;
+          sim->crash_group(op.group);
+          if (nonempty) {  // crashing an empty group is a true no-op
+            checker->on_crash(op.group);
+            state_consistent = false;
+          }
+        }
+        break;
+      case OpKind::kPause:
+        if (op.group < s.k) sim->pause_group(op.group);
+        break;
+      case OpKind::kResume:
+        if (op.group < s.k) sim->resume_group(op.group);
+        break;
+      case OpKind::kSetLoss:
+        sim->set_delivery_probability(std::clamp(op.value, 0.0, 1.0));
+        break;
+      case OpKind::kSaveCheckpoint: {
+        std::ostringstream out;
+        engine::save_ranks(g, sim->global_ranks(), out);
+        checkpoint = out.str();
+        checkpoint_consistent = state_consistent;
+        break;
+      }
+      case OpKind::kRestoreCheckpoint: {
+        if (checkpoint.empty()) break;  // nothing saved yet: defined no-op
+        std::istringstream in(checkpoint);
+        // Full round-trip through the text format — the harness exercises
+        // checkpoint serialization on every restore. A checkpoint from
+        // before a graph update still loads: matching is by URL, new pages
+        // start at 0.
+        const auto loaded = engine::load_ranks(g, in);
+        for (std::uint32_t grp = 0; grp < s.k; ++grp) sim->crash_group(grp);
+        sim->warm_start(loaded.ranks);
+        checker->on_restore(loaded.ranks, checkpoint_consistent);
+        state_consistent = checkpoint_consistent;
+        break;
+      }
+      case OpKind::kGraphUpdate: {
+        const auto ranks = sim->global_ranks();
+        graph::WebGraph updated = apply_random_update(g, op.seed);
+        std::vector<double> carried = engine::carry_ranks(g, ranks, updated);
+        offset += sim->now();
+        checker.reset();  // references sim
+        sim.reset();      // references g
+        g = std::move(updated);
+        assignment = partitioner->partition(g, s.k);
+        reference = engine::open_system_reference(g, opts_.alpha, pool_);
+        if (opts_.break_skip_refresh) {
+          eo.fault_skip_refresh_group = largest_group(assignment, s.k);
+        }
+        sim = std::make_unique<engine::DistributedRanking>(g, assignment, s.k,
+                                                           eo, pool_);
+        sim->set_reference(reference);
+        sim->warm_start(carried);
+        state_consistent = false;
+        checkpoint_consistent = false;
+        // The monotone/bound premises are gone (the paper's Section 4.3
+        // caveat): carried ranks can exceed the new fixed point. Keep
+        // finiteness + counters, and converge against the new reference.
+        checker = std::make_unique<InvariantChecker>(
+            *sim, reference, /*check_monotone=*/false, /*check_bound=*/false,
+            /*expect_status_per_step=*/eo.stability_epsilon > 0.0);
+        break;
+      }
+    }
+  }
+  advance_to(s.active_time);
+
+  // Loss-free, fault-free tail: every theorem-abiding configuration must
+  // now converge to the centralized ranks.
+  if (result.violations.size() < opts_.max_violations) {
+    sim->set_delivery_probability(1.0);
+    for (std::uint32_t grp = 0; grp < s.k; ++grp) {
+      if (sim->is_paused(grp)) sim->resume_group(grp);
+    }
+    const double deadline = offset + sim->now() + opts_.tail_max_time;
+    double err = sim->relative_error_now();
+    while (err > opts_.tail_error_threshold &&
+           offset + sim->now() + 1e-12 < deadline &&
+           result.violations.size() < opts_.max_violations) {
+      advance_to(std::min(deadline, offset + sim->now() + opts_.sample_interval));
+      err = sim->relative_error_now();
+    }
+    result.converged = err <= opts_.tail_error_threshold;
+    result.final_error = err;
+    if (!result.converged && result.violations.size() < opts_.max_violations) {
+      std::ostringstream detail;
+      detail << "loss-free tail stuck at relative error " << err << " after "
+             << opts_.tail_max_time << " extra time units";
+      result.violations.push_back(
+          {"convergence", offset + sim->now(), detail.str()});
+    }
+  } else {
+    result.final_error = sim->relative_error_now();
+  }
+
+  result.end_time = offset + sim->now();
+  result.messages_sent = sim->messages_sent();
+  result.messages_lost = sim->messages_lost();
+  return result;
+}
+
+}  // namespace p2prank::check

@@ -1,9 +1,11 @@
 #include "engine/checkpoint.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace p2prank::engine {
 
@@ -31,22 +33,46 @@ LoadedRanks load_ranks(const graph::WebGraph& g, std::istream& in) {
   loaded.ranks.assign(g.num_pages(), 0.0);
   std::string line;
   std::size_t line_no = 0;
+  std::size_t entries = 0;
+  std::size_t expected = 0;  // 0 = no v1 header seen (plain "url rank" file)
+  constexpr std::string_view kHeader = "# p2prank checkpoint v1: ";
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty() || line[0] == '#') {
+      // The v1 header declares the entry count; remember it so a file cut
+      // off mid-write (crash during save) is rejected instead of silently
+      // warm-starting half the crawl from zero.
+      if (line.rfind(kHeader, 0) == 0) {
+        std::istringstream count(line.substr(kHeader.size()));
+        count >> expected;
+      }
+      continue;
+    }
     std::istringstream fields(line);
     std::string url;
     double rank = 0.0;
-    if (!(fields >> url >> rank)) {
+    std::string extra;
+    if (!(fields >> url >> rank) || (fields >> extra)) {
       throw std::runtime_error("load_ranks: malformed line " +
                                std::to_string(line_no));
     }
+    if (!std::isfinite(rank) || rank < 0.0) {
+      throw std::runtime_error("load_ranks: corrupt rank on line " +
+                               std::to_string(line_no) +
+                               " (must be finite and non-negative)");
+    }
+    ++entries;
     if (const auto p = g.find(url)) {
       loaded.ranks[*p] = rank;
       ++loaded.matched;
     } else {
       ++loaded.skipped;
     }
+  }
+  if (expected != 0 && entries != expected) {
+    throw std::runtime_error(
+        "load_ranks: truncated checkpoint: header declares " +
+        std::to_string(expected) + " entries, found " + std::to_string(entries));
   }
   return loaded;
 }

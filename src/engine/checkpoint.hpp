@@ -31,7 +31,9 @@ struct LoadedRanks {
 };
 
 /// Parse a checkpoint against the (possibly different) current graph.
-/// Throws std::runtime_error on malformed lines.
+/// Throws std::runtime_error on malformed lines, non-finite or negative
+/// ranks, and files whose entry count disagrees with the v1 header's
+/// declared count (a save truncated by a crash mid-write).
 [[nodiscard]] LoadedRanks load_ranks(const graph::WebGraph& g, std::istream& in);
 [[nodiscard]] LoadedRanks load_ranks_file(const graph::WebGraph& g,
                                           const std::string& path);

@@ -127,13 +127,18 @@ bool DistributedRanking::is_paused(std::uint32_t group) const {
 }
 
 void DistributedRanking::crash_group(std::uint32_t group) {
-  groups_.at(group)->reset_state();
+  PageGroup& pg = *groups_.at(group);
+  if (pg.size() == 0) return;  // nothing to lose, nothing scheduled
+  pg.reset_state();
   inbox_[group].clear();
   // A rebooted ranker starts unstable until it reports otherwise.
   if (stable_flag_[group] != 0) {
     stable_flag_[group] = 0;
     --stable_count_;
   }
+  // Deliberately no (re)scheduling: a running group's next step is already
+  // queued and simply finds empty state; a paused group stays paused until
+  // resume_group (crash-while-down semantics).
 }
 
 double DistributedRanking::delivery_delay(std::uint32_t src, std::uint32_t dst) {
@@ -160,8 +165,13 @@ void DistributedRanking::run_step(std::uint32_t group) {
 
   // Refresh X: drain every slice that arrived since the last step. Applying
   // in arrival order leaves exactly the newest slice per source in force.
+  // (fault_skip_refresh_group is the chaos harness's deliberately broken
+  // engine: that group drops its inbox unapplied, so its X stays stale and
+  // the convergence invariant must catch it.)
   auto& inbox = inbox_[group];
-  for (auto& [source, slice] : inbox) pg.refresh_x(source, std::move(slice));
+  if (group != opts_.fault_skip_refresh_group) {
+    for (auto& [source, slice] : inbox) pg.refresh_x(source, std::move(slice));
+  }
   inbox.clear();
 
   const bool detect = opts_.stability_epsilon > 0.0;

@@ -45,18 +45,45 @@ class DistributedRanking {
 
   /// Suspend a ranker: it stops looping until resume_group (the paper's
   /// "sleep for some time, suspend itself as its wish, or even shutdown").
-  /// Its last Y values stay in force at its peers.
+  /// Its last Y values stay in force at its peers. Defined edge cases:
+  /// pausing is level-triggered and idempotent (a second pause_group is a
+  /// no-op, and one resume_group wakes the group regardless of how many
+  /// pauses preceded it); pausing an empty group is allowed and harmless;
+  /// an out-of-range group throws std::out_of_range.
   void pause_group(std::uint32_t group);
-  /// Wake a suspended ranker; it reschedules from the current time.
+  /// Wake a suspended ranker; it reschedules from the current time. A
+  /// resume of a group that is not paused is a no-op (never double-
+  /// schedules); resuming an empty group marks it unpaused but schedules
+  /// nothing.
   void resume_group(std::uint32_t group);
   [[nodiscard]] bool is_paused(std::uint32_t group) const;
 
   /// Crash a ranker: all its in-memory state (R, X, delta baselines) and
   /// queued inbox messages are lost; it keeps running from scratch. Peers
-  /// hold its last Y values (monotone-safe) and re-deliver theirs on their
-  /// next loop steps, so the group re-converges. Combine with pause/resume
-  /// for a crash + downtime, or warm_start-from-checkpoint for recovery.
+  /// hold its last Y values until it sends again, and re-deliver theirs on
+  /// their next loop steps, so the group re-converges. Note that global
+  /// monotonicity (Thm 4.1) does NOT survive a crash: the rebooted ranker's
+  /// next Y is computed from its reset ranks and *replaces* the higher
+  /// pre-crash entries in peers' X, so peers' ranks can legitimately dip
+  /// before re-converging. Combine with pause/resume for a crash +
+  /// downtime, or warm_start-from-checkpoint for recovery.
+  /// Defined edge cases: crashing a *paused* group wipes its state but
+  /// leaves it paused — it reboots into standby and only runs again after
+  /// resume_group; crashing an empty group is a no-op; repeated crashes are
+  /// idempotent; messages already in flight (sent pre-crash with a delivery
+  /// delay) still arrive afterwards — the network does not lose them just
+  /// because the receiver rebooted (they are idempotent X patches); an
+  /// out-of-range group throws std::out_of_range.
   void crash_group(std::uint32_t group);
+
+  /// Change the Y-message delivery probability from now on (chaos-harness
+  /// loss bursts). In-flight messages are unaffected; the loss RNG stream
+  /// keeps consuming one draw per send, so the same seed keeps losing the
+  /// same send indices across probability levels.
+  void set_delivery_probability(double p) { loss_.set_probability(p); }
+  [[nodiscard]] double delivery_probability() const noexcept {
+    return loss_.delivery_probability();
+  }
 
   /// Advance virtual time to t_end, recording a Sample every
   /// `sample_interval` time units (Fig. 6 / Fig. 7 series). May be called

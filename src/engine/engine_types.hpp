@@ -75,6 +75,13 @@ struct EngineOptions {
   /// one non-negative entry per page of the graph.
   std::vector<double> personalization;
 
+  /// Chaos-harness self-test ONLY (src/check): when set to a valid group
+  /// index, that group silently drops its inbox instead of refreshing X —
+  /// a deliberately broken engine the scenario checker must flag (its ranks
+  /// converge to a too-low fixed point, failing the convergence invariant).
+  /// The default (no group) leaves the engine correct.
+  std::uint32_t fault_skip_refresh_group = UINT32_MAX;
+
   std::uint64_t seed = 7;
 };
 

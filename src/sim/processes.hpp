@@ -46,10 +46,24 @@ class LossModel {
     }
   }
 
-  /// True when this send survives.
-  [[nodiscard]] bool delivered() { return p_ >= 1.0 || rng_.chance(p_); }
+  /// True when this send survives. Always consumes exactly one RNG draw —
+  /// even at p = 1 — so the random stream stays aligned draw-for-draw across
+  /// delivery probabilities (and across mid-run set_probability changes):
+  /// the same seed loses the same *send indices* at every loss level, which
+  /// is what makes chaos-harness seeds comparable. (uniform() is in [0, 1),
+  /// so the draw itself already delivers unconditionally when p = 1.)
+  [[nodiscard]] bool delivered() { return rng_.chance(p_); }
 
   [[nodiscard]] double delivery_probability() const noexcept { return p_; }
+
+  /// Change the delivery probability mid-run (loss bursts). The RNG stream
+  /// is untouched: only the threshold future draws are compared to moves.
+  void set_probability(double delivery_probability) {
+    if (!(delivery_probability >= 0.0 && delivery_probability <= 1.0)) {
+      throw std::invalid_argument("LossModel: probability out of [0,1]");
+    }
+    p_ = delivery_probability;
+  }
 
  private:
   double p_;

@@ -9,6 +9,7 @@
 
 #include "engine/distributed.hpp"
 #include "engine/reference.hpp"
+#include "graph/graph_builder.hpp"
 #include "graph/graph_updates.hpp"
 #include "graph/synthetic_web.hpp"
 #include "partition/partitioner.hpp"
@@ -298,6 +299,69 @@ TEST_F(ExtensionsFixture, RepeatedCrashesOfSameGroupStillConverge) {
     (void)sim.run(sim.now() + 10.0, 5.0);
     sim.crash_group(0);
   }
+  EXPECT_TRUE(sim.run_until_error(1e-5, 2000.0, 2.0).reached);
+}
+
+TEST_F(ExtensionsFixture, CrashWhilePausedStaysPausedUntilResume) {
+  DistributedRanking sim(*graph_, *assignment_, 8, base_options(), pool());
+  sim.set_reference(*reference_);
+  (void)sim.run(20.0, 10.0);
+  sim.pause_group(2);
+  const auto steps_at_pause = sim.group(2).outer_steps();
+  sim.crash_group(2);
+  // Crash-while-down: state is wiped but the group reboots into standby.
+  EXPECT_TRUE(sim.is_paused(2));
+  (void)sim.run(60.0, 20.0);
+  EXPECT_EQ(sim.group(2).outer_steps(), steps_at_pause);
+  for (const graph::PageId p : sim.group(2).members()) {
+    EXPECT_EQ(sim.global_ranks()[p], 0.0);
+    break;  // one page suffices; ranks() copies the whole vector
+  }
+  sim.resume_group(2);
+  EXPECT_TRUE(sim.run_until_error(1e-5, 2000.0, 2.0).reached);
+}
+
+TEST_F(ExtensionsFixture, FaultsOnEmptyGroupsAreSafeNoOps) {
+  // 4 pages spread over 12 groups: most groups are empty. Faulting an empty
+  // group must neither throw nor wedge the run.
+  const graph::WebGraph tiny = [] {
+    graph::GraphBuilder b;
+    const auto hub = b.add_page("s.edu/hub", "s.edu");
+    for (int i = 0; i < 3; ++i) {
+      b.add_link(b.add_page("s.edu/l" + std::to_string(i), "s.edu"), hub);
+    }
+    return std::move(b).build();
+  }();
+  const auto assignment =
+      partition::make_hash_url_partitioner()->partition(tiny, 12);
+  DistributedRanking sim(tiny, assignment, 12, base_options(), pool());
+  sim.set_reference(open_system_reference(tiny, kAlpha, pool()));
+  std::uint32_t empty_group = 12;
+  for (std::uint32_t g = 0; g < 12; ++g) {
+    if (sim.group(g).size() == 0) { empty_group = g; break; }
+  }
+  ASSERT_LT(empty_group, 12u);
+  sim.crash_group(empty_group);
+  sim.pause_group(empty_group);
+  sim.crash_group(empty_group);  // crash while paused, still empty
+  sim.resume_group(empty_group);
+  EXPECT_TRUE(sim.run_until_error(1e-8, 2000.0, 2.0).reached);
+  EXPECT_EQ(sim.group(empty_group).outer_steps(), 0u);
+  EXPECT_THROW(sim.crash_group(12), std::out_of_range);
+  EXPECT_THROW(sim.pause_group(12), std::out_of_range);
+}
+
+TEST_F(ExtensionsFixture, DoublePauseIsLevelTriggeredSingleResumeRestarts) {
+  DistributedRanking sim(*graph_, *assignment_, 8, base_options(), pool());
+  sim.set_reference(*reference_);
+  sim.pause_group(5);
+  sim.pause_group(5);  // pause is a level, not a count
+  (void)sim.run(20.0, 10.0);
+  EXPECT_EQ(sim.group(5).outer_steps(), 0u);
+  sim.resume_group(5);  // ONE resume restarts it
+  EXPECT_FALSE(sim.is_paused(5));
+  (void)sim.run(40.0, 10.0);
+  EXPECT_GT(sim.group(5).outer_steps(), 0u);
   EXPECT_TRUE(sim.run_until_error(1e-5, 2000.0, 2.0).reached);
 }
 

@@ -157,5 +157,33 @@ TEST(LossModel, FrequencyMatchesProbability) {
   EXPECT_NEAR(static_cast<double>(delivered) / kN, 0.7, 0.01);
 }
 
+TEST(LossModel, StreamStaysAlignedAcrossProbabilities) {
+  // p = 1 must still consume one RNG draw per send, so two same-seed models
+  // that start at different loss levels make identical decisions once their
+  // probabilities agree — the foundation of seed-for-seed comparability in
+  // the chaos harness.
+  LossModel lossless(1.0, 17);
+  LossModel lossy(0.6, 17);
+  constexpr int kWarmup = 5000;
+  for (int i = 0; i < kWarmup; ++i) {
+    EXPECT_TRUE(lossless.delivered());  // p = 1 never loses...
+    (void)lossy.delivered();            // ...but both consume a draw
+  }
+  lossless.set_probability(0.35);
+  lossy.set_probability(0.35);
+  for (int i = 0; i < kWarmup; ++i) {
+    EXPECT_EQ(lossless.delivered(), lossy.delivered()) << "send " << i;
+  }
+}
+
+TEST(LossModel, SetProbabilityValidatesAndReports) {
+  LossModel m(0.5, 4);
+  EXPECT_DOUBLE_EQ(m.delivery_probability(), 0.5);
+  m.set_probability(1.0);
+  EXPECT_DOUBLE_EQ(m.delivery_probability(), 1.0);
+  EXPECT_THROW(m.set_probability(-0.01), std::invalid_argument);
+  EXPECT_THROW(m.set_probability(1.01), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace p2prank::sim

@@ -9,8 +9,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
-cmake --build --preset tsan --target util_thread_pool_test rank_sweep_test -j"$(nproc)"
+cmake --build --preset tsan \
+  --target util_thread_pool_test rank_sweep_test scenario_fuzz -j"$(nproc)"
 
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/util_thread_pool_test "$@"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/rank_sweep_test "$@"
 echo "TSan: thread-pool and rank-sweep suites clean"
+
+# The chaos-scenario smoke corpus drives the whole engine (fork-join sweeps,
+# event queue, fault injection) through randomized fault schedules — run it
+# under TSan too so the harness itself is certified race-free.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/scenario_fuzz \
+  --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-tsan --quiet
+echo "TSan: chaos-scenario smoke corpus clean"
