@@ -116,12 +116,87 @@ void InvariantChecker::check_sample(std::vector<Violation>& out) {
     counter_fail << "status_messages " << sim_.status_messages()
                  << " != total_outer_steps " << steps;
   }
+  // Reliable-exchange counters (all identically 0 with fire-and-forget, so
+  // these checks are free there).
+  const std::uint64_t rexmit = sim_.retransmissions();
+  const std::uint64_t acks_sent = sim_.acks_sent();
+  const std::uint64_t acks_delivered = sim_.acks_delivered();
+  const std::uint64_t dups = sim_.duplicates_rejected();
+  const std::uint64_t churn = sim_.churn_events();
+  if (counter_fail.str().empty()) {
+    if (rexmit < prev_retransmissions_ || acks_sent < prev_acks_sent_ ||
+        acks_delivered < prev_acks_delivered_ || dups < prev_duplicates_ ||
+        churn < prev_churn_) {
+      counter_fail << "reliability counters went backwards";
+    } else if (acks_delivered > acks_sent) {
+      counter_fail << "acks_delivered " << acks_delivered << " > acks_sent "
+                   << acks_sent;
+    } else if (rexmit > sent) {
+      counter_fail << "retransmissions " << rexmit << " > messages_sent " << sent;
+    }
+  }
   if (const auto msg = counter_fail.str(); !msg.empty()) {
     out.push_back({"counters", t, msg});
   }
   prev_sent_ = sent;
   prev_lost_ = lost;
   prev_steps_ = steps;
+  prev_retransmissions_ = rexmit;
+  prev_acks_sent_ = acks_sent;
+  prev_acks_delivered_ = acks_delivered;
+  prev_duplicates_ = dups;
+  prev_churn_ = churn;
+
+  // zombie: a retransmit timer observed its epoch pending AND acked — the
+  // ack path failed to clear the pending epoch. Impossible by construction;
+  // a nonzero count is a transport regression, flagged immediately.
+  if (sim_.zombie_retransmits() != 0) {
+    std::ostringstream msg;
+    msg << sim_.zombie_retransmits()
+        << " retransmit timer(s) fired for an already-acked epoch";
+    out.push_back({"zombie", t, msg.str()});
+  }
+
+  // epochs: every ordered pair's accepted epoch is non-decreasing. This is
+  // unconditional — crashes wipe application state, churn rebuilds the
+  // wiring, but the transport session's sequence numbers survive both.
+  const std::uint32_t k = sim_.num_groups();
+  if (prev_epochs_.empty()) prev_epochs_.assign(std::size_t{k} * k, 0);
+  for (std::uint32_t src = 0; src < k; ++src) {
+    for (std::uint32_t dst = 0; dst < k; ++dst) {
+      const std::uint64_t e = sim_.accepted_epoch(src, dst);
+      std::uint64_t& prev = prev_epochs_[std::size_t{src} * k + dst];
+      if (e < prev) {
+        std::ostringstream msg;
+        msg << "accepted epoch for pair (" << src << " -> " << dst
+            << ") went backwards: " << prev << " -> " << e;
+        out.push_back({"epochs", t, msg.str()});
+        src = k;  // one violation per sample is enough
+        break;
+      }
+      prev = e;
+    }
+  }
+
+  // ownership: exactly one owner per page. current_assignment() reports
+  // UINT32_MAX for orphans, and the total group sizes catch duplicates.
+  const auto assignment = sim_.current_assignment();
+  std::size_t orphan = assignment.size();
+  for (std::size_t p = 0; p < assignment.size(); ++p) {
+    if (assignment[p] == UINT32_MAX && orphan == assignment.size()) orphan = p;
+  }
+  std::size_t member_total = 0;
+  for (std::uint32_t grp = 0; grp < k; ++grp) member_total += sim_.group(grp).size();
+  if (orphan != assignment.size() || member_total != assignment.size()) {
+    std::ostringstream msg;
+    if (orphan != assignment.size()) {
+      msg << "page " << orphan << " has no owning ranker";
+    } else {
+      msg << "group sizes sum to " << member_total << " for "
+          << assignment.size() << " pages (a page is owned twice)";
+    }
+    out.push_back({"ownership", t, msg.str()});
+  }
 }
 
 }  // namespace p2prank::check

@@ -21,7 +21,20 @@
 //   counters     messages_lost <= messages_sent, both non-decreasing;
 //                per-group records sum to the records total; outer steps
 //                non-decreasing; with stability detection on, one status
-//                message per outer step.
+//                message per outer step; reliable-exchange counters
+//                (retransmissions, acks, duplicates) non-decreasing and
+//                acks_delivered <= acks_sent.
+//   epochs       (reliable mode) the receiver-side accepted epoch of every
+//                ordered ranker pair is non-decreasing — unconditionally,
+//                across crashes and churn, because epochs are transport-
+//                session state, not application state.
+//   zombie       zombie_retransmits() stays 0: no retransmit timer ever
+//                finds its epoch both pending and acked (an ack clears the
+//                pending epoch atomically). A nonzero count is a regression
+//                in the ack bookkeeping, not a tunable.
+//   ownership    every page has exactly one owning ranker — churn handoffs
+//                (leave/join) conserve page ownership exactly (no page
+//                orphaned, none duplicated).
 //   convergence  (checked by the runner) a loss-free, fault-free tail must
 //                reach the centralized ranks.
 //
@@ -39,7 +52,9 @@
 namespace p2prank::check {
 
 struct Violation {
-  std::string invariant;  ///< "monotone" | "bound" | "finite" | "counters" | "convergence"
+  /// "monotone" | "bound" | "finite" | "counters" | "epochs" | "zombie" |
+  /// "ownership" | "convergence"
+  std::string invariant;
   double time = 0.0;      ///< virtual time of the failing sample
   std::string detail;
 };
@@ -92,6 +107,13 @@ class InvariantChecker {
   std::uint64_t prev_sent_ = 0;
   std::uint64_t prev_lost_ = 0;
   std::uint64_t prev_steps_ = 0;
+  std::uint64_t prev_retransmissions_ = 0;
+  std::uint64_t prev_acks_sent_ = 0;
+  std::uint64_t prev_acks_delivered_ = 0;
+  std::uint64_t prev_duplicates_ = 0;
+  std::uint64_t prev_churn_ = 0;
+  /// Row-major k x k accepted-epoch high-water marks from the last sample.
+  std::vector<std::uint64_t> prev_epochs_;
   std::uint64_t samples_checked_ = 0;
 };
 

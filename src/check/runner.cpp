@@ -90,6 +90,10 @@ std::string ScenarioResult::summary() const {
   out << "  err=" << final_error << " t_end=" << end_time << " samples="
       << samples_checked << " msgs=" << messages_sent << " lost="
       << messages_lost;
+  if (retransmissions != 0 || duplicates_rejected != 0) {
+    out << " rexmit=" << retransmissions << " dups=" << duplicates_rejected;
+  }
+  if (churn_events != 0) out << " churn=" << churn_events;
   return out.str();
 }
 
@@ -126,10 +130,29 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   eo.t1 = s.t1;
   eo.t2 = s.t2;
   eo.delivery_latency = s.delivery_latency;
+  eo.latency_jitter = s.latency_jitter;
+  // `reliable` turns on the full layer: retransmission implies the epoch
+  // duplicate filter and the suspicion-based failure detector.
+  eo.reliability.retransmit = s.reliable;
   eo.stability_epsilon = s.stability_epsilon;
   eo.seed = s.engine_seed;
   if (opts_.break_skip_refresh) {
     eo.fault_skip_refresh_group = largest_group(assignment, s.k);
+  }
+
+  // Reordering without the epoch filter is a *designed* monotonicity hazard:
+  // a delayed stale Y replaces a newer X entry and the affected ranks dip.
+  // from_seed never generates that combination; for hand-written traces the
+  // monotone theorem's premise (in-order refresh) is simply absent, so the
+  // check starts dis-armed. With `reliable` on, epochs restore the premise
+  // (accepted epochs only increase, so applied Y values only grow) and the
+  // theorem stays armed under any jitter.
+  bool jitter_hazard = false;
+  if (!s.reliable) {
+    jitter_hazard = s.latency_jitter > 0.0;
+    for (const ScheduleOp& op : s.ops) {
+      if (op.kind == OpKind::kSetJitter && op.value > 0.0) jitter_hazard = true;
+    }
   }
 
   auto sim = std::make_unique<engine::DistributedRanking>(g, assignment, s.k,
@@ -143,7 +166,7 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   // Construct after the warm start so the monotone baseline is the actual
   // starting vector.
   auto checker = std::make_unique<InvariantChecker>(
-      *sim, reference, /*check_monotone=*/true, /*check_bound=*/true,
+      *sim, reference, /*check_monotone=*/!jitter_hazard, /*check_bound=*/true,
       /*expect_status_per_step=*/eo.stability_epsilon > 0.0);
 
   ScenarioResult result;
@@ -194,6 +217,34 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
       case OpKind::kSetLoss:
         sim->set_delivery_probability(std::clamp(op.value, 0.0, 1.0));
         break;
+      case OpKind::kSetAckLoss:
+        // Negative mirrors the *base* data-channel probability (the
+        // engine's own convention for ack_delivery_probability).
+        sim->set_ack_delivery_probability(
+            op.value < 0.0 ? s.delivery_p : std::clamp(op.value, 0.0, 1.0));
+        break;
+      case OpKind::kSetJitter:
+        sim->set_latency_jitter(std::max(op.value, 0.0));
+        break;
+      case OpKind::kLeave:
+        // Generator aim can be stale (an earlier churn emptied the group):
+        // invalid combinations are defined no-ops, like out-of-range crash
+        // targets.
+        if (op.group < s.k && op.group2 < s.k && op.group != op.group2 &&
+            sim->group(op.group).size() > 0) {
+          sim->leave_group(op.group, op.group2);
+          // The handoff moves state exactly (full-precision checkpoint
+          // round-trip + consistent X re-prime), so a monotone phase stays
+          // monotone: no checker hook needed.
+        }
+        break;
+      case OpKind::kJoin:
+        if (op.group < s.k && op.group2 < s.k && op.group != op.group2 &&
+            sim->group(op.group).size() == 0 &&
+            sim->group(op.group2).size() >= 2) {
+          sim->join_group(op.group, op.group2);
+        }
+        break;
       case OpKind::kSaveCheckpoint: {
         std::ostringstream out;
         engine::save_ranks(g, sim->global_ranks(), out);
@@ -210,6 +261,11 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
         // start at 0.
         const auto loaded = engine::load_ranks(g, in);
         for (std::uint32_t grp = 0; grp < s.k; ++grp) sim->crash_group(grp);
+        // A restore is a global rollback: slices sent from the rolled-back
+        // timeline must not outlive it (they would inflate peers' X above
+        // the restored state, and the first post-restore send would deflate
+        // it — a rank dip that breaks monotone re-arming).
+        sim->drop_in_flight();
         sim->warm_start(loaded.ranks);
         checker->on_restore(loaded.ranks, checkpoint_consistent);
         state_consistent = checkpoint_consistent;
@@ -250,6 +306,12 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   // now converge to the centralized ranks.
   if (result.violations.size() < opts_.max_violations) {
     sim->set_delivery_probability(1.0);
+    sim->set_ack_delivery_probability(1.0);
+    // Jitter reverts to the scenario's base value: it is configuration, not
+    // a fault — and with `reliable` off a mid-run reorder burst has already
+    // dis-armed monotonicity, while convergence tolerates jitter either way
+    // (as R settles, reordered slices carry identical values).
+    sim->set_latency_jitter(s.latency_jitter);
     for (std::uint32_t grp = 0; grp < s.k; ++grp) {
       if (sim->is_paused(grp)) sim->resume_group(grp);
     }
@@ -277,6 +339,9 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   result.end_time = offset + sim->now();
   result.messages_sent = sim->messages_sent();
   result.messages_lost = sim->messages_lost();
+  result.retransmissions = sim->retransmissions();
+  result.duplicates_rejected = sim->duplicates_rejected();
+  result.churn_events = sim->churn_events();
   return result;
 }
 

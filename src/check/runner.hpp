@@ -52,6 +52,9 @@ struct ScenarioResult {
   std::uint64_t samples_checked = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_lost = 0;
+  std::uint64_t retransmissions = 0;      ///< reliable mode only
+  std::uint64_t duplicates_rejected = 0;  ///< stale slices the epoch filter ate
+  std::uint64_t churn_events = 0;         ///< completed leave/join handoffs
 
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
   /// One log line: "ok ..." or "FAIL <invariant> ...".

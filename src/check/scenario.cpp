@@ -19,6 +19,10 @@ std::string_view op_kind_name(OpKind kind) noexcept {
     case OpKind::kSaveCheckpoint: return "save";
     case OpKind::kRestoreCheckpoint: return "restore";
     case OpKind::kGraphUpdate: return "graph_update";
+    case OpKind::kLeave: return "leave";
+    case OpKind::kJoin: return "join";
+    case OpKind::kSetAckLoss: return "set_ack_loss";
+    case OpKind::kSetJitter: return "set_jitter";
   }
   return "?";
 }
@@ -28,7 +32,8 @@ namespace {
 bool parse_op_kind(std::string_view name, OpKind& out) {
   for (const OpKind kind :
        {OpKind::kCrash, OpKind::kPause, OpKind::kResume, OpKind::kSetLoss,
-        OpKind::kSaveCheckpoint, OpKind::kRestoreCheckpoint, OpKind::kGraphUpdate}) {
+        OpKind::kSaveCheckpoint, OpKind::kRestoreCheckpoint, OpKind::kGraphUpdate,
+        OpKind::kLeave, OpKind::kJoin, OpKind::kSetAckLoss, OpKind::kSetJitter}) {
     if (name == op_kind_name(kind)) {
       out = kind;
       return true;
@@ -132,6 +137,48 @@ Scenario Scenario::from_seed(std::uint64_t seed) {
     }
     s.ops.push_back(op);
   }
+  // --- Reliability extension (appended draws) -------------------------------
+  // Every draw above is exactly the original generator's sequence, and the
+  // extension runs on a sub-RNG seeded by one further draw — so for every
+  // seed the base scenario fields are what they always were (the corpus
+  // files depend on that), and the extension stays stable if it grows again.
+  util::Rng ext(rng.next());
+  s.reliable = ext.chance(0.5);
+  // Jitter is only generated together with the reliable layer: without the
+  // epoch filter, reordering breaks Thm 4.1 by design (the runner dis-arms
+  // the monotone check for such hand-written traces).
+  s.latency_jitter = (s.reliable && ext.chance(0.5)) ? ext.uniform(0.1, 1.5) : 0.0;
+  const std::size_t extra = ext.below(4);  // 0..3 churn/reliability faults
+  static constexpr double kAckLossLevels[] = {0.9, 0.7, 0.5, 0.3};
+  for (std::size_t i = 0; i < extra; ++i) {
+    ScheduleOp op;
+    op.time = ext.uniform(1.0, s.active_time);
+    double roll = ext.uniform();
+    if (!s.reliable && roll >= 0.60) roll = ext.chance(0.5) ? 0.0 : 0.40;
+    if (roll < 0.35) {
+      op.kind = OpKind::kLeave;
+      op.group = static_cast<std::uint32_t>(ext.below(s.k));
+      op.group2 = static_cast<std::uint32_t>(
+          (op.group + 1 + ext.below(s.k - 1)) % s.k);
+    } else if (roll < 0.60) {
+      op.kind = OpKind::kJoin;
+      op.group = static_cast<std::uint32_t>(ext.below(s.k));
+      op.group2 = static_cast<std::uint32_t>(
+          (op.group + 1 + ext.below(s.k - 1)) % s.k);
+    } else if (roll < 0.80) {
+      op.kind = OpKind::kSetAckLoss;
+      // Either an ack-loss burst or back to mirroring the data channel.
+      op.value = ext.chance(0.5)
+                     ? kAckLossLevels[ext.below(std::size(kAckLossLevels))]
+                     : -1.0;
+    } else {
+      op.kind = OpKind::kSetJitter;
+      // A reorder burst, or the burst's end (back to the base jitter).
+      op.value = ext.chance(0.5) ? ext.uniform(0.2, 2.0) : s.latency_jitter;
+    }
+    s.ops.push_back(op);
+  }
+
   std::stable_sort(s.ops.begin(), s.ops.end(),
                    [](const ScheduleOp& a, const ScheduleOp& b) {
                      return a.time < b.time;
@@ -153,6 +200,8 @@ void Scenario::serialize(std::ostream& out) const {
   out << "t1 " << t1 << '\n';
   out << "t2 " << t2 << '\n';
   out << "delivery_latency " << delivery_latency << '\n';
+  out << "latency_jitter " << latency_jitter << '\n';
+  out << "reliable " << (reliable ? 1 : 0) << '\n';
   out << "stability_epsilon " << stability_epsilon << '\n';
   out << "warm_start_scale " << warm_start_scale << '\n';
   out << "engine_seed " << engine_seed << '\n';
@@ -163,7 +212,11 @@ void Scenario::serialize(std::ostream& out) const {
       case OpKind::kCrash:
       case OpKind::kPause:
       case OpKind::kResume: out << ' ' << op.group; break;
-      case OpKind::kSetLoss: out << ' ' << op.value; break;
+      case OpKind::kLeave:
+      case OpKind::kJoin: out << ' ' << op.group << ' ' << op.group2; break;
+      case OpKind::kSetLoss:
+      case OpKind::kSetAckLoss:
+      case OpKind::kSetJitter: out << ' ' << op.value; break;
       case OpKind::kGraphUpdate: out << ' ' << op.seed; break;
       case OpKind::kSaveCheckpoint:
       case OpKind::kRestoreCheckpoint: break;
@@ -205,8 +258,14 @@ Scenario Scenario::parse(std::istream& in) {
         case OpKind::kResume:
           if (!(fields >> op.group)) fail("op missing group");
           break;
+        case OpKind::kLeave:
+        case OpKind::kJoin:
+          if (!(fields >> op.group >> op.group2)) fail("op missing group pair");
+          break;
         case OpKind::kSetLoss:
-          if (!(fields >> op.value)) fail("op missing probability");
+        case OpKind::kSetAckLoss:
+        case OpKind::kSetJitter:
+          if (!(fields >> op.value)) fail("op missing value");
           break;
         case OpKind::kGraphUpdate:
           if (!(fields >> op.seed)) fail("op missing seed");
@@ -247,6 +306,12 @@ Scenario Scenario::parse(std::istream& in) {
       if (!(fields >> s.t2)) fail("bad t2");
     } else if (key == "delivery_latency") {
       if (!(fields >> s.delivery_latency)) fail("bad delivery_latency");
+    } else if (key == "latency_jitter") {
+      if (!(fields >> s.latency_jitter)) fail("bad latency_jitter");
+    } else if (key == "reliable") {
+      int flag = 0;
+      if (!(fields >> flag)) fail("bad reliable");
+      s.reliable = flag != 0;
     } else if (key == "stability_epsilon") {
       if (!(fields >> s.stability_epsilon)) fail("bad stability_epsilon");
     } else if (key == "warm_start_scale") {

@@ -36,6 +36,13 @@ enum class OpKind {
   kRestoreCheckpoint,  ///< crash every group, warm-start from the last save
                        ///< (no-op when nothing was saved yet)
   kGraphUpdate,        ///< mutate the link graph (seed), rebuild the engine
+  kLeave,              ///< leave_group(group, group2): ranker churn, pages
+                       ///< hand off to the successor (no-op when invalid)
+  kJoin,               ///< join_group(group, group2): an empty ranker joins,
+                       ///< taking half of donor group2 (no-op when invalid)
+  kSetAckLoss,         ///< set_ack_delivery_probability(value) — ack-only
+                       ///< loss burst (reliable mode; no-op otherwise)
+  kSetJitter,          ///< set_latency_jitter(value) — reorder burst edge
 };
 
 [[nodiscard]] std::string_view op_kind_name(OpKind kind) noexcept;
@@ -43,8 +50,9 @@ enum class OpKind {
 struct ScheduleOp {
   double time = 0.0;          ///< absolute virtual time of injection
   OpKind kind = OpKind::kCrash;
-  std::uint32_t group = 0;    ///< crash/pause/resume target
-  double value = 0.0;         ///< kSetLoss: new delivery probability
+  std::uint32_t group = 0;    ///< crash/pause/resume/leave/join target
+  std::uint32_t group2 = 0;   ///< kLeave: successor; kJoin: donor
+  double value = 0.0;         ///< kSetLoss/kSetAckLoss/kSetJitter: new value
   std::uint64_t seed = 0;     ///< kGraphUpdate: mutation seed
 };
 
@@ -67,6 +75,14 @@ struct Scenario {
   double t1 = 0.0;
   double t2 = 6.0;
   double delivery_latency = 0.0;
+  /// Per-message uniform extra delivery delay in [0, latency_jitter) —
+  /// reorders same-pair messages. With `reliable` off this is the stale-Y
+  /// hazard (the runner dis-arms the monotone theorem); with it on the
+  /// epoch filter rejects the stale slices and the theorems stay armed.
+  double latency_jitter = 0.0;
+  /// Run the reliable exchange layer (epochs + ack/retransmit + suspicion)
+  /// instead of the paper's fire-and-forget channel.
+  bool reliable = false;
   double stability_epsilon = 0.0;
   /// 0 = cold start (the theorems' R0 = 0 premise). Otherwise the engine
   /// warm-starts from scale·R*, which is still a sub-fixed-point start

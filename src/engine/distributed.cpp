@@ -2,33 +2,142 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
 #include <stdexcept>
 
+#include "engine/checkpoint.hpp"
 #include "util/stats.hpp"
 
 namespace p2prank::engine {
+
+EngineOptions DistributedRanking::validated(EngineOptions o) {
+  // Field-naming messages: a chaos harness (or a config file) that produces
+  // a bad option should learn *which* knob is bad, not just that one is.
+  if (!(o.alpha > 0.0 && o.alpha < 1.0)) {
+    throw std::invalid_argument("EngineOptions.alpha: must be in (0,1)");
+  }
+  if (!(o.inner_epsilon > 0.0)) {
+    throw std::invalid_argument("EngineOptions.inner_epsilon: must be > 0");
+  }
+  if (!(o.delivery_probability >= 0.0 && o.delivery_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "EngineOptions.delivery_probability: must be in [0,1]");
+  }
+  if (!(o.t1 >= 0.0)) {
+    throw std::invalid_argument("EngineOptions.t1: must be >= 0");
+  }
+  if (!(o.t2 >= o.t1)) {
+    throw std::invalid_argument("EngineOptions.t2: must be >= t1");
+  }
+  if (!(o.delivery_latency >= 0.0)) {
+    throw std::invalid_argument("EngineOptions.delivery_latency: must be >= 0");
+  }
+  if (!(o.latency_jitter >= 0.0)) {
+    throw std::invalid_argument("EngineOptions.latency_jitter: must be >= 0");
+  }
+  if (!(o.per_hop_latency >= 0.0)) {
+    throw std::invalid_argument("EngineOptions.per_hop_latency: must be >= 0");
+  }
+  if (!(o.stability_epsilon >= 0.0)) {
+    throw std::invalid_argument("EngineOptions.stability_epsilon: must be >= 0");
+  }
+  if (!(o.send_threshold >= 0.0)) {
+    throw std::invalid_argument("EngineOptions.send_threshold: must be >= 0");
+  }
+  auto& r = o.reliability;
+  if (r.retransmit) r.epochs = true;  // retransmission needs the dup filter
+  if (!(r.ack_latency >= 0.0)) {
+    throw std::invalid_argument(
+        "EngineOptions.reliability.ack_latency: must be >= 0");
+  }
+  if (!(r.ack_delivery_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "EngineOptions.reliability.ack_delivery_probability: must be <= 1 "
+        "(negative mirrors delivery_probability)");
+  }
+  if (!(r.rto_initial > 0.0)) {
+    throw std::invalid_argument(
+        "EngineOptions.reliability.rto_initial: must be > 0");
+  }
+  if (!(r.rto_backoff >= 1.0)) {
+    throw std::invalid_argument(
+        "EngineOptions.reliability.rto_backoff: must be >= 1");
+  }
+  if (!(r.rto_max >= r.rto_initial)) {
+    throw std::invalid_argument(
+        "EngineOptions.reliability.rto_max: must be >= rto_initial");
+  }
+  if (!(r.rto_jitter >= 0.0)) {
+    throw std::invalid_argument(
+        "EngineOptions.reliability.rto_jitter: must be >= 0");
+  }
+  if (r.suspicion_after == 0) {
+    throw std::invalid_argument(
+        "EngineOptions.reliability.suspicion_after: must be >= 1");
+  }
+  if (!(r.suspect_decay >= 0.0 && r.suspect_decay <= 1.0)) {
+    throw std::invalid_argument(
+        "EngineOptions.reliability.suspect_decay: must be in [0,1]");
+  }
+  return o;
+}
 
 DistributedRanking::DistributedRanking(const graph::WebGraph& g,
                                        std::span<const std::uint32_t> assignment,
                                        std::uint32_t k, const EngineOptions& opts,
                                        util::ThreadPool& pool)
     : graph_(g),
-      opts_(opts),
+      opts_(validated(opts)),
       pool_(pool),
       inbox_(k),
-      waits_(opts.t1, opts.t2, k, opts.seed ^ 0x5851f42d4c957f2dULL),
-      loss_(opts.delivery_probability, opts.seed ^ 0x14057b7ef767814fULL) {
+      waits_(opts_.t1, opts_.t2, k, opts_.seed ^ 0x5851f42d4c957f2dULL),
+      loss_(opts_.delivery_probability, opts_.seed ^ 0x14057b7ef767814fULL),
+      ack_loss_(opts_.reliability.ack_delivery_probability < 0.0
+                    ? opts_.delivery_probability
+                    : opts_.reliability.ack_delivery_probability,
+                opts_.seed ^ 0x9e3779b97f4a7c15ULL),
+      jitter_rng_(opts_.seed ^ 0xd1b54a32d192ed03ULL),
+      latency_jitter_(opts_.latency_jitter) {
   if (assignment.size() != g.num_pages()) {
     throw std::invalid_argument("DistributedRanking: assignment size mismatch");
   }
   if (k == 0) throw std::invalid_argument("DistributedRanking: k == 0");
-  if (!(opts.alpha > 0.0 && opts.alpha < 1.0)) {
-    throw std::invalid_argument("DistributedRanking: alpha out of (0,1)");
+  if (!opts_.personalization.empty() &&
+      opts_.personalization.size() != g.num_pages()) {
+    throw std::invalid_argument("EngineOptions.personalization: size mismatch");
   }
+  if (opts_.overlay != nullptr && opts_.overlay->num_nodes() < k) {
+    throw std::invalid_argument(
+        "EngineOptions.overlay: fewer overlay nodes than the k ranker groups");
+  }
+  if (opts_.reliability.epochs) {
+    transport::ReliableOptions ro;
+    ro.rto_initial = opts_.reliability.rto_initial;
+    ro.rto_backoff = opts_.reliability.rto_backoff;
+    ro.rto_max = opts_.reliability.rto_max;
+    ro.rto_jitter = opts_.reliability.rto_jitter;
+    ro.suspicion_after = opts_.reliability.suspicion_after;
+    reliable_.emplace(ro, opts_.seed ^ 0x2545f4914f6cdd1dULL);
+  }
+
+  build_groups(assignment);
+
+  // --- Kick off every non-empty ranker --------------------------------------
+  stable_flag_.assign(k, 0);
+  paused_.assign(k, 0);
+  active_.assign(k, 0);
+  records_per_group_.assign(k, 0);
+  for (std::uint32_t grp = 0; grp < k; ++grp) {
+    if (groups_[grp]->size() > 0) schedule_step(grp);
+  }
+}
+
+void DistributedRanking::build_groups(std::span<const std::uint32_t> assignment) {
+  const auto k = static_cast<std::uint32_t>(inbox_.size());
 
   // --- Collect members per group -------------------------------------------
   std::vector<std::vector<graph::PageId>> members(k);
-  for (graph::PageId p = 0; p < g.num_pages(); ++p) {
+  for (graph::PageId p = 0; p < graph_.num_pages(); ++p) {
     if (assignment[p] >= k) {
       throw std::invalid_argument("DistributedRanking: assignment value >= k");
     }
@@ -36,57 +145,43 @@ DistributedRanking::DistributedRanking(const graph::WebGraph& g,
   }
 
   // Local index of every page within its group.
-  std::vector<std::uint32_t> local_index(g.num_pages(), 0);
+  std::vector<std::uint32_t> local_index(graph_.num_pages(), 0);
   for (std::uint32_t grp = 0; grp < k; ++grp) {
     for (std::uint32_t i = 0; i < members[grp].size(); ++i) {
       local_index[members[grp][i]] = i;
     }
   }
 
-  if (!opts.personalization.empty() &&
-      opts.personalization.size() != g.num_pages()) {
-    throw std::invalid_argument("DistributedRanking: personalization size mismatch");
-  }
-  if (opts.overlay != nullptr && opts.overlay->num_nodes() < k) {
-    throw std::invalid_argument("DistributedRanking: overlay smaller than k");
-  }
-
+  groups_.clear();
   groups_.reserve(k);
+  nonempty_ = 0;
   std::vector<double> e_local;
   for (std::uint32_t grp = 0; grp < k; ++grp) {
     if (!members[grp].empty()) ++nonempty_;
     e_local.clear();
-    if (!opts.personalization.empty()) {
+    if (!opts_.personalization.empty()) {
       e_local.reserve(members[grp].size());
       for (const graph::PageId p : members[grp]) {
-        e_local.push_back(opts.personalization[p]);
+        e_local.push_back(opts_.personalization[p]);
       }
     }
-    groups_.push_back(std::make_unique<PageGroup>(g, std::move(members[grp]),
-                                                  opts.alpha, e_local));
+    groups_.push_back(std::make_unique<PageGroup>(graph_, std::move(members[grp]),
+                                                  opts_.alpha, e_local));
   }
 
   // --- Wire efferent (cut) edges -------------------------------------------
-  for (graph::PageId u = 0; u < g.num_pages(); ++u) {
+  for (graph::PageId u = 0; u < graph_.num_pages(); ++u) {
     const std::uint32_t gu = assignment[u];
-    const auto d = g.out_degree(u);
+    const auto d = graph_.out_degree(u);
     if (d == 0) continue;
-    const double weight = opts.alpha / static_cast<double>(d);
-    for (const graph::PageId v : g.out_links(u)) {
+    const double weight = opts_.alpha / static_cast<double>(d);
+    for (const graph::PageId v : graph_.out_links(u)) {
       const std::uint32_t gv = assignment[v];
       if (gv == gu) continue;
       groups_[gu]->add_efferent_edge(gv, local_index[v], local_index[u], weight);
     }
   }
   for (auto& grp : groups_) grp->finalize_efferents();
-
-  // --- Kick off every non-empty ranker --------------------------------------
-  stable_flag_.assign(k, 0);
-  paused_.assign(k, 0);
-  records_per_group_.assign(k, 0);
-  for (std::uint32_t grp = 0; grp < k; ++grp) {
-    if (groups_[grp]->size() > 0) schedule_step(grp);
-  }
 }
 
 void DistributedRanking::warm_start(std::span<const double> global_ranks) {
@@ -104,9 +199,15 @@ void DistributedRanking::warm_start(std::span<const double> global_ranks) {
   // Restore afferent state too: in a running deployment each ranker's X
   // survives a crawl update — it is received state, not recomputed. Prime
   // it by delivering every group's Y (computed from the warm ranks)
-  // directly, outside the message accounting.
+  // directly, outside the message accounting (and outside the epoch filter:
+  // priming is state transfer, not a channel send). The chaos harness's
+  // deliberately broken ranker skips priming like it skips its inbox — its
+  // whole afferent-update path is dead, so churn and restore state
+  // transfers must not silently heal it (the --broken self-test depends on
+  // the fault surviving every recovery mechanism).
   for (std::uint32_t src = 0; src < groups_.size(); ++src) {
     for (const std::uint32_t dest : groups_[src]->efferent_destinations()) {
+      if (dest == opts_.fault_skip_refresh_group) continue;
       groups_[dest]->refresh_x(src, groups_[src]->compute_y(dest));
     }
   }
@@ -119,7 +220,9 @@ void DistributedRanking::pause_group(std::uint32_t group) {
 void DistributedRanking::resume_group(std::uint32_t group) {
   if (paused_.at(group) == 0) return;
   paused_[group] = 0;
-  if (groups_[group]->size() > 0) schedule_step(group);
+  // Only schedule when no step event is already queued (a pause/resume
+  // inside one wait interval must not double-clock the group).
+  if (groups_[group]->size() > 0 && active_[group] == 0) schedule_step(group);
 }
 
 bool DistributedRanking::is_paused(std::uint32_t group) const {
@@ -131,6 +234,19 @@ void DistributedRanking::crash_group(std::uint32_t group) {
   if (pg.size() == 0) return;  // nothing to lose, nothing scheduled
   pg.reset_state();
   inbox_[group].clear();
+  if (reliable_) {
+    // The crashed ranker's transmit buffers die with its memory; the
+    // per-pair epochs are transport-session state and survive (peers keep
+    // rejecting stale slices and keep retransmitting *to* it).
+    reliable_->reset_sender(group);
+    for (auto it = pending_payload_.begin(); it != pending_payload_.end();) {
+      if (static_cast<std::uint32_t>(it->first >> 32) == group) {
+        it = pending_payload_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   // A rebooted ranker starts unstable until it reports otherwise.
   if (stable_flag_[group] != 0) {
     stable_flag_[group] = 0;
@@ -141,30 +257,327 @@ void DistributedRanking::crash_group(std::uint32_t group) {
   // resume_group (crash-while-down semantics).
 }
 
-double DistributedRanking::delivery_delay(std::uint32_t src, std::uint32_t dst) {
-  if (opts_.overlay == nullptr) return opts_.delivery_latency;
-  // Indirect transmission: one overlay hop per per_hop_latency. Routes are
-  // static in the stabilized overlay, so hop counts are cached.
-  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
-  auto it = hop_cache_.find(key);
-  if (it == hop_cache_.end()) {
-    const auto path = opts_.overlay->route(src, opts_.overlay->id_of(dst));
-    it = hop_cache_.emplace(key, static_cast<std::uint32_t>(path.size())).first;
+std::vector<std::uint32_t> DistributedRanking::current_assignment() const {
+  std::vector<std::uint32_t> assignment(graph_.num_pages(), UINT32_MAX);
+  for (std::uint32_t grp = 0; grp < groups_.size(); ++grp) {
+    for (const graph::PageId p : groups_[grp]->members()) assignment[p] = grp;
   }
-  return opts_.per_hop_latency * static_cast<double>(it->second);
+  return assignment;
+}
+
+void DistributedRanking::drop_in_flight() {
+  // The generation stamp kills undelivered slice events; the buffered
+  // retransmit payloads and pending-epoch records go with them. Queued
+  // inbox messages are already-delivered state and stay (a restore's crash
+  // wave clears them anyway). Accepted-epoch high-water marks survive: the
+  // channel session outlives a rollback just like it outlives a crash.
+  ++generation_;
+  pending_payload_.clear();
+  if (reliable_) reliable_->reset_pending();
+}
+
+void DistributedRanking::apply_churn(std::span<const std::uint32_t> assignment) {
+  // Hand the rank state through the checkpoint text format — the exact
+  // state-transfer path a real ranker handoff would ship over the wire —
+  // then rebuild the cut-edge wiring for the new ownership and warm-start.
+  // The format stores full double precision, so a consistent
+  // (sub-fixed-point) state round-trips exactly and Thm 4.1/4.2 survive.
+  std::ostringstream text;
+  save_ranks(graph_, global_ranks(), text);
+
+  for (const auto& grp : groups_) retired_outer_steps_ += grp->outer_steps();
+  build_groups(assignment);
+
+  std::istringstream in(text.str());
+  const LoadedRanks loaded = load_ranks(graph_, in);
+  warm_start(loaded.ranks);
+
+  // In-flight slices and retransmit timers reference the *old* wiring's
+  // local indices: invalidate them wholesale via the generation stamp and
+  // drop the buffered payloads. Epoch counters survive (transport-session
+  // state), so "accepted epoch non-decreasing" holds across churn.
+  ++generation_;
+  pending_payload_.clear();
+  if (reliable_) reliable_->reset_pending();
+  for (auto& box : inbox_) box.clear();
+
+  // Every ranker re-reports stability against the new ownership.
+  std::fill(stable_flag_.begin(), stable_flag_.end(), 0);
+  stable_count_ = 0;
+
+  ++churn_events_;
+  for (std::uint32_t grp = 0; grp < groups_.size(); ++grp) {
+    if (groups_[grp]->size() > 0 && paused_[grp] == 0 && active_[grp] == 0) {
+      schedule_step(grp);
+    }
+  }
+}
+
+void DistributedRanking::leave_group(std::uint32_t group, std::uint32_t successor) {
+  if (group >= groups_.size() || successor >= groups_.size()) {
+    throw std::out_of_range("DistributedRanking::leave_group: group out of range");
+  }
+  if (successor == group) {
+    throw std::invalid_argument(
+        "DistributedRanking::leave_group: successor == departing group");
+  }
+  if (groups_[group]->size() == 0) {
+    throw std::invalid_argument(
+        "DistributedRanking::leave_group: departing group owns no pages");
+  }
+  std::vector<std::uint32_t> assignment = current_assignment();
+  for (auto& a : assignment) {
+    if (a == group) a = successor;
+  }
+  // The chaos harness's deliberately-broken ranker follows its pages: if the
+  // faulty group departs, the successor inherits the fault, so a --broken
+  // self-test stays broken across churn.
+  if (opts_.fault_skip_refresh_group == group) {
+    opts_.fault_skip_refresh_group = successor;
+  }
+  apply_churn(assignment);
+}
+
+void DistributedRanking::join_group(std::uint32_t group, std::uint32_t donor) {
+  if (group >= groups_.size() || donor >= groups_.size()) {
+    throw std::out_of_range("DistributedRanking::join_group: group out of range");
+  }
+  if (donor == group) {
+    throw std::invalid_argument("DistributedRanking::join_group: donor == group");
+  }
+  if (groups_[group]->size() != 0) {
+    throw std::invalid_argument(
+        "DistributedRanking::join_group: joining group already owns pages");
+  }
+  const auto donor_members = groups_[donor]->members();
+  if (donor_members.size() < 2) {
+    throw std::invalid_argument(
+        "DistributedRanking::join_group: donor has fewer than two pages");
+  }
+  std::vector<std::uint32_t> assignment = current_assignment();
+  // The joiner takes the upper half of the donor's (ascending) key range —
+  // the successor-split a structured overlay performs on node arrival.
+  const std::size_t keep = (donor_members.size() + 1) / 2;
+  for (std::size_t i = keep; i < donor_members.size(); ++i) {
+    assignment[donor_members[i]] = group;
+  }
+  apply_churn(assignment);
+}
+
+void DistributedRanking::set_latency_jitter(double jitter) {
+  if (!(jitter >= 0.0)) {
+    throw std::invalid_argument("DistributedRanking: latency_jitter must be >= 0");
+  }
+  latency_jitter_ = jitter;
+}
+
+double DistributedRanking::delivery_delay(std::uint32_t src, std::uint32_t dst) {
+  double delay = opts_.delivery_latency;
+  if (opts_.overlay != nullptr) {
+    // Indirect transmission: one overlay hop per per_hop_latency. Routes are
+    // static in the stabilized overlay, so hop counts are cached.
+    const std::uint64_t key = pair_key(src, dst);
+    auto it = hop_cache_.find(key);
+    if (it == hop_cache_.end()) {
+      const auto path = opts_.overlay->route(src, opts_.overlay->id_of(dst));
+      it = hop_cache_.emplace(key, static_cast<std::uint32_t>(path.size())).first;
+    }
+    delay = opts_.per_hop_latency * static_cast<double>(it->second);
+  }
+  // One jitter draw per delivered message, and only when jitter is on — the
+  // jitter-off RNG streams are bit-identical to the pre-jitter engine.
+  if (latency_jitter_ > 0.0) delay += jitter_rng_.uniform(0.0, latency_jitter_);
+  return delay;
 }
 
 void DistributedRanking::schedule_step(std::uint32_t group) {
+  active_[group] = 1;
   const double wait = std::max(kMinWait, waits_.next_wait(group));
   queue_.schedule_in(wait, [this, group] { run_step(group); });
 }
 
+void DistributedRanking::send_slice(std::uint32_t src, std::uint32_t dst,
+                                    YSlice slice) {
+  ++messages_sent_;
+  records_sent_ += slice.record_count;
+  records_per_group_[src] += slice.record_count;
+
+  if (!reliable_) {
+    // The paper's fire-and-forget channel (bit-compatible with the
+    // pre-reliability engine: one loss draw per send, commit on delivery).
+    if (!loss_.delivered()) {
+      ++messages_lost_;
+      return;
+    }
+    if (opts_.send_threshold > 0.0) groups_[src]->commit_sent(dst, slice);
+    const double delay = delivery_delay(src, dst);
+    if (opts_.overlay != nullptr) {
+      record_hops_ += slice.record_count * hop_cache_[pair_key(src, dst)];
+    }
+    if (delay <= 0.0) {
+      inbox_[dst].emplace_back(src, std::move(slice));
+    } else {
+      // Move the slice into the event closure; it lands in the inbox when
+      // the event fires — unless churn rebuilt the wiring meanwhile (the
+      // slice's local indices would be stale, so it is dropped; with no
+      // retransmission that loss is repaired by the sender's next step).
+      auto shared = std::make_shared<YSlice>(std::move(slice));
+      const std::uint64_t gen = generation_;
+      queue_.schedule_in(delay, [this, dst, src, shared, gen] {
+        if (gen != generation_) return;
+        inbox_[dst].emplace_back(src, std::move(*shared));
+      });
+    }
+    return;
+  }
+
+  // Reliable exchange: stamp an epoch, buffer the payload if retransmission
+  // is on (a fresh send supersedes the pair's previous unacked slice — the
+  // buffer holds at most one slice per peer), then transmit. Sends to a
+  // suspected peer still go out: they double as probes.
+  const transport::Epoch epoch = reliable_->begin_send(src, dst);
+  auto payload = std::make_shared<const YSlice>(std::move(slice));
+  if (opts_.reliability.retransmit) {
+    pending_payload_[pair_key(src, dst)] = payload;
+  }
+
+  const bool delivered = loss_.delivered();
+  if (!delivered) ++messages_lost_;
+  if (delivered) {
+    if (opts_.send_threshold > 0.0 && !opts_.reliability.retransmit) {
+      // Without retransmission the loss draw above is the only delivery
+      // knowledge; commit eagerly on it, exactly like fire-and-forget.
+      // (With retransmission the commit happens on ack instead.)
+      groups_[src]->commit_sent(dst, *payload);
+    }
+    const double delay = delivery_delay(src, dst);
+    if (opts_.overlay != nullptr) {
+      record_hops_ += payload->record_count * hop_cache_[pair_key(src, dst)];
+    }
+    const std::uint64_t gen = generation_;
+    if (delay <= 0.0) {
+      deliver(src, dst, epoch, *payload);
+    } else {
+      queue_.schedule_in(delay, [this, src, dst, epoch, payload, gen] {
+        if (gen != generation_) return;
+        deliver(src, dst, epoch, *payload);
+      });
+    }
+  }
+  if (opts_.reliability.retransmit) schedule_retransmit(src, dst, epoch);
+}
+
+void DistributedRanking::deliver(std::uint32_t src, std::uint32_t dst,
+                                 transport::Epoch epoch, YSlice slice) {
+  // Transport-level processing at delivery time: runs even when dst's
+  // application loop is paused (the protocol stack stays up; only the
+  // ranker sleeps) and even when dst crashed meanwhile (a reboot does not
+  // reset the channel).
+  //
+  // Receiving data from src is evidence src is alive: clear any suspicion
+  // on the reverse pair and, if a retransmit was parked there, re-arm it.
+  if (reliable_->peer_alive(dst, src)) {
+    schedule_retransmit(dst, src, reliable_->pending_epoch(dst, src));
+  }
+  const bool fresh = reliable_->accept(src, dst, epoch);
+  if (fresh) {
+    inbox_[dst].emplace_back(src, std::move(slice));
+  }
+  // Ack even a rejected duplicate — the ack is cumulative (it carries the
+  // receiver's accept high-water mark), so it also repairs a lost earlier
+  // ack. Acks ride their own lossy channel.
+  ++acks_sent_;
+  if (!ack_loss_.delivered()) return;
+  const transport::Epoch value = reliable_->accepted_epoch(src, dst);
+  const double delay = opts_.reliability.ack_latency;
+  auto apply_ack = [this, src, dst, value] {
+    ++acks_delivered_;
+    if (reliable_->on_ack(src, dst, value)) {
+      // Cleared the pending epoch: the buffered payload is now known
+      // delivered — commit it for delta-sending and drop it.
+      const auto it = pending_payload_.find(pair_key(src, dst));
+      if (it != pending_payload_.end()) {
+        if (opts_.send_threshold > 0.0) {
+          groups_[src]->commit_sent(dst, *it->second);
+        }
+        pending_payload_.erase(it);
+      }
+    }
+  };
+  if (delay <= 0.0) {
+    apply_ack();
+  } else {
+    queue_.schedule_in(delay, apply_ack);
+  }
+}
+
+void DistributedRanking::schedule_retransmit(std::uint32_t src, std::uint32_t dst,
+                                             transport::Epoch epoch) {
+  const double delay = reliable_->timer_delay(src, dst);
+  const std::uint64_t gen = generation_;
+  queue_.schedule_in(delay, [this, src, dst, epoch, gen] {
+    // Timers armed before a churn rebuild reference retired payloads.
+    if (gen != generation_) return;
+    on_retransmit_timer(src, dst, epoch);
+  });
+}
+
+void DistributedRanking::on_retransmit_timer(std::uint32_t src, std::uint32_t dst,
+                                             transport::Epoch epoch) {
+  switch (reliable_->on_timer(src, dst, epoch)) {
+    case transport::ReliableExchange::TimerVerdict::kSuperseded:
+    case transport::ReliableExchange::TimerVerdict::kAcked:
+    case transport::ReliableExchange::TimerVerdict::kParked:
+      return;  // timer is dead; a newer send or an ack owns the pair now
+    case transport::ReliableExchange::TimerVerdict::kSuspectNow:
+      // Failure detection tripped: park retransmits to dst (fresh sends
+      // still probe it) and optionally decay its share of our X so a dead
+      // peer's stale contribution fades instead of persisting forever.
+      // (suspect_decay = 1, the default, keeps the last value in force —
+      // the only setting under which Thm 4.1 survives a suspicion.)
+      if (opts_.reliability.suspect_decay < 1.0) {
+        groups_[src]->scale_received(dst, opts_.reliability.suspect_decay);
+      }
+      return;
+    case transport::ReliableExchange::TimerVerdict::kRetransmit:
+      break;
+  }
+  const auto it = pending_payload_.find(pair_key(src, dst));
+  if (it == pending_payload_.end()) return;  // crash dropped the buffer
+  const std::shared_ptr<const YSlice> payload = it->second;
+  ++retransmissions_;
+  ++messages_sent_;
+  records_sent_ += payload->record_count;
+  records_per_group_[src] += payload->record_count;
+  if (!loss_.delivered()) {
+    ++messages_lost_;
+  } else {
+    const double delay = delivery_delay(src, dst);
+    if (opts_.overlay != nullptr) {
+      record_hops_ += payload->record_count * hop_cache_[pair_key(src, dst)];
+    }
+    const std::uint64_t gen = generation_;
+    if (delay <= 0.0) {
+      deliver(src, dst, epoch, *payload);
+    } else {
+      queue_.schedule_in(delay, [this, src, dst, epoch, payload, gen] {
+        if (gen != generation_) return;
+        deliver(src, dst, epoch, *payload);
+      });
+    }
+  }
+  schedule_retransmit(src, dst, epoch);
+}
+
 void DistributedRanking::run_step(std::uint32_t group) {
+  active_[group] = 0;
   if (paused_[group]) return;  // suspended: no work, no reschedule
   PageGroup& pg = *groups_[group];
+  if (pg.size() == 0) return;  // departed in churn while this event was queued
 
   // Refresh X: drain every slice that arrived since the last step. Applying
-  // in arrival order leaves exactly the newest slice per source in force.
+  // in arrival order leaves exactly the newest slice per source in force
+  // (with epochs on, stale reordered slices never reached the inbox).
   // (fault_skip_refresh_group is the chaos harness's deliberately broken
   // engine: that group drops its inbox unapplied, so its X stays stale and
   // the convergence invariant must catch it.)
@@ -215,29 +628,7 @@ void DistributedRanking::run_step(std::uint32_t group) {
     if (opts_.send_threshold > 0.0 && slice.entries.empty()) {
       continue;  // nothing moved enough to be worth a message
     }
-    ++messages_sent_;
-    records_sent_ += slice.record_count;
-    records_per_group_[group] += slice.record_count;
-    if (!loss_.delivered()) {
-      ++messages_lost_;
-      continue;
-    }
-    if (opts_.send_threshold > 0.0) pg.commit_sent(dest, slice);
-    const double delay = delivery_delay(group, dest);
-    if (opts_.overlay != nullptr) {
-      record_hops_ += slice.record_count *
-                      hop_cache_[(static_cast<std::uint64_t>(group) << 32) | dest];
-    }
-    if (delay <= 0.0) {
-      inbox_[dest].emplace_back(group, std::move(slice));
-    } else {
-      // Move the slice into the event closure; it lands in the inbox when
-      // the event fires.
-      auto shared = std::make_shared<YSlice>(std::move(slice));
-      queue_.schedule_in(delay, [this, dest, group, shared] {
-        inbox_[dest].emplace_back(group, std::move(*shared));
-      });
-    }
+    send_slice(group, dest, std::move(slice));
   }
 
   schedule_step(group);
@@ -275,7 +666,7 @@ std::vector<std::uint64_t> DistributedRanking::outer_steps_per_group() const {
 }
 
 std::uint64_t DistributedRanking::total_outer_steps() const noexcept {
-  std::uint64_t total = 0;
+  std::uint64_t total = retired_outer_steps_;
   for (const auto& grp : groups_) total += grp->outer_steps();
   return total;
 }
@@ -340,6 +731,9 @@ ConvergenceResult DistributedRanking::run_until_error(double threshold,
   result.messages_sent = messages_sent_;
   result.messages_lost = messages_lost_;
   result.records_sent = records_sent_;
+  result.retransmissions = retransmissions_;
+  result.acks_sent = acks_sent_;
+  result.duplicates_rejected = duplicates_rejected();
   result.final_relative_error = err;
   return result;
 }

@@ -6,10 +6,21 @@
 // compute R (to convergence for DPR1, one sweep for DPR2), compute and send
 // a Y slice to every group it has cut edges into (each send independently
 // survives with probability p), then reschedule after an exponential wait.
+//
+// On top of the paper's fire-and-forget channel the engine can run the
+// reliable exchange layer (EngineOptions::reliability, src/transport/
+// reliable.hpp): epoch-stamped Y slices so jitter-reordered stale slices
+// are rejected instead of clobbering newer X entries, ack/retransmit with
+// exponential backoff for lossy channels, and suspicion-based failure
+// detection with optional graceful decay of a dead peer's contribution.
+// Ranker churn (leave_group / join_group) hands pages between rankers
+// through the checkpoint state-transfer path while in-flight slices from
+// the old wiring are dropped via a churn generation stamp.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +30,8 @@
 #include "graph/web_graph.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/processes.hpp"
+#include "transport/reliable.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace p2prank::engine {
@@ -26,7 +39,10 @@ namespace p2prank::engine {
 class DistributedRanking {
  public:
   /// `assignment[p]` = group of page p, values in [0, k). Groups may be
-  /// empty (they then simply never run). The graph must outlive this object.
+  /// empty (they then simply never run). The graph must outlive this
+  /// object. Throws std::invalid_argument with a field-naming message for
+  /// invalid EngineOptions (negative latencies/jitter/backoff,
+  /// delivery_probability outside [0,1], overlay smaller than k, ...).
   DistributedRanking(const graph::WebGraph& g,
                      std::span<const std::uint32_t> assignment, std::uint32_t k,
                      const EngineOptions& opts, util::ThreadPool& pool);
@@ -49,7 +65,9 @@ class DistributedRanking {
   /// pausing is level-triggered and idempotent (a second pause_group is a
   /// no-op, and one resume_group wakes the group regardless of how many
   /// pauses preceded it); pausing an empty group is allowed and harmless;
-  /// an out-of-range group throws std::out_of_range.
+  /// an out-of-range group throws std::out_of_range. A paused ranker's
+  /// transport stack stays up: deliveries are still accepted into its inbox
+  /// and acked — only the application loop sleeps.
   void pause_group(std::uint32_t group);
   /// Wake a suspended ranker; it reschedules from the current time. A
   /// resume of a group that is not paused is a no-op (never double-
@@ -73,8 +91,49 @@ class DistributedRanking {
   /// idempotent; messages already in flight (sent pre-crash with a delivery
   /// delay) still arrive afterwards — the network does not lose them just
   /// because the receiver rebooted (they are idempotent X patches); an
-  /// out-of-range group throws std::out_of_range.
+  /// out-of-range group throws std::out_of_range. With the reliable layer
+  /// on, the crashed sender's retransmit buffers are wiped with the rest of
+  /// its memory, but per-pair epochs are transport-session state and
+  /// survive — peers keep rejecting stale slices and keep retransmitting
+  /// *to* the crashed ranker until it acks again.
   void crash_group(std::uint32_t group);
+
+  /// Ranker churn: `group` departs the overlay, handing every page it owns
+  /// to `successor` through the checkpoint state-transfer path (the rank
+  /// state round-trips through the text format, exactly what a real
+  /// handoff would ship). Peers re-route subsequent Y slices via the
+  /// rebuilt cut-edge wiring; slices still in flight against the old
+  /// wiring are dropped by a churn generation stamp (their sender will
+  /// retransmit / re-send against the new wiring). Rank values are
+  /// preserved exactly, so a consistent (sub-fixed-point) state stays
+  /// consistent: Thm 4.1/4.2 hold across a leave. Throws
+  /// std::out_of_range / std::invalid_argument on bad indices, departing
+  /// an empty group, or successor == group.
+  void leave_group(std::uint32_t group, std::uint32_t successor);
+
+  /// Drop every message currently in flight (undelivered Y slices, buffered
+  /// retransmit payloads) without touching rank state. A crash deliberately
+  /// keeps in-flight messages alive — the network does not lose them just
+  /// because a receiver rebooted — but a checkpoint *restore* is a global
+  /// rollback: slices sent from the rolled-back timeline would leak
+  /// higher-than-restored Y values into peers' X, only to be deflated by
+  /// the first post-restore send (a rank dip the monotone checker rightly
+  /// rejects). The chaos runner calls this between the crash wave and the
+  /// warm_start of a restore. Per-pair epochs survive (transport-session
+  /// state, like crash and churn).
+  void drop_in_flight();
+
+  /// Ranker churn: an empty `group` joins the overlay and takes the upper
+  /// half of `donor`'s pages (donor keeps at least one). Same state
+  /// transfer and generation rules as leave_group. Throws on bad indices,
+  /// a non-empty joining group, or a donor with fewer than two pages.
+  void join_group(std::uint32_t group, std::uint32_t donor);
+
+  /// Completed leave/join operations.
+  [[nodiscard]] std::uint64_t churn_events() const noexcept { return churn_events_; }
+
+  /// Current page -> group ownership map (exactly one owner per page).
+  [[nodiscard]] std::vector<std::uint32_t> current_assignment() const;
 
   /// Change the Y-message delivery probability from now on (chaos-harness
   /// loss bursts). In-flight messages are unaffected; the loss RNG stream
@@ -84,6 +143,15 @@ class DistributedRanking {
   [[nodiscard]] double delivery_probability() const noexcept {
     return loss_.delivery_probability();
   }
+
+  /// Change the ack-channel delivery probability (reliable mode; no effect
+  /// otherwise). Chaos-harness ack-loss bursts.
+  void set_ack_delivery_probability(double p) { ack_loss_.set_probability(p); }
+
+  /// Change the per-message delivery-latency jitter from now on (reorder
+  /// bursts). Must be >= 0.
+  void set_latency_jitter(double jitter);
+  [[nodiscard]] double latency_jitter() const noexcept { return latency_jitter_; }
 
   /// Advance virtual time to t_end, recording a Sample every
   /// `sample_interval` time units (Fig. 6 / Fig. 7 series). May be called
@@ -114,7 +182,44 @@ class DistributedRanking {
   [[nodiscard]] std::uint64_t record_hops() const noexcept { return record_hops_; }
   [[nodiscard]] sim::SimTime now() const noexcept { return queue_.now(); }
 
-  /// Total outer loop steps executed across all groups.
+  // --- Reliable-exchange diagnostics (all 0 with fire-and-forget) ----------
+  /// Re-sends of an unacked epoch (each is also counted in messages_sent).
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t acks_sent() const noexcept { return acks_sent_; }
+  [[nodiscard]] std::uint64_t acks_delivered() const noexcept {
+    return acks_delivered_;
+  }
+  /// Stale (reordered or already-delivered) slices rejected by the epoch
+  /// filter at the receiver.
+  [[nodiscard]] std::uint64_t duplicates_rejected() const noexcept {
+    return reliable_ ? reliable_->duplicates_rejected() : 0;
+  }
+  /// Retransmit timers that fired for an already-acked epoch — impossible
+  /// by construction; the invariant checker asserts this stays 0.
+  [[nodiscard]] std::uint64_t zombie_retransmits() const noexcept {
+    return reliable_ ? reliable_->zombie_retransmits() : 0;
+  }
+  [[nodiscard]] std::uint64_t suspicion_events() const noexcept {
+    return reliable_ ? reliable_->suspicion_events() : 0;
+  }
+  [[nodiscard]] std::uint32_t suspected_pairs() const noexcept {
+    return reliable_ ? reliable_->suspected_pairs() : 0;
+  }
+  /// Pairs currently holding an unacked buffered slice.
+  [[nodiscard]] std::uint64_t pending_retransmits() const noexcept {
+    return pending_payload_.size();
+  }
+  /// Receiver-side epoch high-water mark for (src, dst); non-decreasing
+  /// for the lifetime of the engine (epochs survive crash and churn).
+  [[nodiscard]] std::uint64_t accepted_epoch(std::uint32_t src,
+                                             std::uint32_t dst) const noexcept {
+    return reliable_ ? reliable_->accepted_epoch(src, dst) : 0;
+  }
+
+  /// Total outer loop steps executed across all groups (including steps by
+  /// rankers that have since departed in churn).
   [[nodiscard]] std::uint64_t total_outer_steps() const noexcept;
   /// Mean outer steps per non-empty group.
   [[nodiscard]] double mean_outer_steps() const noexcept;
@@ -145,25 +250,66 @@ class DistributedRanking {
   }
 
  private:
+  struct InboxMessage {
+    std::uint32_t source = 0;
+    YSlice slice;
+  };
+
+  static EngineOptions validated(EngineOptions opts);
+  void build_groups(std::span<const std::uint32_t> assignment);
   void schedule_step(std::uint32_t group);
   void run_step(std::uint32_t group);
+
+  // Reliable-exchange plumbing.
+  void send_slice(std::uint32_t src, std::uint32_t dst, YSlice slice);
+  void deliver(std::uint32_t src, std::uint32_t dst, transport::Epoch epoch,
+               YSlice slice);
+  void schedule_retransmit(std::uint32_t src, std::uint32_t dst,
+                           transport::Epoch epoch);
+  void on_retransmit_timer(std::uint32_t src, std::uint32_t dst,
+                           transport::Epoch epoch);
+  void apply_churn(std::span<const std::uint32_t> assignment);
+
+  [[nodiscard]] static std::uint64_t pair_key(std::uint32_t src,
+                                              std::uint32_t dst) noexcept {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
 
   const graph::WebGraph& graph_;
   EngineOptions opts_;
   util::ThreadPool& pool_;
   std::vector<std::unique_ptr<PageGroup>> groups_;
-  std::vector<std::vector<std::pair<std::uint32_t, YSlice>>> inbox_;
+  std::vector<std::vector<InboxMessage>> inbox_;
   sim::EventQueue queue_;
   sim::WaitProcess waits_;
   sim::LossModel loss_;
+  sim::LossModel ack_loss_;
+  util::Rng jitter_rng_;
+  double latency_jitter_ = 0.0;
+  std::optional<transport::ReliableExchange> reliable_;
+  /// Buffered newest unacked slice per (src, dst) — shared with in-flight
+  /// delivery events so retransmits do not copy the payload.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const YSlice>> pending_payload_;
+  /// Wiring generation: bumped by churn; deliveries stamped with an older
+  /// generation carry dest-local indices of dead wiring and are dropped.
+  std::uint64_t generation_ = 0;
   std::vector<double> reference_;
   std::vector<double> prev_sample_ranks_;
   std::vector<char> paused_;
+  /// Whether a loop-step event is pending for the group (prevents double
+  /// scheduling across resume/churn).
+  std::vector<char> active_;
   std::uint32_t nonempty_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_lost_ = 0;
   std::uint64_t records_sent_ = 0;
   std::uint64_t inner_sweeps_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t acks_delivered_ = 0;
+  std::uint64_t churn_events_ = 0;
+  /// Outer steps performed by group objects retired in churn rebuilds.
+  std::uint64_t retired_outer_steps_ = 0;
   std::vector<std::uint64_t> records_per_group_;
 
   // Termination detection (stability_epsilon > 0): per-group latest

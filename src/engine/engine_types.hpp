@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "overlay/overlay.hpp"
+#include "transport/reliable.hpp"
 
 namespace p2prank::engine {
 
@@ -20,6 +21,44 @@ enum class Algorithm {
   /// DPR2 (Algorithm 4): refresh X, do exactly one Jacobi sweep, send Y
   /// eagerly.
   kDPR2,
+};
+
+/// Reliable-exchange configuration (see src/transport/reliable.hpp and
+/// DESIGN.md §8 "Reliable exchange contract"). The paper ships Y slices
+/// fire-and-forget; these knobs add the reliability layer it hand-waves.
+struct ReliabilityOptions {
+  /// Stamp every Y slice with a per-(src,dst) epoch and reject stale
+  /// reordered slices at the receiver (counted in duplicates_rejected()).
+  /// Without this, jittered latency lets a delayed older Y silently replace
+  /// a newer X entry.
+  bool epochs = false;
+  /// Acknowledge delivered slices and retransmit unacked ones with
+  /// exponential backoff + jitter. Implies `epochs` (retransmission without
+  /// the duplicate filter would double-apply). Only the newest epoch per
+  /// peer is buffered/retransmitted — superseded slices are dropped, so the
+  /// buffer is O(1) per peer.
+  bool retransmit = false;
+  /// One-way virtual-time delay of an ack message.
+  double ack_latency = 0.1;
+  /// Delivery probability of acks. Negative = same as the data channel's
+  /// delivery_probability (the default); settable separately so the chaos
+  /// harness can inject ack-only loss.
+  double ack_delivery_probability = -1.0;
+  /// Retransmit timeout schedule: first timeout, multiplier per attempt,
+  /// cap, and multiplicative jitter (delay = rto * (1 + U[0, jitter))).
+  double rto_initial = 1.0;
+  double rto_backoff = 2.0;
+  double rto_max = 8.0;
+  double rto_jitter = 0.25;
+  /// Consecutive unacked retransmit timers before the peer is suspected
+  /// dead; a suspected peer's retransmits are parked (fresh sends still go
+  /// out and double as probes; any ack or received data un-suspects).
+  std::uint32_t suspicion_after = 4;
+  /// Graceful degradation: when a peer becomes suspected, scale its stored
+  /// contribution to this ranker's X by this factor (applied once per
+  /// suspicion event). 1 (default) keeps the last value in force — the only
+  /// setting under which Thm 4.1 monotonicity survives a suspicion.
+  double suspect_decay = 1.0;
 };
 
 struct EngineOptions {
@@ -43,6 +82,16 @@ struct EngineOptions {
   /// experiments fold network delay into the waits, so 0 is the default.
   /// Ignored when `overlay` is set.
   double delivery_latency = 0.0;
+
+  /// Additional per-message delivery delay drawn uniformly from
+  /// [0, latency_jitter). Nonzero jitter reorders messages on the same
+  /// (src, dst) pair — exactly the hazard ReliabilityOptions::epochs
+  /// guards against. Applies on top of delivery_latency / overlay hops.
+  double latency_jitter = 0.0;
+
+  /// Reliable-exchange layer (epochs, ack/retransmit, failure detection).
+  /// Default-constructed = fire-and-forget, the paper's channel.
+  ReliabilityOptions reliability;
 
   /// Full-stack mode: route every Y message over this overlay (ranker i
   /// lives on overlay node i; requires overlay->num_nodes() >= k). Delivery
@@ -76,10 +125,13 @@ struct EngineOptions {
   std::vector<double> personalization;
 
   /// Chaos-harness self-test ONLY (src/check): when set to a valid group
-  /// index, that group silently drops its inbox instead of refreshing X —
-  /// a deliberately broken engine the scenario checker must flag (its ranks
-  /// converge to a too-low fixed point, failing the convergence invariant).
-  /// The default (no group) leaves the engine correct.
+  /// index, that group's afferent-update path is dead — it silently drops
+  /// its inbox instead of refreshing X and ignores warm-start priming (so
+  /// churn / restore state transfers cannot heal it). A deliberately broken
+  /// engine the scenario checker must flag: its ranks converge to a too-low
+  /// fixed point, failing the convergence invariant. If the group departs
+  /// in churn, its successor inherits the fault. The default (no group)
+  /// leaves the engine correct.
   std::uint32_t fault_skip_refresh_group = UINT32_MAX;
 
   std::uint64_t seed = 7;
@@ -109,6 +161,10 @@ struct ConvergenceResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_lost = 0;
   std::uint64_t records_sent = 0;  ///< cut-link <from,to,score> records
+  /// Reliable-exchange traffic (0 with the fire-and-forget channel).
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t duplicates_rejected = 0;
   double final_relative_error = 0.0;
 };
 

@@ -135,6 +135,21 @@ void PageGroup::refresh_x(std::uint32_t source_group, const YSlice& slice) {
   }
 }
 
+void PageGroup::scale_received(std::uint32_t source_group, double factor) {
+  if (!(factor >= 0.0 && factor <= 1.0)) {
+    throw std::invalid_argument("PageGroup::scale_received: factor out of [0,1]");
+  }
+  const auto it = received_.find(source_group);
+  if (it == received_.end()) return;  // never heard from that peer
+  for (auto& [local, value] : it->second) {
+    const double decayed = value * factor;
+    const double delta = decayed - value;
+    x_[local] += delta;
+    forcing_[local] += delta;
+    value = decayed;
+  }
+}
+
 std::size_t PageGroup::solve_to_convergence(double epsilon,
                                             std::size_t max_iterations,
                                             util::ThreadPool& pool) {

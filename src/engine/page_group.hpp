@@ -80,6 +80,12 @@ class PageGroup {
   /// X = Σ_sources latest-per-entry exact for full and delta slices alike.
   void refresh_x(std::uint32_t source_group, const YSlice& slice);
 
+  /// Graceful degradation on suspected peer death: scale every stored X
+  /// contribution received from `source_group` by `factor` (in [0, 1]).
+  /// The next genuine slice from that peer supersedes the decayed values
+  /// entry-by-entry, exactly like any refresh.
+  void scale_received(std::uint32_t source_group, double factor);
+
   /// DPR1 body: solve R = A·R + βE + X to `epsilon`, warm-started from the
   /// current R. Returns inner iterations used.
   std::size_t solve_to_convergence(double epsilon, std::size_t max_iterations,

@@ -1,0 +1,152 @@
+#include "transport/reliable.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2prank::transport {
+
+ReliableExchange::ReliableExchange(ReliableOptions opts, std::uint64_t seed)
+    : opts_(opts), rng_(seed) {
+  if (!(opts_.rto_initial > 0.0)) {
+    throw std::invalid_argument("ReliableOptions::rto_initial: must be > 0");
+  }
+  if (!(opts_.rto_backoff >= 1.0)) {
+    throw std::invalid_argument("ReliableOptions::rto_backoff: must be >= 1");
+  }
+  if (!(opts_.rto_max >= opts_.rto_initial)) {
+    throw std::invalid_argument("ReliableOptions::rto_max: must be >= rto_initial");
+  }
+  if (!(opts_.rto_jitter >= 0.0)) {
+    throw std::invalid_argument("ReliableOptions::rto_jitter: must be >= 0");
+  }
+  if (opts_.suspicion_after == 0) {
+    throw std::invalid_argument("ReliableOptions::suspicion_after: must be >= 1");
+  }
+}
+
+ReliableExchange::PairState& ReliableExchange::state(std::uint32_t src,
+                                                     std::uint32_t dst) {
+  return pairs_[key(src, dst)];
+}
+
+const ReliableExchange::PairState* ReliableExchange::find(std::uint32_t src,
+                                                          std::uint32_t dst) const {
+  const auto it = pairs_.find(key(src, dst));
+  return it == pairs_.end() ? nullptr : &it->second;
+}
+
+void ReliableExchange::clear_suspicion(PairState& st) {
+  if (st.suspected) {
+    st.suspected = false;
+    --suspected_pairs_;
+  }
+  st.attempts = 0;
+  st.rto = opts_.rto_initial;
+}
+
+void ReliableExchange::reset_transient(PairState& st) {
+  if (st.pending != 0) {
+    st.pending = 0;
+    --pending_pairs_;
+  }
+  clear_suspicion(st);
+}
+
+Epoch ReliableExchange::begin_send(std::uint32_t src, std::uint32_t dst) {
+  PairState& st = state(src, dst);
+  const Epoch epoch = st.next_epoch++;
+  if (st.pending == 0) ++pending_pairs_;
+  st.pending = epoch;  // supersedes any older unacked epoch
+  st.attempts = 0;
+  st.rto = opts_.rto_initial;
+  return epoch;
+}
+
+double ReliableExchange::timer_delay(std::uint32_t src, std::uint32_t dst) {
+  PairState& st = state(src, dst);
+  const double rto = st.rto > 0.0 ? st.rto : opts_.rto_initial;
+  return rto * (1.0 + (opts_.rto_jitter > 0.0 ? rng_.uniform(0.0, opts_.rto_jitter)
+                                              : 0.0));
+}
+
+ReliableExchange::TimerVerdict ReliableExchange::on_timer(std::uint32_t src,
+                                                          std::uint32_t dst,
+                                                          Epoch epoch) {
+  PairState& st = state(src, dst);
+  if (st.pending == 0 || st.pending != epoch) return TimerVerdict::kSuperseded;
+  if (st.acked >= epoch) {
+    // on_ack clears the pending epoch whenever acked >= pending, so a timer
+    // can never find its epoch both pending and acked. If one does, the
+    // accounting regressed — record the zombie for the invariant checker.
+    ++zombie_retransmits_;
+    return TimerVerdict::kAcked;
+  }
+  if (st.suspected) return TimerVerdict::kParked;
+  ++st.attempts;
+  if (st.attempts >= opts_.suspicion_after) {
+    st.suspected = true;
+    ++suspected_pairs_;
+    ++suspicion_events_;
+    return TimerVerdict::kSuspectNow;
+  }
+  st.rto = std::min(st.rto * opts_.rto_backoff, opts_.rto_max);
+  return TimerVerdict::kRetransmit;
+}
+
+bool ReliableExchange::on_ack(std::uint32_t src, std::uint32_t dst, Epoch value) {
+  PairState& st = state(src, dst);
+  st.acked = std::max(st.acked, value);
+  clear_suspicion(st);  // an ack is definite evidence the peer is alive
+  if (st.pending != 0 && st.acked >= st.pending) {
+    st.pending = 0;
+    --pending_pairs_;
+    return true;
+  }
+  return false;
+}
+
+bool ReliableExchange::peer_alive(std::uint32_t observer, std::uint32_t peer) {
+  const auto it = pairs_.find(key(observer, peer));
+  if (it == pairs_.end()) return false;
+  PairState& st = it->second;
+  const bool was_parked = st.suspected && st.pending != 0;
+  clear_suspicion(st);
+  return was_parked;
+}
+
+bool ReliableExchange::suspected(std::uint32_t src, std::uint32_t dst) const {
+  const PairState* st = find(src, dst);
+  return st != nullptr && st->suspected;
+}
+
+Epoch ReliableExchange::pending_epoch(std::uint32_t src, std::uint32_t dst) const {
+  const PairState* st = find(src, dst);
+  return st == nullptr ? 0 : st->pending;
+}
+
+void ReliableExchange::reset_pending() {
+  for (auto& [k, st] : pairs_) reset_transient(st);
+}
+
+void ReliableExchange::reset_sender(std::uint32_t src) {
+  for (auto& [k, st] : pairs_) {
+    if (static_cast<std::uint32_t>(k >> 32) == src) reset_transient(st);
+  }
+}
+
+bool ReliableExchange::accept(std::uint32_t src, std::uint32_t dst, Epoch epoch) {
+  PairState& st = state(src, dst);
+  if (epoch > st.accepted) {
+    st.accepted = epoch;
+    return true;
+  }
+  ++duplicates_rejected_;
+  return false;
+}
+
+Epoch ReliableExchange::accepted_epoch(std::uint32_t src, std::uint32_t dst) const {
+  const PairState* st = find(src, dst);
+  return st == nullptr ? 0 : st->accepted;
+}
+
+}  // namespace p2prank::transport

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,77 @@ TEST(Scenario, TraceRoundTripsThroughText) {
   }
 }
 
+// The churn / reorder / ack-loss extension: new op kinds and the reliable /
+// latency_jitter header keys survive the text round-trip, including the
+// two-group payload of leave/join.
+TEST(Scenario, ChurnAndReorderOpsRoundTrip) {
+  Scenario s = Scenario::from_seed(13);
+  s.reliable = true;
+  s.latency_jitter = 0.75;
+  s.ops.clear();
+  s.ops.push_back({1.0, OpKind::kLeave, 2, 0, 0.0, 0});
+  s.ops.push_back({2.0, OpKind::kJoin, 2, 1, 0.0, 0});
+  s.ops.push_back({3.0, OpKind::kSetAckLoss, 0, 0, 0.4, 0});
+  s.ops.push_back({4.0, OpKind::kSetAckLoss, 0, 0, -1.0, 0});
+  s.ops.push_back({5.0, OpKind::kSetJitter, 0, 0, 1.25, 0});
+  const Scenario back = Scenario::parse_text(s.to_text());
+  EXPECT_EQ(back.to_text(), s.to_text());
+  EXPECT_TRUE(back.reliable);
+  EXPECT_DOUBLE_EQ(back.latency_jitter, 0.75);
+  ASSERT_EQ(back.ops.size(), 5u);
+  EXPECT_EQ(back.ops[0].kind, OpKind::kLeave);
+  EXPECT_EQ(back.ops[0].group, 2u);
+  EXPECT_EQ(back.ops[0].group2, 0u);
+  EXPECT_EQ(back.ops[1].kind, OpKind::kJoin);
+  EXPECT_EQ(back.ops[1].group2, 1u);
+  EXPECT_DOUBLE_EQ(back.ops[3].value, -1.0);
+  EXPECT_EQ(back.ops[4].kind, OpKind::kSetJitter);
+}
+
+// Traces written before the reliability extension lack the latency_jitter /
+// reliable header keys — they must still parse, defaulting to the old
+// fire-and-forget channel.
+TEST(Scenario, PreReliabilityTracesParseWithDefaults) {
+  Scenario s = Scenario::from_seed(13);
+  s.reliable = false;
+  s.latency_jitter = 0.0;
+  std::string text = s.to_text();
+  std::string pruned;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("latency_jitter ", 0) == 0) continue;
+    if (line.rfind("reliable ", 0) == 0) continue;
+    pruned += line + '\n';
+  }
+  const Scenario back = Scenario::parse_text(pruned);
+  EXPECT_FALSE(back.reliable);
+  EXPECT_DOUBLE_EQ(back.latency_jitter, 0.0);
+  EXPECT_EQ(back.to_text(), text);
+}
+
+// from_seed only pairs jitter with the reliable layer: jitter without epochs
+// would make stale reordered slices clobber newer X entries, which is the
+// hazard the regression test demonstrates — the fuzzer must not generate it
+// as a "healthy" scenario.
+TEST(Scenario, FromSeedNeverGeneratesJitterWithoutReliable) {
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    const Scenario s = Scenario::from_seed(seed);
+    if (s.latency_jitter > 0.0) {
+      EXPECT_TRUE(s.reliable) << "seed " << seed;
+    }
+    for (const ScheduleOp& op : s.ops) {
+      if (op.kind == OpKind::kSetJitter && op.value > 0.0) {
+        EXPECT_TRUE(s.reliable) << "seed " << seed;
+      }
+      if (op.kind == OpKind::kLeave || op.kind == OpKind::kJoin) {
+        EXPECT_LT(op.group, s.k) << "seed " << seed;
+        EXPECT_LT(op.group2, s.k) << "seed " << seed;
+        EXPECT_NE(op.group, op.group2) << "seed " << seed;
+      }
+    }
+  }
+}
+
 TEST(Scenario, ParseTolerlatesCommentsAndRejectsGarbage) {
   const Scenario s = Scenario::from_seed(7);
   // Written traces carry "# violation: ..." comment lines before the body.
@@ -128,7 +200,7 @@ TEST(Minimizer, ReducesToTheOneCulpritOp) {
   s.ops.clear();
   for (std::uint32_t i = 0; i < 9; ++i) {
     s.ops.push_back({2.0 * (i + 1), i == 5 ? OpKind::kCrash : OpKind::kPause,
-                     i == 5 ? 2u : i, 0.0, 0});
+                     i == 5 ? 2u : i, 0, 0.0, 0});
   }
   const auto fails = [](const Scenario& cand) {
     for (const ScheduleOp& op : cand.ops) {
@@ -147,7 +219,7 @@ TEST(Minimizer, KeepsAPairThatMustCoOccur) {
   Scenario s = Scenario::from_seed(11);
   s.ops.clear();
   for (std::uint32_t i = 0; i < 12; ++i) {
-    s.ops.push_back({1.0 * (i + 1), OpKind::kPause, i, 0.0, 0});
+    s.ops.push_back({1.0 * (i + 1), OpKind::kPause, i, 0, 0.0, 0});
   }
   const auto fails = [](const Scenario& cand) {
     bool a = false, b = false;

@@ -14,6 +14,15 @@
 // accounting in DESIGN.md. Appending to an existing file preserves earlier
 // runs (notably the "seed" baseline measured before the contribution
 // kernel landed), which is what makes deltas auditable.
+//
+// --reliability switches to the reliable-exchange benchmark (Fig. 7
+// analogue, EXPERIMENTS.md "p sweep with retransmission"): it sweeps the
+// delivery probability p and, at each level, runs the SAME graph + seed to
+// the convergence threshold under both channel schemes — the paper's
+// fire-and-forget and the reliable exchange layer (epochs + retransmit) —
+// and appends virtual convergence time plus the full message accounting
+// (retransmissions, acks, duplicate rejections, retransmit overhead) to
+// BENCH_reliability.json with schema "p2prank-reliability-bench-v1".
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -24,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "engine/distributed.hpp"
+#include "engine/reference.hpp"
 #include "graph/synthetic_web.hpp"
 #include "rank/link_matrix.hpp"
 #include "util/stats.hpp"
@@ -48,7 +59,12 @@ struct Options {
   int repetitions = 5;
   double min_rep_seconds = 0.4;
   std::string label = "run";
-  std::string out = "BENCH_kernels.json";
+  std::string out;  // default depends on mode
+  // --reliability mode.
+  bool reliability = false;
+  std::uint32_t k = 16;
+  double error_threshold = 1e-8;
+  double max_time = 20000.0;
 };
 
 /// Best-of-`repetitions` timing of one sweep variant: each repetition runs
@@ -120,9 +136,11 @@ std::string render_run(const Options& opts, std::size_t edges,
   return os.str();
 }
 
-/// Append `run` to the "runs" array of `path`, or create the file. Only
-/// files written by this tool are understood; anything else is replaced.
-void write_report(const std::string& path, const std::string& run) {
+/// Append `run` to the "runs" array of `path`, or create the file with the
+/// given schema tag. Only files written by this tool are understood;
+/// anything else is replaced.
+void write_report(const std::string& path, const std::string& schema,
+                  const std::string& run) {
   static constexpr const char* kTail = "\n  ]\n}\n";
   std::string existing;
   {
@@ -140,9 +158,122 @@ void write_report(const std::string& path, const std::string& run) {
       tail_at + std::strlen(kTail) == existing.size()) {
     out << existing.substr(0, tail_at) << ",\n" << run << kTail;
   } else {
-    out << "{\n  \"schema\": \"p2prank-kernel-bench-v1\",\n  \"runs\": [\n"
+    out << "{\n  \"schema\": \"" << schema << "\",\n  \"runs\": [\n"
         << run << kTail;
   }
+}
+
+// --- Reliability benchmark ---------------------------------------------------
+
+struct ReliabilityPoint {
+  double delivery_p = 1.0;
+  bool reliable = false;
+  engine::ConvergenceResult res;
+};
+
+/// One run to the error threshold on the standard synthetic graph, modulo
+/// the channel scheme. Same graph, same partition, same engine seed across
+/// every point: the only varying inputs are p and the scheme.
+ReliabilityPoint run_reliability_point(const graph::WebGraph& g,
+                                       const std::vector<std::uint32_t>& assignment,
+                                       const std::vector<double>& reference,
+                                       const Options& opts, double p,
+                                       bool reliable, util::ThreadPool& pool) {
+  engine::EngineOptions eo;
+  eo.algorithm = engine::Algorithm::kDPR2;
+  eo.alpha = opts.alpha;
+  eo.delivery_probability = p;
+  // A fixed mean wait makes the schemes comparable per loss: a dropped
+  // slice costs fire-and-forget a whole loop period (the next full resend),
+  // while retransmission recovers it after one RTO. The default [t1, t2] =
+  // [0, 6] spread would blur that signal across groups.
+  eo.t1 = 4.0;
+  eo.t2 = 4.0;
+  eo.seed = opts.seed ^ 0xabcdef12345ULL;
+  eo.reliability.retransmit = reliable;  // implies epochs + failure detection
+  engine::DistributedRanking sim(g, assignment, opts.k, eo, pool);
+  sim.set_reference(reference);
+  ReliabilityPoint point;
+  point.delivery_p = p;
+  point.reliable = reliable;
+  point.res = sim.run_until_error(opts.error_threshold, opts.max_time, 1.0);
+  return point;
+}
+
+std::string render_reliability_run(const Options& opts, std::size_t edges,
+                                   const std::vector<ReliabilityPoint>& points) {
+  std::ostringstream os;
+  os.precision(10);
+  os << "    {\n";
+  os << "      \"label\": \"" << json_escape(opts.label) << "\",\n";
+  os << "      \"pages\": " << opts.pages << ",\n";
+  os << "      \"edges\": " << edges << ",\n";
+  os << "      \"k\": " << opts.k << ",\n";
+  os << "      \"graph_seed\": " << opts.seed << ",\n";
+  os << "      \"alpha\": " << opts.alpha << ",\n";
+  os << "      \"error_threshold\": " << opts.error_threshold << ",\n";
+  os << "      \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    const auto& r = pt.res;
+    const double overhead =
+        r.messages_sent == 0
+            ? 0.0
+            : static_cast<double>(r.retransmissions) /
+                  static_cast<double>(r.messages_sent);
+    os << "        {\"delivery_p\": " << pt.delivery_p << ", \"scheme\": \""
+       << (pt.reliable ? "reliable" : "fire_and_forget") << "\", "
+       << "\"reached\": " << (r.reached ? "true" : "false") << ", "
+       << "\"time\": " << r.time << ", "
+       << "\"mean_outer_steps\": " << r.mean_outer_steps << ", "
+       << "\"messages_sent\": " << r.messages_sent << ", "
+       << "\"messages_lost\": " << r.messages_lost << ", "
+       << "\"retransmissions\": " << r.retransmissions << ", "
+       << "\"acks_sent\": " << r.acks_sent << ", "
+       << "\"duplicates_rejected\": " << r.duplicates_rejected << ", "
+       << "\"retransmit_overhead\": " << overhead << ", "
+       << "\"final_relative_error\": " << r.final_relative_error << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n";
+  os << "    }";
+  return os.str();
+}
+
+int run_reliability_bench(const Options& opts) {
+  const auto g = graph::generate_synthetic_web(
+      graph::google2002_config(opts.pages, opts.seed));
+  auto& pool = util::ThreadPool::shared();
+  // Round-robin partition: deterministic, balanced, independent of the
+  // partition library (this benchmark compares channels, not partitions).
+  std::vector<std::uint32_t> assignment(g.num_pages());
+  for (std::uint32_t p = 0; p < g.num_pages(); ++p) assignment[p] = p % opts.k;
+  const std::vector<double> reference =
+      engine::open_system_reference(g, opts.alpha, pool);
+
+  static constexpr double kLevels[] = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4};
+  std::vector<ReliabilityPoint> points;
+  for (const double p : kLevels) {
+    for (const bool reliable : {false, true}) {
+      points.push_back(run_reliability_point(g, assignment, reference, opts, p,
+                                             reliable, pool));
+      const auto& pt = points.back();
+      std::cout << "  p=" << p << ' '
+                << (reliable ? "reliable       " : "fire-and-forget")
+                << "  t=" << pt.res.time
+                << (pt.res.reached ? "" : " (NOT converged)")
+                << "  msgs=" << pt.res.messages_sent
+                << " rexmit=" << pt.res.retransmissions
+                << " dups=" << pt.res.duplicates_rejected << "\n";
+    }
+  }
+
+  std::size_t edges = 0;
+  for (graph::PageId u = 0; u < g.num_pages(); ++u) edges += g.out_degree(u);
+  write_report(opts.out, "p2prank-reliability-bench-v1",
+               render_reliability_run(opts, edges, points));
+  std::cout << "appended run \"" << opts.label << "\" to " << opts.out << "\n";
+  return 0;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -170,13 +301,30 @@ Options parse_args(int argc, char** argv) {
       opts.label = need_value("--label");
     } else if (arg == "--out") {
       opts.out = need_value("--out");
+    } else if (arg == "--reliability") {
+      opts.reliability = true;
+    } else if (arg == "--k") {
+      opts.k = static_cast<std::uint32_t>(std::stoul(need_value("--k")));
+    } else if (arg == "--error-threshold") {
+      opts.error_threshold = std::stod(need_value("--error-threshold"));
+    } else if (arg == "--max-time") {
+      opts.max_time = std::stod(need_value("--max-time"));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: bench_report [--pages N] [--seed S] [--alpha A] "
-                   "[--reps R] [--min-rep-seconds T] [--label L] [--out FILE]\n";
+                   "[--reps R] [--min-rep-seconds T] [--label L] [--out FILE]\n"
+                   "       bench_report --reliability [--pages N] [--k K] "
+                   "[--seed S] [--error-threshold E] [--max-time T] "
+                   "[--label L] [--out FILE]\n";
       std::exit(0);
     } else {
       throw std::runtime_error("bench_report: unknown flag " + arg);
     }
+  }
+  if (opts.out.empty()) {
+    opts.out = opts.reliability ? "BENCH_reliability.json" : "BENCH_kernels.json";
+  }
+  if (opts.reliability && opts.pages == 50000) {
+    opts.pages = 2000;  // convergence sweeps run a full engine: keep it small
   }
   return opts;
 }
@@ -186,6 +334,7 @@ Options parse_args(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     const Options opts = parse_args(argc, argv);
+    if (opts.reliability) return run_reliability_bench(opts);
     const auto g = graph::generate_synthetic_web(
         graph::google2002_config(opts.pages, opts.seed));
     const auto m = rank::LinkMatrix::from_graph(g, opts.alpha);
@@ -261,7 +410,7 @@ int main(int argc, char** argv) {
         edges, unfused_bytes));
 
     const std::string run = render_run(opts, edges, pool.size(), results);
-    write_report(opts.out, run);
+    write_report(opts.out, "p2prank-kernel-bench-v1", run);
 
     std::cout << "graph: " << opts.pages << " pages, " << edges << " edges; pool "
               << pool.size() << " thread(s)\n";

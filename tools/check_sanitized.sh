@@ -4,6 +4,12 @@
 # its hot path (epoch + atomic grain counter), so TSan is the check that the
 # handshake is actually race-free, not just "has not crashed yet".
 #
+# The scenario corpus additionally runs under AddressSanitizer: the reliable
+# exchange layer moves Y-slice payload buffers between retransmit timers,
+# delivery events, and churn rebuilds (shared_ptr closures invalidated by
+# generation stamps) — ASan is the check that no event ever touches a freed
+# payload or a rebuilt group, on top of TSan's data-race certification.
+#
 # usage: tools/check_sanitized.sh [extra ctest args]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,3 +28,16 @@ echo "TSan: thread-pool and rank-sweep suites clean"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/scenario_fuzz \
   --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-tsan --quiet
 echo "TSan: chaos-scenario smoke corpus clean"
+
+# Same corpus under ASan (heap-use-after-free / overflow), both on the
+# scenarios' own channel configurations and with the reliable layer forced
+# on, so every retransmit/ack/churn code path runs under the allocator
+# checks.
+cmake --preset asan
+cmake --build --preset asan --target scenario_fuzz -j"$(nproc)"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
+  --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-asan --quiet
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
+  --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-asan --quiet \
+  --reliable
+echo "ASan: chaos-scenario smoke corpus clean (base + --reliable)"

@@ -5,9 +5,11 @@
 //   scenario_fuzz --seeds-file tests/corpus/scenario_seeds.txt
 //   scenario_fuzz --replay trace.txt     # re-run a written trace
 //   scenario_fuzz --seeds 50 --broken    # self-test: every run must FAIL
+//   scenario_fuzz --seeds 100 --reliable # force the reliable exchange layer
 //
 // Each scenario expands a 64-bit seed into a fault schedule (crash / pause /
-// resume / loss bursts / checkpoint save+restore / graph update), drives
+// resume / loss bursts / checkpoint save+restore / graph update / ranker
+// churn / reorder + ack-loss bursts), drives
 // DistributedRanking through it, and checks the paper's theorems as runtime
 // invariants (see src/check/). On a violation the trace is minimized to a
 // minimal reproducing op list and written to --trace-dir as a replayable
@@ -37,7 +39,10 @@ int usage(std::ostream& err) {
   err << "usage: scenario_fuzz [--seeds N] [--start S] [--seed X]\n"
          "                     [--seeds-file PATH] [--replay PATH]\n"
          "                     [--trace-dir DIR] [--broken] [--no-minimize]\n"
-         "                     [--threads T] [--tail-time T] [--quiet]\n";
+         "                     [--threads T] [--tail-time T] [--quiet]\n"
+         "                     [--reliable]\n"
+         "  --reliable  force every scenario onto the reliable exchange\n"
+         "              layer (epochs + retransmission + failure detection)\n";
   return 2;
 }
 
@@ -46,7 +51,9 @@ std::string scenario_label(const Scenario& s) {
   out << (s.algorithm == p2prank::engine::Algorithm::kDPR1 ? "DPR1" : "DPR2")
       << " pages=" << s.pages << " k=" << s.k << " p=" << s.delivery_p
       << " ops=" << s.ops.size()
-      << (s.warm_start_scale > 0.0 ? " warm" : "");
+      << (s.warm_start_scale > 0.0 ? " warm" : "")
+      << (s.reliable ? " reliable" : "")
+      << (s.latency_jitter > 0.0 ? " jitter" : "");
   return out.str();
 }
 
@@ -83,6 +90,7 @@ int main(int argc, char** argv) {
   bool broken = false;
   bool minimize = true;
   bool quiet = false;
+  bool force_reliable = false;
   std::size_t threads = 2;
   p2prank::check::RunnerOptions ropts;
 
@@ -116,6 +124,8 @@ int main(int argc, char** argv) {
         broken = true;
       } else if (a == "--no-minimize") {
         minimize = false;
+      } else if (a == "--reliable") {
+        force_reliable = true;
       } else if (a == "--quiet") {
         quiet = true;
       } else {
@@ -161,6 +171,10 @@ int main(int argc, char** argv) {
     for (std::uint64_t s = start_seed; s < start_seed + num_seeds; ++s) {
       scenarios.push_back(Scenario::from_seed(s));
     }
+  }
+
+  if (force_reliable) {
+    for (Scenario& s : scenarios) s.reliable = true;
   }
 
   p2prank::util::ThreadPool pool(threads);
