@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,11 +14,33 @@ namespace p2prank::engine {
 EngineOptions DistributedRanking::validated(EngineOptions o) {
   // Field-naming messages: a chaos harness (or a config file) that produces
   // a bad option should learn *which* knob is bad, not just that one is.
+  //
+  // Every EngineOptions/ReliabilityOptions field must be registered here —
+  // either with a range check or, when any value is valid, with an explicit
+  // note. tools/p2plint (rule `engine-options-registry`) fails the build
+  // when a new field is added without a decision in this function.
+  //
+  // Unconstrained fields:
+  //   algorithm                — every enumerator is a valid algorithm
+  //   overlay                  — nullptr = abstract channel; the constructor
+  //                              checks num_nodes() >= k for non-null
+  //   seed                     — any 64-bit seed
+  //   fault_skip_refresh_group — any index; UINT32_MAX (default) = off, an
+  //                              out-of-range index hits no group
   if (!(o.alpha > 0.0 && o.alpha < 1.0)) {
     throw std::invalid_argument("EngineOptions.alpha: must be in (0,1)");
   }
   if (!(o.inner_epsilon > 0.0)) {
     throw std::invalid_argument("EngineOptions.inner_epsilon: must be > 0");
+  }
+  if (o.inner_max_iterations == 0) {
+    throw std::invalid_argument("EngineOptions.inner_max_iterations: must be >= 1");
+  }
+  for (const double e : o.personalization) {
+    if (!(e >= 0.0) || !std::isfinite(e)) {
+      throw std::invalid_argument(
+          "EngineOptions.personalization: entries must be >= 0 and finite");
+    }
   }
   if (!(o.delivery_probability >= 0.0 && o.delivery_probability <= 1.0)) {
     throw std::invalid_argument(
@@ -239,6 +262,8 @@ void DistributedRanking::crash_group(std::uint32_t group) {
     // per-pair epochs are transport-session state and survive (peers keep
     // rejecting stale slices and keep retransmitting *to* it).
     reliable_->reset_sender(group);
+    // p2plint: allow(no-unordered-iteration): predicate erase; no
+    // accumulation, surviving entries are untouched.
     for (auto it = pending_payload_.begin(); it != pending_payload_.end();) {
       if (static_cast<std::uint32_t>(it->first >> 32) == group) {
         it = pending_payload_.erase(it);

@@ -32,6 +32,7 @@
 #include "sim/processes.hpp"
 #include "transport/reliable.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace p2prank::engine {
@@ -275,21 +276,27 @@ class DistributedRanking {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
 
+  // Thread-confinement contract (DESIGN.md §9): the engine runs on one
+  // simulation thread. The only concurrency is inside PageGroup's rank
+  // kernels, which hand `pool_` disjoint index ranges and never touch the
+  // members below; P2P_EXTERNALLY_SYNCHRONIZED marks the state whose
+  // mutation from a pool worker would be a data race.
   const graph::WebGraph& graph_;
   EngineOptions opts_;
   util::ThreadPool& pool_;
-  std::vector<std::unique_ptr<PageGroup>> groups_;
-  std::vector<std::vector<InboxMessage>> inbox_;
-  sim::EventQueue queue_;
-  sim::WaitProcess waits_;
-  sim::LossModel loss_;
-  sim::LossModel ack_loss_;
-  util::Rng jitter_rng_;
+  std::vector<std::unique_ptr<PageGroup>> groups_ P2P_EXTERNALLY_SYNCHRONIZED;
+  std::vector<std::vector<InboxMessage>> inbox_ P2P_EXTERNALLY_SYNCHRONIZED;
+  sim::EventQueue queue_ P2P_EXTERNALLY_SYNCHRONIZED;
+  sim::WaitProcess waits_ P2P_EXTERNALLY_SYNCHRONIZED;
+  sim::LossModel loss_ P2P_EXTERNALLY_SYNCHRONIZED;
+  sim::LossModel ack_loss_ P2P_EXTERNALLY_SYNCHRONIZED;
+  util::Rng jitter_rng_ P2P_EXTERNALLY_SYNCHRONIZED;
   double latency_jitter_ = 0.0;
-  std::optional<transport::ReliableExchange> reliable_;
+  std::optional<transport::ReliableExchange> reliable_ P2P_EXTERNALLY_SYNCHRONIZED;
   /// Buffered newest unacked slice per (src, dst) — shared with in-flight
   /// delivery events so retransmits do not copy the payload.
-  std::unordered_map<std::uint64_t, std::shared_ptr<const YSlice>> pending_payload_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const YSlice>> pending_payload_
+      P2P_EXTERNALLY_SYNCHRONIZED;
   /// Wiring generation: bumped by churn; deliveries stamped with an older
   /// generation carry dest-local indices of dead wiring and are dropped.
   std::uint64_t generation_ = 0;

@@ -141,6 +141,8 @@ void PageGroup::scale_received(std::uint32_t source_group, double factor) {
   }
   const auto it = received_.find(source_group);
   if (it == received_.end()) return;  // never heard from that peer
+  // p2plint: allow(no-unordered-iteration): distinct keys write distinct
+  // x_/forcing_ slots, so the per-entry updates commute bitwise.
   for (auto& [local, value] : it->second) {
     const double decayed = value * factor;
     const double delta = decayed - value;

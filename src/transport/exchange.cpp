@@ -4,11 +4,29 @@
 #include <cassert>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace p2prank::transport {
 
 using overlay::kInvalidNode;
 using overlay::NodeIndex;
+
+namespace {
+
+/// Snapshot an unordered accumulation map as a key-sorted vector. The
+/// forwarding loops below sum floating-point byte counts while walking
+/// these maps; iterating the hash table directly would make those sums
+/// depend on bucket order (an order-nondeterminism hazard — p2plint rule
+/// `no-unordered-iteration`), so every walk goes through this snapshot.
+[[nodiscard]] std::vector<std::pair<NodeIndex, std::uint64_t>> sorted_entries(
+    const std::unordered_map<NodeIndex, std::uint64_t>& m) {
+  std::vector<std::pair<NodeIndex, std::uint64_t>> entries(m.begin(), m.end());
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+}  // namespace
 
 ExchangeDemand::ExchangeDemand(std::uint32_t num_rankers) : out_(num_rankers) {
   if (num_rankers == 0) throw std::invalid_argument("ExchangeDemand: zero rankers");
@@ -45,7 +63,12 @@ TransmissionReport run_direct_exchange(const overlay::Overlay& o,
   std::vector<double> node_out_bytes(demand.num_rankers(), 0.0);
 
   for (NodeIndex src = 0; src < demand.num_rankers(); ++src) {
-    for (const auto& [dst, records] : demand.from(src)) {
+    // Sum in canonical (dst, records) order, not add() order: the report
+    // must be a function of the logical demand, and FP addition does not
+    // commute across reorderings.
+    auto outgoing = demand.from(src);
+    std::sort(outgoing.begin(), outgoing.end());
+    for (const auto& [dst, records] : outgoing) {
       if (!cache_lookups) {
         // Lookup: route a small query along the overlay to dst's id; every
         // hop is one message. (The response travels point-to-point once the
@@ -111,7 +134,7 @@ TransmissionReport run_indirect_exchange(const overlay::Overlay& o,
       auto& held = pending[node];
       if (held.empty()) continue;
       package.clear();
-      for (const auto& [dst, records] : held) {
+      for (const auto& [dst, records] : sorted_entries(held)) {
         const NodeIndex hop = o.next_hop(node, dest_key[dst]);
         // next_hop == invalid would mean the records already sit at their
         // destination; those were delivered on arrival below.
@@ -121,7 +144,7 @@ TransmissionReport run_indirect_exchange(const overlay::Overlay& o,
         report.record_hops += records;
       }
       held.clear();
-      for (const auto& [hop, records] : package) {
+      for (const auto& [hop, records] : sorted_entries(package)) {
         (void)hop;
         const double bytes =
             wire.header_bytes + static_cast<double>(records) * wire.record_bytes;
@@ -141,7 +164,7 @@ TransmissionReport run_indirect_exchange(const overlay::Overlay& o,
       if (!in.empty()) {
         any = true;
         auto& held = pending[node];
-        for (const auto& [dst, records] : in) held[dst] += records;
+        for (const auto& [dst, records] : sorted_entries(in)) held[dst] += records;
       }
       in.clear();
     }

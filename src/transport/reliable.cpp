@@ -125,10 +125,13 @@ Epoch ReliableExchange::pending_epoch(std::uint32_t src, std::uint32_t dst) cons
 }
 
 void ReliableExchange::reset_pending() {
+  // p2plint: allow(no-unordered-iteration): reset_transient touches only
+  // the entry it visits (plus integer counters) — order-independent.
   for (auto& [k, st] : pairs_) reset_transient(st);
 }
 
 void ReliableExchange::reset_sender(std::uint32_t src) {
+  // p2plint: allow(no-unordered-iteration): per-entry reset, as above.
   for (auto& [k, st] : pairs_) {
     if (static_cast<std::uint32_t>(k >> 32) == src) reset_transient(st);
   }

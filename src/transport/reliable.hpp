@@ -42,6 +42,7 @@
 #include <unordered_map>
 
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace p2prank::transport {
 
@@ -161,14 +162,18 @@ class ReliableExchange {
   void clear_suspicion(PairState& st);
   void reset_transient(PairState& st);
 
+  // Thread-confinement contract (DESIGN.md §9): a ReliableExchange belongs
+  // to the simulation thread that owns the engine driving it. Nothing here
+  // is locked; every mutable member below declares that explicitly. The
+  // ThreadPool's fork-join workers must never be handed a reference.
   ReliableOptions opts_;
-  util::Rng rng_;
-  std::unordered_map<std::uint64_t, PairState> pairs_;
-  std::uint64_t duplicates_rejected_ = 0;
-  std::uint64_t zombie_retransmits_ = 0;
-  std::uint64_t suspicion_events_ = 0;
-  std::uint32_t suspected_pairs_ = 0;
-  std::uint64_t pending_pairs_ = 0;
+  util::Rng rng_ P2P_EXTERNALLY_SYNCHRONIZED;  // jitter draws advance state
+  std::unordered_map<std::uint64_t, PairState> pairs_ P2P_EXTERNALLY_SYNCHRONIZED;
+  std::uint64_t duplicates_rejected_ P2P_EXTERNALLY_SYNCHRONIZED = 0;
+  std::uint64_t zombie_retransmits_ P2P_EXTERNALLY_SYNCHRONIZED = 0;
+  std::uint64_t suspicion_events_ P2P_EXTERNALLY_SYNCHRONIZED = 0;
+  std::uint32_t suspected_pairs_ P2P_EXTERNALLY_SYNCHRONIZED = 0;
+  std::uint64_t pending_pairs_ P2P_EXTERNALLY_SYNCHRONIZED = 0;
 };
 
 }  // namespace p2prank::transport

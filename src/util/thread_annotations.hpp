@@ -1,0 +1,137 @@
+// Clang thread-safety annotations + annotated synchronization primitives.
+//
+// The repo's correctness story (bitwise-deterministic fork-join sweeps,
+// runtime theorem checking, replayable chaos traces) rests on two locking
+// disciplines that used to be enforced only by convention:
+//
+//  1. Real concurrency lives in exactly one place — the ThreadPool fork-join
+//     handshake. Its mutex/condvar-protected members carry P2P_GUARDED_BY
+//     so `clang -Wthread-safety -Werror` (the `static` CMake preset with a
+//     clang toolchain; see tools/static_check.sh) rejects off-lock access at
+//     compile time.
+//
+//  2. Everything else — the engine, the reliable exchange, the chaos
+//     harness — is *thread-confined*: it runs on the single simulation
+//     thread and hands work to the pool only through parallel_for's
+//     disjoint-range contract. Members whose mutation from a pool worker
+//     would be a data race are marked P2P_EXTERNALLY_SYNCHRONIZED, which
+//     compiles to nothing but documents the confinement and gives
+//     tools/p2plint an anchor.
+//
+// The macros follow the structure of the official clang thread-safety
+// documentation (and of abseil's thread_annotations.h): they expand to the
+// corresponding `__attribute__` under a compiler that implements it and to
+// nothing elsewhere, so GCC builds are unaffected.
+//
+// libstdc++'s std::mutex is not declared as a capability, so annotating raw
+// std::mutex members does nothing. Use util::Mutex / util::MutexLock below
+// instead; tools/p2plint (rule `mutex-annotations`) rejects raw std::mutex
+// or std::condition_variable members anywhere else in src/.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define P2P_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define P2P_THREAD_ANNOTATION(x)  // no-op under GCC/MSVC
+#endif
+
+/// Declares a class to be a lockable capability ("mutex", "role", ...).
+#define P2P_CAPABILITY(x) P2P_THREAD_ANNOTATION(capability(x))
+
+/// RAII classes that acquire in the constructor and release in the
+/// destructor.
+#define P2P_SCOPED_CAPABILITY P2P_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be read/written while holding the given capability.
+#define P2P_GUARDED_BY(x) P2P_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointed-to data is protected by the capability.
+#define P2P_PT_GUARDED_BY(x) P2P_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it).
+#define P2P_REQUIRES(...) \
+  P2P_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define P2P_ACQUIRE(...) \
+  P2P_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define P2P_RELEASE(...) \
+  P2P_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define P2P_TRY_ACQUIRE(ret, ...) \
+  P2P_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard).
+#define P2P_EXCLUDES(...) P2P_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations.
+#define P2P_ACQUIRED_BEFORE(...) \
+  P2P_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define P2P_ACQUIRED_AFTER(...) \
+  P2P_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define P2P_RETURN_CAPABILITY(x) P2P_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opt a function out of the analysis. Reserved for code that is correct
+/// for protocol reasons the static analysis cannot see (e.g. publication
+/// via the pool's epoch handshake); every use carries a comment saying
+/// which protocol stands in for the lock.
+#define P2P_NO_THREAD_SAFETY_ANALYSIS \
+  P2P_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Documentation-only: the member is mutated without a lock because the
+/// owning object is confined to the simulation thread (DESIGN.md §9). The
+/// marker compiles to nothing; it exists so confinement is declared at the
+/// member that depends on it instead of in a comment three files away.
+#define P2P_EXTERNALLY_SYNCHRONIZED
+
+namespace p2prank::util {
+
+/// std::mutex wrapped as a clang capability so P2P_GUARDED_BY(member) is
+/// enforceable. Satisfies Lockable, so std::unique_lock<Mutex> and
+/// std::condition_variable_any interoperate.
+class P2P_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() P2P_ACQUIRE() { m_.lock(); }
+  void unlock() P2P_RELEASE() { m_.unlock(); }
+  bool try_lock() P2P_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;  // p2plint: allow(mutex-annotations): the one wrapped mutex
+};
+
+/// Condition variable usable with util::Mutex (any Lockable). Waits take a
+/// std::unique_lock<Mutex>, typically via MutexLock::native().
+using CondVar = std::condition_variable_any;
+
+/// RAII lock over util::Mutex, visible to the thread-safety analysis.
+/// `native()` exposes the underlying unique_lock for condition-variable
+/// waits; the capability is considered held across a wait (the analysis
+/// does not model the unlock inside wait(), which is the standard
+/// treatment — the predicate runs with the lock held either way).
+class P2P_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) P2P_ACQUIRE(m) : lock_(m) {}
+  ~MutexLock() P2P_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  [[nodiscard]] std::unique_lock<Mutex>& native() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<Mutex> lock_;
+};
+
+}  // namespace p2prank::util

@@ -24,15 +24,15 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock lock(wake_mutex_);
-      wake_cv_.wait(lock, stop, [this, seen] { return epoch_ != seen; });
+      MutexLock lock(wake_mutex_);
+      wake_cv_.wait(lock.native(), stop, [this, seen] { return epoch_ != seen; });
       if (epoch_ == seen) return;  // stop requested, no further job
       seen = epoch_;
     }
     run_grains();
     // Depart the epoch; the last worker out releases the waiting caller.
     if (departed_.fetch_add(1, std::memory_order_acq_rel) + 1 == workers_.size()) {
-      std::lock_guard lock(done_mutex_);
+      MutexLock lock(done_mutex_);
       done_cv_.notify_one();
     }
   }
@@ -47,7 +47,7 @@ void ThreadPool::run_grains() noexcept {
     try {
       job_fn_(job_ctx_, g, begin, end);
     } catch (...) {
-      std::lock_guard lock(error_mutex_);
+      MutexLock lock(error_mutex_);
       if (!job_error_) job_error_ = std::current_exception();
     }
   }
@@ -55,41 +55,47 @@ void ThreadPool::run_grains() noexcept {
 
 void ThreadPool::dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ctx) {
   // One fork-join in flight at a time; concurrent callers serialize here.
-  std::lock_guard dispatch_lock(dispatch_mutex_);
+  MutexLock dispatch_lock(dispatch_mutex_);
 
   job_fn_ = fn;
   job_ctx_ = ctx;
   job_n_ = n;
   job_grain_ = grain;
   job_num_grains_ = num_grains(n, grain);
-  job_error_ = nullptr;
+  {
+    MutexLock error_lock(error_mutex_);
+    job_error_ = nullptr;
+  }
   next_grain_.store(0, std::memory_order_relaxed);
   departed_.store(0, std::memory_order_relaxed);
 
   {
     // The epoch bump publishes the descriptor: workers read it only after
     // observing the new epoch under the same mutex.
-    std::lock_guard lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     ++epoch_;
   }
   wake_cv_.notify_all();
 
   run_grains();  // the caller is a full participant
 
-  // Wait until every worker has joined and departed this epoch; after that
-  // no thread can still touch the descriptor, so the next dispatch (or the
-  // caller's stack unwinding) is safe.
-  std::unique_lock lock(done_mutex_);
-  done_cv_.wait(lock, [this] {
-    return departed_.load(std::memory_order_acquire) == workers_.size();
-  });
-  lock.unlock();
-
-  if (job_error_) {
-    std::exception_ptr error = job_error_;
-    job_error_ = nullptr;
-    std::rethrow_exception(error);
+  {
+    // Wait until every worker has joined and departed this epoch; after
+    // that no thread can still touch the descriptor, so the next dispatch
+    // (or the caller's stack unwinding) is safe.
+    MutexLock lock(done_mutex_);
+    done_cv_.wait(lock.native(), [this] {
+      return departed_.load(std::memory_order_acquire) == workers_.size();
+    });
   }
+
+  std::exception_ptr error;
+  {
+    MutexLock error_lock(error_mutex_);
+    error = job_error_;
+    job_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::shared() {

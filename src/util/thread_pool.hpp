@@ -20,13 +20,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace p2prank::util {
 
@@ -117,35 +117,43 @@ class ThreadPool {
     return std::max<std::size_t>(1, (n + target - 1) / target);
   }
 
-  void dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ctx);
-  /// Claim and execute grains of the current job until none remain.
-  void run_grains() noexcept;
-  void worker_loop(const std::stop_token& stop);
+  void dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ctx)
+      P2P_EXCLUDES(dispatch_mutex_, wake_mutex_, done_mutex_);
+  /// Claim and execute grains of the current job until none remain. Reads
+  /// the job descriptor without dispatch_mutex_: publication happens via
+  /// the epoch bump under wake_mutex_ (workers) or program order (the
+  /// dispatching caller), a protocol the static analysis cannot see.
+  void run_grains() noexcept P2P_NO_THREAD_SAFETY_ANALYSIS;
+  /// Exempt from analysis for the condition-variable wait: the predicate
+  /// lambda reads epoch_ with wake_mutex_ held by wait(), but the analysis
+  /// does not track capabilities into lambda bodies.
+  void worker_loop(const std::stop_token& stop) P2P_NO_THREAD_SAFETY_ANALYSIS;
 
   // --- Fork-join state (one job at a time; dispatch_mutex_ serializes). ---
-  std::mutex dispatch_mutex_;
+  Mutex dispatch_mutex_;
   // Job descriptor; written by dispatch() before the epoch bump, read by
-  // workers after they observe the new epoch (wake_mutex_ orders both).
-  GrainFn job_fn_ = nullptr;
-  void* job_ctx_ = nullptr;
-  std::size_t job_n_ = 0;
-  std::size_t job_grain_ = 0;
-  std::size_t job_num_grains_ = 0;
-  std::atomic<std::size_t> next_grain_{0};
-  std::atomic<std::size_t> departed_{0};
-  std::exception_ptr job_error_;
-  std::mutex error_mutex_;
+  // workers after they observe the new epoch (wake_mutex_ orders both) —
+  // see run_grains() for why reads are outside the capability.
+  GrainFn job_fn_ P2P_GUARDED_BY(dispatch_mutex_) = nullptr;
+  void* job_ctx_ P2P_GUARDED_BY(dispatch_mutex_) = nullptr;
+  std::size_t job_n_ P2P_GUARDED_BY(dispatch_mutex_) = 0;
+  std::size_t job_grain_ P2P_GUARDED_BY(dispatch_mutex_) = 0;
+  std::size_t job_num_grains_ P2P_GUARDED_BY(dispatch_mutex_) = 0;
+  std::atomic<std::size_t> next_grain_{0};  // atomic: claimed lock-free
+  std::atomic<std::size_t> departed_{0};    // atomic: done-handshake count
+  Mutex error_mutex_;
+  std::exception_ptr job_error_ P2P_GUARDED_BY(error_mutex_);
 
   // Wake handshake: epoch_ counts jobs; every worker joins each epoch
   // exactly once (dispatch_mutex_ prevents a worker missing one).
-  std::mutex wake_mutex_;
-  std::condition_variable_any wake_cv_;
-  std::uint64_t epoch_ = 0;
+  Mutex wake_mutex_;
+  CondVar wake_cv_;
+  std::uint64_t epoch_ P2P_GUARDED_BY(wake_mutex_) = 0;
 
   // Done handshake: the caller waits for all workers to depart the epoch,
   // so no worker can still touch the job descriptor after dispatch returns.
-  std::mutex done_mutex_;
-  std::condition_variable done_cv_;
+  Mutex done_mutex_;
+  CondVar done_cv_;
 
   std::vector<std::jthread> workers_;
 };

@@ -19,6 +19,8 @@ class Stopwatch {
   [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
 
  private:
+  // p2plint: allow(no-wallclock-rng): harness instrumentation is the one
+  // sanctioned wall-clock reader; simulation logic uses virtual time only.
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };

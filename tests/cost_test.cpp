@@ -108,7 +108,7 @@ TEST(Crossover, IndirectWinsBytesOnlyAboveSomeN) {
   const double h_below = pastry_expected_hops(static_cast<double>(n) / 2.0);
   EXPECT_LT(indirect_cost(static_cast<double>(n), paper_pastry_hops(n), p).bytes,
             direct_cost(static_cast<double>(n), paper_pastry_hops(n), p).bytes);
-  EXPECT_GE(direct_cost(n / 2.0, h_below, p).bytes, 0.0);  // sanity
+  EXPECT_GE(direct_cost(static_cast<double>(n) / 2.0, h_below, p).bytes, 0.0);  // sanity
 }
 
 TEST(Crossover, SmallWebMakesDirectCheapEverywhere) {

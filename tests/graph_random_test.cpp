@@ -130,8 +130,8 @@ TEST_P(FamilySweep, MonotoneUnderLoss) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Families, FamilySweep, ::testing::Values(0, 1),
-                         [](const auto& info) {
-                           return info.param == 0 ? "erdos_renyi"
+                         [](const auto& suite_info) {
+                           return suite_info.param == 0 ? "erdos_renyi"
                                                   : "preferential_attachment";
                          });
 

@@ -158,8 +158,8 @@ TEST_P(SyntheticScaleSweep, StatisticsHoldAcrossScales) {
 INSTANTIATE_TEST_SUITE_P(Scales, SyntheticScaleSweep,
                          ::testing::Values(ScaleParam{2000}, ScaleParam{10000},
                                            ScaleParam{40000}),
-                         [](const auto& info) {
-                           return "pages" + std::to_string(info.param.pages);
+                         [](const auto& suite_info) {
+                           return "pages" + std::to_string(suite_info.param.pages);
                          });
 
 struct LocalityParam {
@@ -179,9 +179,9 @@ TEST_P(SyntheticLocalitySweep, IntraSiteKnobIsRespected) {
 INSTANTIATE_TEST_SUITE_P(Locality, SyntheticLocalitySweep,
                          ::testing::Values(LocalityParam{0.5}, LocalityParam{0.7},
                                            LocalityParam{0.95}),
-                         [](const auto& info) {
+                         [](const auto& suite_info) {
                            return "intra" +
-                                  std::to_string(static_cast<int>(info.param.intra * 100));
+                                  std::to_string(static_cast<int>(suite_info.param.intra * 100));
                          });
 
 }  // namespace

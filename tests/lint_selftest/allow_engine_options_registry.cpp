@@ -1,0 +1,12 @@
+// Fixture: suppressing the registry check on a field validated elsewhere.
+struct EngineOptions {
+  double alpha = 0.85;
+  // p2plint: allow(engine-options-registry): checked against the graph in
+  // the constructor, where the page count is known
+  double mystery_knob = 0.0;
+};
+
+EngineOptions validated(EngineOptions o) {
+  if (!(o.alpha > 0.0 && o.alpha < 1.0)) o.alpha = 0.85;
+  return o;
+}

@@ -1,0 +1,9 @@
+// Fixture: suppressing the wrapper requirement at an interop boundary.
+#include <mutex>
+
+class ThirdPartyBridge {
+ private:
+  // p2plint: allow(mutex-annotations): handed to a C callback that takes
+  // std::mutex* — the wrapper cannot cross that ABI
+  std::mutex raw_mutex_;
+};

@@ -1,0 +1,12 @@
+// Fixture: the escape hatch for order-independent walks.
+#include <unordered_map>
+
+void reset_all() {
+  std::unordered_map<int, double> state_by_peer;
+  // p2plint: allow(no-unordered-iteration): per-entry reset, each visit
+  // touches only its own slot — order cannot matter
+  for (auto& [peer, state] : state_by_peer) {
+    (void)peer;
+    state = 0.0;
+  }
+}

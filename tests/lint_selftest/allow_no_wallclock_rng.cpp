@@ -1,0 +1,7 @@
+// Fixture: the escape hatch. Harness instrumentation may read the wall
+// clock when the suppression says why.
+#include <chrono>
+
+// p2plint: allow(no-wallclock-rng): operator-facing stopwatch, not
+// simulation state
+using InstrumentationClock = std::chrono::steady_clock;

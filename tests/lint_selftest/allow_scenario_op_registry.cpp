@@ -1,0 +1,16 @@
+// Fixture: suppressing the registry check for a staged enumerator.
+#include <string_view>
+
+enum class OpKind {
+  kCrash,
+  // p2plint: allow(scenario-op-registry): staged op — codec wiring lands
+  // with the feature PR, the enumerator reserves the trace token
+  kTeleport,
+};
+
+std::string_view op_kind_name(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kCrash: return "crash";
+    default: return "?";
+  }
+}

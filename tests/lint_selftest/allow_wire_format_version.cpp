@@ -1,0 +1,9 @@
+// Fixture: suppressing the version-header check for a throwaway stream.
+#include <ostream>
+
+// p2plint: allow(wire-format-version): debug dump read by humans only,
+// never loaded back
+void save_ranks(std::ostream& out) {
+  out << 0.25 << '\n';
+  out << 0.75 << '\n';
+}

@@ -1,0 +1,12 @@
+// Fixture: an EngineOptions knob added without a decision in validated().
+// Every field needs a range check there, or a comment recording that any
+// value is valid — silent defaults are how bad configs reach production.
+struct EngineOptions {
+  double alpha = 0.85;
+  double mystery_knob = 0.0;
+};
+
+EngineOptions validated(EngineOptions o) {
+  if (!(o.alpha > 0.0 && o.alpha < 1.0)) o.alpha = 0.85;
+  return o;
+}

@@ -1,0 +1,13 @@
+// Fixture: a raw std::mutex member. libstdc++ mutexes carry no capability
+// attributes, so clang's -Wthread-safety cannot check anything guarded by
+// one — util::Mutex + P2P_GUARDED_BY is the project discipline.
+#include <mutex>
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  std::mutex mutex_;
+  long value_ = 0;
+};

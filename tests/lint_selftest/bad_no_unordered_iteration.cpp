@@ -1,0 +1,16 @@
+// Fixture: floating-point accumulation over hash-bucket order — the sum's
+// rounding depends on where entries landed, so two logically identical
+// tables can produce bitwise-different totals.
+#include <unordered_map>
+
+double total_outbound() {
+  std::unordered_map<int, double> bytes_by_peer;
+  bytes_by_peer[3] = 0.1;
+  bytes_by_peer[7] = 0.2;
+  double total = 0.0;
+  for (const auto& [peer, bytes] : bytes_by_peer) {
+    (void)peer;
+    total += bytes;
+  }
+  return total;
+}

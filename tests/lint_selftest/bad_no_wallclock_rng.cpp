@@ -1,0 +1,8 @@
+// Fixture: ambient entropy in simulation code. std::random_device makes a
+// run irreproducible from its seed — p2plint must reject it.
+#include <random>
+
+int entropy_seed() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}

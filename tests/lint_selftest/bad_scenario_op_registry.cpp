@@ -1,0 +1,15 @@
+// Fixture: a chaos op added to the enum but not to the trace codec. A
+// schedule using it could never round-trip through a .trace file.
+#include <string_view>
+
+enum class OpKind {
+  kCrash,
+  kTeleport,
+};
+
+std::string_view op_kind_name(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kCrash: return "crash";
+    default: return "?";
+  }
+}

@@ -1,0 +1,8 @@
+// Fixture: a checkpoint writer with no format version. The loader of this
+// stream can never distinguish "old layout" from "corrupt".
+#include <ostream>
+
+void save_ranks(std::ostream& out) {
+  out << 0.25 << '\n';
+  out << 0.75 << '\n';
+}

@@ -176,9 +176,9 @@ INSTANTIATE_TEST_SUITE_P(Grid, CanSweep,
                          ::testing::Values(DimParam{2, 2}, DimParam{16, 2},
                                            DimParam{256, 2}, DimParam{64, 3},
                                            DimParam{256, 4}, DimParam{512, 8}),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param.n) + "d" +
-                                  std::to_string(info.param.d);
+                         [](const auto& suite_info) {
+                           return "n" + std::to_string(suite_info.param.n) + "d" +
+                                  std::to_string(suite_info.param.d);
                          });
 
 }  // namespace

@@ -142,8 +142,8 @@ INSTANTIATE_TEST_SUITE_P(Sizes, ChordSizeSweep,
                          ::testing::Values(SizeParam{2}, SizeParam{8},
                                            SizeParam{64}, SizeParam{512},
                                            SizeParam{2048}),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param.n);
+                         [](const auto& suite_info) {
+                           return "n" + std::to_string(suite_info.param.n);
                          });
 
 }  // namespace

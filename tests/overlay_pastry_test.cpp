@@ -185,8 +185,8 @@ INSTANTIATE_TEST_SUITE_P(Sizes, PastrySizeSweep,
                          ::testing::Values(SizeParam{2}, SizeParam{16},
                                            SizeParam{64}, SizeParam{256},
                                            SizeParam{1024}, SizeParam{4096}),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param.n);
+                         [](const auto& suite_info) {
+                           return "n" + std::to_string(suite_info.param.n);
                          });
 
 }  // namespace

@@ -176,8 +176,8 @@ TEST_P(SiteCutSweep, CutFractionBoundedByInterSiteLinks) {
 INSTANTIATE_TEST_SUITE_P(Ks, SiteCutSweep,
                          ::testing::Values(CutParam{2}, CutParam{4}, CutParam{16},
                                            CutParam{64}, CutParam{256}),
-                         [](const auto& info) {
-                           return "k" + std::to_string(info.param.k);
+                         [](const auto& suite_info) {
+                           return "k" + std::to_string(suite_info.param.k);
                          });
 
 class CutGrowthSweep : public PartitionFixture,
@@ -194,8 +194,8 @@ TEST_P(CutGrowthSweep, UrlCutFractionApproachesOneMinusOneOverK) {
 INSTANTIATE_TEST_SUITE_P(Ks, CutGrowthSweep,
                          ::testing::Values(CutParam{2}, CutParam{4}, CutParam{8},
                                            CutParam{32}),
-                         [](const auto& info) {
-                           return "k" + std::to_string(info.param.k);
+                         [](const auto& suite_info) {
+                           return "k" + std::to_string(suite_info.param.k);
                          });
 
 }  // namespace

@@ -121,8 +121,8 @@ TEST_P(AitkenPeriodSweep, CorrectAtEveryPeriod) {
 INSTANTIATE_TEST_SUITE_P(Periods, AitkenPeriodSweep,
                          ::testing::Values(PeriodParam{3}, PeriodParam{5},
                                            PeriodParam{8}, PeriodParam{16}),
-                         [](const auto& info) {
-                           return "p" + std::to_string(info.param.period);
+                         [](const auto& suite_info) {
+                           return "p" + std::to_string(suite_info.param.period);
                          });
 
 }  // namespace

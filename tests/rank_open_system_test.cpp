@@ -219,9 +219,9 @@ TEST_P(AlphaSweep, HigherAlphaNeedsMoreIterations) {
 INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
                          ::testing::Values(AlphaParam{0.5}, AlphaParam{0.85},
                                            AlphaParam{0.95}, AlphaParam{0.99}),
-                         [](const auto& info) {
+                         [](const auto& suite_info) {
                            return "a" + std::to_string(
-                                            static_cast<int>(info.param.alpha * 100));
+                                            static_cast<int>(suite_info.param.alpha * 100));
                          });
 
 }  // namespace

@@ -1,0 +1,121 @@
+// Bitwise-determinism regression tests for the exchange simulation.
+//
+// The reports produced by run_{direct,indirect}_exchange must depend only on
+// the *logical* demand (the set of (src, dst, records) triples), never on the
+// order in which ExchangeDemand::add() was called. Insertion order perturbs
+// the bucket order of the unordered maps used internally; before the sorted-
+// snapshot fix in run_indirect_exchange, that reordered the floating-point
+// byte summations and produced bitwise-different data_bytes across logically
+// identical runs. These tests lock in bitwise equality (EXPECT_EQ on double,
+// not EXPECT_NEAR).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "overlay/pastry.hpp"
+#include "transport/exchange.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::transport {
+namespace {
+
+using overlay::NodeIndex;
+
+overlay::PastryOverlay pastry(std::uint32_t n) {
+  overlay::PastryConfig cfg;
+  cfg.num_nodes = n;
+  cfg.seed = 4242;
+  return overlay::PastryOverlay(cfg);
+}
+
+struct Triple {
+  NodeIndex src;
+  NodeIndex dst;
+  std::uint64_t records;
+};
+
+// A sparse, irregular demand: varied record counts so the per-package byte
+// sums are FP values whose summation order would matter if it leaked through.
+std::vector<Triple> sparse_triples(std::uint32_t n) {
+  std::vector<Triple> t;
+  for (NodeIndex s = 0; s < n; ++s) {
+    for (NodeIndex d = 0; d < n; d += 3) {
+      if (s == d) continue;
+      t.push_back({s, d, 1 + ((s * 31ull + d * 7ull) % 13ull)});
+    }
+  }
+  return t;
+}
+
+// Fractional wire sizes: per-package byte sums are then inexact doubles, so
+// any summation-order leak shows up as a bitwise difference. The default
+// WireFormat's integer sizes would mask it (exact FP addition commutes).
+WireFormat fractional_wire() {
+  WireFormat wire;
+  wire.record_bytes = 100.1;
+  wire.lookup_bytes = 50.3;
+  wire.header_bytes = 40.7;
+  return wire;
+}
+
+ExchangeDemand build(std::uint32_t n, const std::vector<Triple>& triples) {
+  ExchangeDemand demand(n);
+  for (const auto& t : triples) demand.add(t.src, t.dst, t.records);
+  return demand;
+}
+
+void expect_bitwise_equal(const TransmissionReport& a, const TransmissionReport& b) {
+  EXPECT_EQ(a.data_messages, b.data_messages);
+  EXPECT_EQ(a.lookup_messages, b.lookup_messages);
+  EXPECT_EQ(a.data_bytes, b.data_bytes);  // bitwise: no EXPECT_NEAR
+  EXPECT_EQ(a.lookup_bytes, b.lookup_bytes);
+  EXPECT_EQ(a.records_delivered, b.records_delivered);
+  EXPECT_EQ(a.record_hops, b.record_hops);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.max_node_out_bytes, b.max_node_out_bytes);
+}
+
+TEST(ExchangeDeterminism, IndirectReportIgnoresAddOrder) {
+  constexpr std::uint32_t kNodes = 48;
+  const auto o = pastry(kNodes);
+  auto triples = sparse_triples(kNodes);
+  const auto baseline = run_indirect_exchange(o, build(kNodes, triples), fractional_wire());
+  EXPECT_GT(baseline.records_delivered, 0u);
+
+  util::Rng rng(7);
+  for (int trial = 0; trial < 4; ++trial) {
+    // Fisher–Yates with the project RNG: a different insertion order each
+    // trial, same logical demand.
+    for (std::size_t i = triples.size(); i > 1; --i) {
+      std::swap(triples[i - 1], triples[rng.below(static_cast<std::uint64_t>(i))]);
+    }
+    const auto shuffled = run_indirect_exchange(o, build(kNodes, triples), fractional_wire());
+    expect_bitwise_equal(baseline, shuffled);
+  }
+}
+
+TEST(ExchangeDeterminism, DirectReportIgnoresAddOrder) {
+  constexpr std::uint32_t kNodes = 32;
+  const auto o = pastry(kNodes);
+  auto triples = sparse_triples(kNodes);
+  const auto baseline = run_direct_exchange(o, build(kNodes, triples), fractional_wire());
+
+  std::reverse(triples.begin(), triples.end());
+  const auto reversed = run_direct_exchange(o, build(kNodes, triples), fractional_wire());
+  expect_bitwise_equal(baseline, reversed);
+}
+
+TEST(ExchangeDeterminism, RepeatedRunsAreBitwiseIdentical) {
+  // Same demand object run twice: the simulation must be pure.
+  constexpr std::uint32_t kNodes = 32;
+  const auto o = pastry(kNodes);
+  const auto demand = build(kNodes, sparse_triples(kNodes));
+  const auto first = run_indirect_exchange(o, demand, fractional_wire());
+  const auto second = run_indirect_exchange(o, demand, fractional_wire());
+  expect_bitwise_equal(first, second);
+}
+
+}  // namespace
+}  // namespace p2prank::transport

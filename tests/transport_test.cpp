@@ -186,8 +186,8 @@ TEST_P(ScalingSweep, IndirectMessagesScaleFarBelowDirect) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, ScalingSweep,
                          ::testing::Values(NParam{16}, NParam{64}, NParam{256}),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param.n);
+                         [](const auto& suite_info) {
+                           return "n" + std::to_string(suite_info.param.n);
                          });
 
 }  // namespace

@@ -29,10 +29,12 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/scenario_fuzz \
   --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-tsan --quiet
 echo "TSan: chaos-scenario smoke corpus clean"
 
-# Same corpus under ASan (heap-use-after-free / overflow), both on the
+# Same corpus under ASan + UBSan (heap-use-after-free / overflow, plus
+# -fsanitize=float-divide-by-zero,float-cast-overflow — rank math divides
+# by degree sums and casts scores to counters, so silent inf/NaN or a
+# truncating cast would corrupt results without crashing), both on the
 # scenarios' own channel configurations and with the reliable layer forced
-# on, so every retransmit/ack/churn code path runs under the allocator
-# checks.
+# on, so every retransmit/ack/churn code path runs under the checks.
 cmake --preset asan
 cmake --build --preset asan --target scenario_fuzz -j"$(nproc)"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
