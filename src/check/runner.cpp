@@ -12,6 +12,9 @@
 #include "engine/reference.hpp"
 #include "graph/graph_updates.hpp"
 #include "graph/synthetic_web.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/partitioner.hpp"
 #include "util/rng.hpp"
 
@@ -136,6 +139,10 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   eo.reliability.retransmit = s.reliable;
   eo.stability_epsilon = s.stability_epsilon;
   eo.seed = s.engine_seed;
+  // Observability pass-through: pure observation, so every code path below
+  // is identical with or without sinks attached (DESIGN.md §11).
+  eo.metrics = opts_.metrics;
+  eo.tracer = opts_.tracer;
   if (opts_.break_skip_refresh) {
     eo.fault_skip_refresh_group = largest_group(assignment, s.k);
   }
@@ -172,6 +179,12 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   ScenarioResult result;
   double offset = 0.0;  // global time = offset + sim->now() (graph rebuilds
                         // start a fresh engine clock)
+  std::uint64_t* obs_ops_applied = nullptr;
+  std::uint64_t* obs_samples = nullptr;
+  if (opts_.metrics != nullptr) {
+    obs_ops_applied = &opts_.metrics->counter(obs::names::kCheckOpsApplied);
+    obs_samples = &opts_.metrics->counter(obs::names::kCheckSamples);
+  }
   std::string checkpoint;
   // Thm 4.1 bookkeeping: the state is "consistent" (a sub-solution of the
   // current graph's operator, so ranks grow monotonically) until a crash;
@@ -191,12 +204,24 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
       (void)sim->run(next - offset, interval);
       checker->check_sample(result.violations);
       ++result.samples_checked;
+      if (obs_samples != nullptr) ++*obs_samples;
+      if (opts_.tracer != nullptr) {
+        opts_.tracer->instant(obs::names::kTraceSample, offset + sim->now(), 0,
+                              {}, static_cast<double>(result.violations.size()));
+      }
     }
   };
 
   for (const ScheduleOp& op : s.ops) {
     if (result.violations.size() >= opts_.max_violations) break;
     advance_to(std::min(op.time, s.active_time));
+    if (obs_ops_applied != nullptr) ++*obs_ops_applied;
+    if (opts_.tracer != nullptr) {
+      // Fault injections become trace instants on the target group's track,
+      // so a trace shows *why* residuals moved, not just that they did.
+      opts_.tracer->instant(obs::names::kTraceChaosOp, offset + sim->now(),
+                            op.group, op_kind_name(op.kind), op.value);
+    }
     switch (op.kind) {
       case OpKind::kCrash:
         if (op.group < s.k) {
@@ -301,6 +326,11 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
     }
   }
   advance_to(s.active_time);
+  const double active_end = offset + sim->now();
+  if (opts_.tracer != nullptr) {
+    opts_.tracer->complete(obs::names::kTracePhase, 0.0, active_end, 0,
+                           "active");
+  }
 
   // Loss-free, fault-free tail: every theorem-abiding configuration must
   // now converge to the centralized ranks.
@@ -337,6 +367,10 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   }
 
   result.end_time = offset + sim->now();
+  if (opts_.tracer != nullptr && result.end_time > active_end) {
+    opts_.tracer->complete(obs::names::kTracePhase, active_end,
+                           result.end_time - active_end, 0, "tail");
+  }
   result.messages_sent = sim->messages_sent();
   result.messages_lost = sim->messages_lost();
   result.retransmissions = sim->retransmissions();

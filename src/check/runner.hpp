@@ -26,6 +26,11 @@
 #include "check/scenario.hpp"
 #include "util/thread_pool.hpp"
 
+namespace p2prank::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace p2prank::obs
+
 namespace p2prank::check {
 
 struct RunnerOptions {
@@ -42,6 +47,12 @@ struct RunnerOptions {
   /// group never refreshes X) — the checker MUST flag the run.
   bool break_skip_refresh = false;
   double alpha = 0.85;
+  /// Optional observability sinks (DESIGN.md §11). Pure observation: a run
+  /// with and without them produces bitwise-identical results. The runner
+  /// forwards both into the engine it builds and additionally records the
+  /// chaos schedule itself (fault ops as trace instants, op/sample counts).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ScenarioResult {

@@ -7,9 +7,25 @@
 #include <stdexcept>
 
 #include "engine/checkpoint.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "transport/exchange.hpp"
 #include "util/stats.hpp"
 
 namespace p2prank::engine {
+
+namespace {
+
+/// Wire cost of one Y-slice message under the §4.5 format (40-byte
+/// envelope + ~100 bytes per <url_from, url_to, score> record). The
+/// engine ships record *counts*, not payloads; this prices them.
+[[nodiscard]] double slice_wire_bytes(std::uint64_t records) {
+  constexpr transport::WireFormat kWire{};
+  return kWire.header_bytes + static_cast<double>(records) * kWire.record_bytes;
+}
+
+}  // namespace
 
 EngineOptions DistributedRanking::validated(EngineOptions o) {
   // Field-naming messages: a chaos harness (or a config file) that produces
@@ -27,6 +43,10 @@ EngineOptions DistributedRanking::validated(EngineOptions o) {
   //   seed                     — any 64-bit seed
   //   fault_skip_refresh_group — any index; UINT32_MAX (default) = off, an
   //                              out-of-range index hits no group
+  //   metrics                  — nullptr (default) = metrics off; any
+  //                              registry, must outlive the engine
+  //   tracer                   — nullptr (default) = tracing off; any
+  //                              tracer, must outlive the engine
   if (!(o.alpha > 0.0 && o.alpha < 1.0)) {
     throw std::invalid_argument("EngineOptions.alpha: must be in (0,1)");
   }
@@ -144,6 +164,7 @@ DistributedRanking::DistributedRanking(const graph::WebGraph& g,
   }
 
   build_groups(assignment);
+  init_obs();
 
   // --- Kick off every non-empty ranker --------------------------------------
   stable_flag_.assign(k, 0);
@@ -152,6 +173,42 @@ DistributedRanking::DistributedRanking(const graph::WebGraph& g,
   records_per_group_.assign(k, 0);
   for (std::uint32_t grp = 0; grp < k; ++grp) {
     if (groups_[grp]->size() > 0) schedule_step(grp);
+  }
+}
+
+void DistributedRanking::init_obs() {
+  obs::MetricsRegistry* m = opts_.metrics;
+  if (m == nullptr) return;
+  namespace names = obs::names;
+  obs_.outer_steps = &m->counter(names::kEngineOuterSteps);
+  obs_.inner_sweeps = &m->counter(names::kEngineInnerSweeps);
+  obs_.messages_sent = &m->counter(names::kEngineMessagesSent);
+  obs_.messages_lost = &m->counter(names::kEngineMessagesLost);
+  obs_.deliveries = &m->counter(names::kEngineDeliveries);
+  obs_.records_sent = &m->counter(names::kEngineRecordsSent);
+  obs_.record_hops = &m->counter(names::kEngineRecordHops);
+  obs_.churn_events = &m->counter(names::kEngineChurnEvents);
+  obs_.retransmissions = &m->counter(names::kTransportRetransmissions);
+  obs_.retransmit_records = &m->counter(names::kTransportRetransmitRecords);
+  obs_.acks_sent = &m->counter(names::kTransportAcksSent);
+  obs_.acks_delivered = &m->counter(names::kTransportAcksDelivered);
+  obs_.duplicates_rejected = &m->counter(names::kTransportDuplicatesRejected);
+  obs_.suspicions = &m->counter(names::kTransportSuspicions);
+  obs_.data_bytes = &m->gauge(names::kEngineDataBytes);
+  obs_.retransmit_bytes = &m->gauge(names::kTransportRetransmitBytes);
+  obs_.slice_records = &m->log2_histogram(names::kEngineSliceRecords);
+  obs_.inner_iterations = &m->log2_histogram(names::kEngineInnerIterations);
+  // Residuals span ~[1, 1e-16] over a run; bin the log10 so late-
+  // convergence structure is visible. -inf (a bit-identical step) clamps
+  // into the first bin by the LinearHistogram contract.
+  obs_.step_residual =
+      &m->linear_histogram(names::kEngineStepResidualLog10, -18.0, 2.0, 40);
+  const auto k = static_cast<std::uint32_t>(groups_.size());
+  obs_.group_outer_steps.reserve(k);
+  obs_.group_residual.reserve(k);
+  for (std::uint32_t grp = 0; grp < k; ++grp) {
+    obs_.group_outer_steps.push_back(&m->counter(names::kEngineGroupOuterSteps, grp));
+    obs_.group_residual.push_back(&m->gauge(names::kEngineGroupResidual, grp));
   }
 }
 
@@ -331,6 +388,10 @@ void DistributedRanking::apply_churn(std::span<const std::uint32_t> assignment) 
   stable_count_ = 0;
 
   ++churn_events_;
+  if (obs_.churn_events != nullptr) ++*obs_.churn_events;
+  if (opts_.tracer != nullptr) {
+    opts_.tracer->instant(obs::names::kTraceChurn, queue_.now());
+  }
   for (std::uint32_t grp = 0; grp < groups_.size(); ++grp) {
     if (groups_[grp]->size() > 0 && paused_[grp] == 0 && active_[grp] == 0) {
       schedule_step(grp);
@@ -426,20 +487,34 @@ void DistributedRanking::send_slice(std::uint32_t src, std::uint32_t dst,
   ++messages_sent_;
   records_sent_ += slice.record_count;
   records_per_group_[src] += slice.record_count;
+  if (obs_.messages_sent != nullptr) {
+    ++*obs_.messages_sent;
+    *obs_.records_sent += slice.record_count;
+    *obs_.data_bytes += slice_wire_bytes(slice.record_count);
+    obs_.slice_records->add(slice.record_count);
+  }
 
   if (!reliable_) {
     // The paper's fire-and-forget channel (bit-compatible with the
     // pre-reliability engine: one loss draw per send, commit on delivery).
     if (!loss_.delivered()) {
       ++messages_lost_;
+      if (obs_.messages_lost != nullptr) ++*obs_.messages_lost;
       return;
     }
     if (opts_.send_threshold > 0.0) groups_[src]->commit_sent(dst, slice);
     const double delay = delivery_delay(src, dst);
     if (opts_.overlay != nullptr) {
-      record_hops_ += slice.record_count * hop_cache_[pair_key(src, dst)];
+      const std::uint64_t hops = slice.record_count * hop_cache_[pair_key(src, dst)];
+      record_hops_ += hops;
+      if (obs_.record_hops != nullptr) *obs_.record_hops += hops;
+    }
+    if (opts_.tracer != nullptr) {
+      opts_.tracer->complete(obs::names::kTraceMsgFlight, queue_.now(), delay, dst,
+                             {}, static_cast<double>(slice.record_count));
     }
     if (delay <= 0.0) {
+      if (obs_.deliveries != nullptr) ++*obs_.deliveries;
       inbox_[dst].emplace_back(src, std::move(slice));
     } else {
       // Move the slice into the event closure; it lands in the inbox when
@@ -450,6 +525,7 @@ void DistributedRanking::send_slice(std::uint32_t src, std::uint32_t dst,
       const std::uint64_t gen = generation_;
       queue_.schedule_in(delay, [this, dst, src, shared, gen] {
         if (gen != generation_) return;
+        if (obs_.deliveries != nullptr) ++*obs_.deliveries;
         inbox_[dst].emplace_back(src, std::move(*shared));
       });
     }
@@ -467,7 +543,10 @@ void DistributedRanking::send_slice(std::uint32_t src, std::uint32_t dst,
   }
 
   const bool delivered = loss_.delivered();
-  if (!delivered) ++messages_lost_;
+  if (!delivered) {
+    ++messages_lost_;
+    if (obs_.messages_lost != nullptr) ++*obs_.messages_lost;
+  }
   if (delivered) {
     if (opts_.send_threshold > 0.0 && !opts_.reliability.retransmit) {
       // Without retransmission the loss draw above is the only delivery
@@ -477,7 +556,14 @@ void DistributedRanking::send_slice(std::uint32_t src, std::uint32_t dst,
     }
     const double delay = delivery_delay(src, dst);
     if (opts_.overlay != nullptr) {
-      record_hops_ += payload->record_count * hop_cache_[pair_key(src, dst)];
+      const std::uint64_t hops =
+          payload->record_count * hop_cache_[pair_key(src, dst)];
+      record_hops_ += hops;
+      if (obs_.record_hops != nullptr) *obs_.record_hops += hops;
+    }
+    if (opts_.tracer != nullptr) {
+      opts_.tracer->complete(obs::names::kTraceMsgFlight, queue_.now(), delay, dst,
+                             {}, static_cast<double>(payload->record_count));
     }
     const std::uint64_t gen = generation_;
     if (delay <= 0.0) {
@@ -506,17 +592,22 @@ void DistributedRanking::deliver(std::uint32_t src, std::uint32_t dst,
   }
   const bool fresh = reliable_->accept(src, dst, epoch);
   if (fresh) {
+    if (obs_.deliveries != nullptr) ++*obs_.deliveries;
     inbox_[dst].emplace_back(src, std::move(slice));
+  } else if (obs_.duplicates_rejected != nullptr) {
+    ++*obs_.duplicates_rejected;
   }
   // Ack even a rejected duplicate — the ack is cumulative (it carries the
   // receiver's accept high-water mark), so it also repairs a lost earlier
   // ack. Acks ride their own lossy channel.
   ++acks_sent_;
+  if (obs_.acks_sent != nullptr) ++*obs_.acks_sent;
   if (!ack_loss_.delivered()) return;
   const transport::Epoch value = reliable_->accepted_epoch(src, dst);
   const double delay = opts_.reliability.ack_latency;
   auto apply_ack = [this, src, dst, value] {
     ++acks_delivered_;
+    if (obs_.acks_delivered != nullptr) ++*obs_.acks_delivered;
     if (reliable_->on_ack(src, dst, value)) {
       // Cleared the pending epoch: the buffered payload is now known
       // delivered — commit it for delta-sending and drop it.
@@ -563,6 +654,7 @@ void DistributedRanking::on_retransmit_timer(std::uint32_t src, std::uint32_t ds
       if (opts_.reliability.suspect_decay < 1.0) {
         groups_[src]->scale_received(dst, opts_.reliability.suspect_decay);
       }
+      if (obs_.suspicions != nullptr) ++*obs_.suspicions;
       return;
     case transport::ReliableExchange::TimerVerdict::kRetransmit:
       break;
@@ -572,14 +664,27 @@ void DistributedRanking::on_retransmit_timer(std::uint32_t src, std::uint32_t ds
   const std::shared_ptr<const YSlice> payload = it->second;
   ++retransmissions_;
   ++messages_sent_;
-  records_sent_ += payload->record_count;
-  records_per_group_[src] += payload->record_count;
+  // Accounting fix: a retransmit re-ships the *same* logical records, so it
+  // must not inflate records_sent_ / records_per_group_ / record_hops_ —
+  // those feed the §4.5 cost model's W and h·l·W, which price logical
+  // records, not channel attempts. (It used to, overstating the cost model
+  // by exactly the loss-driven retransmit rate.) Re-shipped records and
+  // their wire bytes are tallied apart as overhead.
+  retransmit_records_ += payload->record_count;
+  if (obs_.retransmissions != nullptr) {
+    ++*obs_.retransmissions;
+    ++*obs_.messages_sent;
+    *obs_.retransmit_records += payload->record_count;
+    *obs_.retransmit_bytes += slice_wire_bytes(payload->record_count);
+  }
   if (!loss_.delivered()) {
     ++messages_lost_;
+    if (obs_.messages_lost != nullptr) ++*obs_.messages_lost;
   } else {
     const double delay = delivery_delay(src, dst);
-    if (opts_.overlay != nullptr) {
-      record_hops_ += payload->record_count * hop_cache_[pair_key(src, dst)];
+    if (opts_.tracer != nullptr) {
+      opts_.tracer->complete(obs::names::kTraceRetransmit, queue_.now(), delay, dst,
+                             {}, static_cast<double>(payload->record_count));
     }
     const std::uint64_t gen = generation_;
     if (delay <= 0.0) {
@@ -614,36 +719,61 @@ void DistributedRanking::run_step(std::uint32_t group) {
 
   const bool detect = opts_.stability_epsilon > 0.0;
   const bool dpr1 = opts_.algorithm == Algorithm::kDPR1;
+  // Observability also wants the per-step residual; measuring it never
+  // feeds back into the algorithm, so turning metrics on cannot change
+  // results — only add the measurement cost.
+  const bool want_residual =
+      detect || obs_.step_residual != nullptr || opts_.tracer != nullptr;
   // DPR2's single sweep reports its own fused residual, so only DPR1's
   // multi-sweep solve needs a before-snapshot to measure the step delta.
-  if (detect && dpr1) {
+  if (want_residual && dpr1) {
     const auto r = pg.ranks();
     step_scratch_.assign(r.begin(), r.end());
   }
 
   // Compute R.
   if (dpr1) {
-    inner_sweeps_ += pg.solve_to_convergence(opts_.inner_epsilon,
-                                             opts_.inner_max_iterations, pool_);
+    const std::size_t used = pg.solve_to_convergence(opts_.inner_epsilon,
+                                                     opts_.inner_max_iterations,
+                                                     pool_);
+    inner_sweeps_ += used;
+    if (obs_.inner_sweeps != nullptr) {
+      *obs_.inner_sweeps += used;
+      obs_.inner_iterations->add(used);
+    }
   } else {
     pg.sweep_once(pool_);
     ++inner_sweeps_;
+    if (obs_.inner_sweeps != nullptr) ++*obs_.inner_sweeps;
   }
   pg.count_outer_step();
+  if (obs_.outer_steps != nullptr) {
+    ++*obs_.outer_steps;
+    ++*obs_.group_outer_steps[group];
+  }
 
-  if (detect) {
-    // Report this step's stability to the coordinator (reliable control
-    // message; the simulator applies it immediately).
+  if (want_residual) {
     const double delta = dpr1 ? util::l1_distance(pg.ranks(), step_scratch_)
                               : pg.last_sweep_delta();
-    const bool stable = delta <= opts_.stability_epsilon;
-    ++status_messages_;
-    if (stable != (stable_flag_[group] != 0)) {
-      stable_flag_[group] = stable ? 1 : 0;
-      stable_count_ += stable ? 1 : -1;
+    if (obs_.step_residual != nullptr) {
+      obs_.step_residual->add(std::log10(delta));
+      *obs_.group_residual[group] = delta;
     }
-    if (!termination_detected() && stable_count_ == nonempty_) {
-      termination_time_ = queue_.now();
+    if (opts_.tracer != nullptr) {
+      opts_.tracer->instant(obs::names::kTraceStep, queue_.now(), group, {}, delta);
+    }
+    if (detect) {
+      // Report this step's stability to the coordinator (reliable control
+      // message; the simulator applies it immediately).
+      const bool stable = delta <= opts_.stability_epsilon;
+      ++status_messages_;
+      if (stable != (stable_flag_[group] != 0)) {
+        stable_flag_[group] = stable ? 1 : 0;
+        stable_count_ += stable ? 1 : -1;
+      }
+      if (!termination_detected() && stable_count_ == nonempty_) {
+        termination_time_ = queue_.now();
+      }
     }
   }
 
@@ -756,6 +886,7 @@ ConvergenceResult DistributedRanking::run_until_error(double threshold,
   result.messages_sent = messages_sent_;
   result.messages_lost = messages_lost_;
   result.records_sent = records_sent_;
+  result.retransmit_records = retransmit_records_;
   result.retransmissions = retransmissions_;
   result.acks_sent = acks_sent_;
   result.duplicates_rejected = duplicates_rejected();

@@ -31,6 +31,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/processes.hpp"
 #include "transport/reliable.hpp"
+#include "util/histogram.hpp"
 #include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
@@ -177,7 +178,17 @@ class DistributedRanking {
   [[nodiscard]] std::uint32_t nonempty_groups() const noexcept { return nonempty_; }
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   [[nodiscard]] std::uint64_t messages_lost() const noexcept { return messages_lost_; }
+  /// Fresh Y-slice records only — the paper's W (and the W inside §4.5's
+  /// D_dt/D_it). Retransmitted copies of a buffered slice are accounted in
+  /// retransmit_records(), never here: a retransmit re-ships bytes, it does
+  /// not create new logical records, and counting it here would inflate the
+  /// cost model exactly when the channel is lossy.
   [[nodiscard]] std::uint64_t records_sent() const noexcept { return records_sent_; }
+  /// Records re-shipped by the reliable layer's retransmit timers (0 with
+  /// fire-and-forget). Overhead traffic, kept apart from records_sent().
+  [[nodiscard]] std::uint64_t retransmit_records() const noexcept {
+    return retransmit_records_;
+  }
   /// Σ records × overlay hops, the D_it = h·l·W quantity (full-stack mode
   /// only; 0 with the abstract channel).
   [[nodiscard]] std::uint64_t record_hops() const noexcept { return record_hops_; }
@@ -260,6 +271,7 @@ class DistributedRanking {
   void build_groups(std::span<const std::uint32_t> assignment);
   void schedule_step(std::uint32_t group);
   void run_step(std::uint32_t group);
+  void init_obs();
 
   // Reliable-exchange plumbing.
   void send_slice(std::uint32_t src, std::uint32_t dst, YSlice slice);
@@ -310,6 +322,7 @@ class DistributedRanking {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_lost_ = 0;
   std::uint64_t records_sent_ = 0;
+  std::uint64_t retransmit_records_ = 0;
   std::uint64_t inner_sweeps_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t acks_sent_ = 0;
@@ -331,6 +344,35 @@ class DistributedRanking {
   // Full-stack mode: cached overlay hop counts per (src group, dst group).
   std::unordered_map<std::uint64_t, std::uint32_t> hop_cache_;
   std::uint64_t record_hops_ = 0;
+
+  // Observability hooks (EngineOptions::metrics/tracer; DESIGN.md §11).
+  // Registry cells are resolved once at construction — std::map nodes are
+  // stable — so the hot path pays one null check + increment per metric.
+  // All-null when metrics is off.
+  struct ObsHooks {
+    std::uint64_t* outer_steps = nullptr;
+    std::uint64_t* inner_sweeps = nullptr;
+    std::uint64_t* messages_sent = nullptr;
+    std::uint64_t* messages_lost = nullptr;
+    std::uint64_t* deliveries = nullptr;
+    std::uint64_t* records_sent = nullptr;
+    std::uint64_t* record_hops = nullptr;
+    std::uint64_t* churn_events = nullptr;
+    std::uint64_t* retransmissions = nullptr;
+    std::uint64_t* retransmit_records = nullptr;
+    std::uint64_t* acks_sent = nullptr;
+    std::uint64_t* acks_delivered = nullptr;
+    std::uint64_t* duplicates_rejected = nullptr;
+    std::uint64_t* suspicions = nullptr;
+    double* data_bytes = nullptr;
+    double* retransmit_bytes = nullptr;
+    util::Log2Histogram* slice_records = nullptr;
+    util::Log2Histogram* inner_iterations = nullptr;
+    util::LinearHistogram* step_residual = nullptr;
+    std::vector<std::uint64_t*> group_outer_steps;
+    std::vector<double*> group_residual;
+  };
+  ObsHooks obs_ P2P_EXTERNALLY_SYNCHRONIZED;
 
   [[nodiscard]] double delivery_delay(std::uint32_t src, std::uint32_t dst);
 

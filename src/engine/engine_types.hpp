@@ -7,6 +7,11 @@
 #include "overlay/overlay.hpp"
 #include "transport/reliable.hpp"
 
+namespace p2prank::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace p2prank::obs
+
 namespace p2prank::engine {
 
 // (The paper's Section 3: "The case when E is not uniform over pages can be
@@ -134,6 +139,14 @@ struct EngineOptions {
   /// leaves the engine correct.
   std::uint32_t fault_skip_refresh_group = UINT32_MAX;
 
+  /// Observability (DESIGN.md §11): when non-null, the engine publishes its
+  /// counters/gauges/histograms into this registry and emits virtual-time
+  /// trace events into this tracer. Both must outlive the engine. Pure
+  /// observation — enabling them never changes rank results, RNG streams,
+  /// or event ordering. nullptr (default) = off, zero overhead.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+
   std::uint64_t seed = 7;
 };
 
@@ -160,8 +173,11 @@ struct ConvergenceResult {
   std::uint64_t max_outer_steps = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_lost = 0;
-  std::uint64_t records_sent = 0;  ///< cut-link <from,to,score> records
+  std::uint64_t records_sent = 0;  ///< fresh cut-link <from,to,score> records
   /// Reliable-exchange traffic (0 with the fire-and-forget channel).
+  /// Retransmitted records are accounted here, never in records_sent — the
+  /// §4.5 cost model's W is fresh records only.
+  std::uint64_t retransmit_records = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t duplicates_rejected = 0;

@@ -1,0 +1,94 @@
+// MetricsRegistry: named counters, gauges, and histograms with a
+// deterministic, sorted-key JSON snapshot.
+//
+// Determinism contract (DESIGN.md §11):
+//  - The registry is confined to the simulation thread; nothing in it is
+//    synchronized. Pool workers never touch a registry — pool-side tallies
+//    are exported after a join via export_pool_metrics().
+//  - Iteration is sorted (std::map), so gauge sums and JSON key order are
+//    a function of the metric names alone, never of insertion order.
+//  - Metrics that legitimately vary across pool sizes (chunk counts, claim
+//    races) go in the `counter_unstable` family, which the default
+//    snapshot excludes — everything else must be bitwise-identical across
+//    pool sizes and across repeated runs of the same seed.
+//  - Names come from src/obs/metric_names.hpp (p2plint rule
+//    `metric-name-registry`); snapshot keys are API.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/histogram.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2prank::obs {
+
+/// Schema tag stamped into every snapshot ("schema" key). Bump on any
+/// change to the JSON layout, not on new metric names.
+inline constexpr std::string_view kMetricsSchema = "p2prank-metrics-v1";
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create. The returned reference stays valid for the registry's
+  /// lifetime (std::map nodes are stable), so hot paths should call once
+  /// and cache the pointer.
+  std::uint64_t& counter(std::string_view name);
+  /// Indexed family member, keyed "<name>.<index>" (per ranker group etc).
+  std::uint64_t& counter(std::string_view name, std::uint32_t index);
+  /// Counter excluded from the default snapshot: its value may depend on
+  /// the thread-pool size or on benign claim races.
+  std::uint64_t& counter_unstable(std::string_view name);
+
+  double& gauge(std::string_view name);
+  double& gauge(std::string_view name, std::uint32_t index);
+
+  util::Log2Histogram& log2_histogram(std::string_view name);
+  /// Get-or-create; throws std::invalid_argument if `name` already exists
+  /// with different (lo, hi, bins).
+  util::LinearHistogram& linear_histogram(std::string_view name, double lo, double hi,
+                                          std::size_t bins);
+
+  /// Read-only lookups for tests/reporting: value or 0/0.0 if absent.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+
+  /// Sorted-key JSON snapshot. Doubles print with max_digits10 precision
+  /// in the classic locale, so equal doubles produce equal bytes.
+  void write_json(std::ostream& out, bool include_unstable = false) const;
+  [[nodiscard]] std::string snapshot(bool include_unstable = false) const;
+
+ private:
+  struct LinearSpec {
+    double lo;
+    double hi;
+    std::size_t bins;
+    util::LinearHistogram hist;
+  };
+
+  // Transparent comparator: lookups by string_view without allocating.
+  template <typename T>
+  using Map = std::map<std::string, T, std::less<>>;
+
+  Map<std::uint64_t> counters_ P2P_EXTERNALLY_SYNCHRONIZED;
+  Map<std::uint64_t> unstable_counters_ P2P_EXTERNALLY_SYNCHRONIZED;
+  Map<double> gauges_ P2P_EXTERNALLY_SYNCHRONIZED;
+  Map<util::Log2Histogram> log2_ P2P_EXTERNALLY_SYNCHRONIZED;
+  Map<LinearSpec> linear_ P2P_EXTERNALLY_SYNCHRONIZED;
+};
+
+/// Export fork-join tallies into `m` after a join: the pool-size-independent
+/// family (calls, indices, fixed grains) as regular counters, the
+/// pool-dependent family (dispatches, worker claims) as unstable counters
+/// excluded from the default snapshot. Sets, not adds — call once when the
+/// run finishes. Pool stats count from pool *construction*; when the pool
+/// outlives the measured run (the shared pool, back-to-back determinism
+/// runs), export the interval instead: snapshot stats() at run start and
+/// pass `pool.stats() - before`.
+void export_pool_metrics(const util::ThreadPool::Stats& stats, MetricsRegistry& m);
+void export_pool_metrics(const util::ThreadPool& pool, MetricsRegistry& m);
+
+}  // namespace p2prank::obs

@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <locale>
+#include <ostream>
+#include <sstream>
+
+namespace p2prank::obs {
+
+// Pin the wire-format version in the file that implements the writer: an
+// edit to the event JSON below must come with a schema bump here.
+static_assert(kTraceSchema == "p2prank-trace-v1");
+
+namespace {
+
+/// Virtual seconds -> Chrome trace microseconds, printed shortest-round-trip
+/// in the classic locale (deterministic bytes for equal doubles).
+void write_us(std::ostream& out, double seconds) {
+  std::ostringstream s;
+  s.imbue(std::locale::classic());
+  s << std::setprecision(std::numeric_limits<double>::max_digits10)
+    << seconds * 1e6;
+  out << s.str();
+}
+
+void write_json_string(std::ostream& out, std::string_view str) {
+  out << '"';
+  for (const char c : str) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t max_events) : max_events_(max_events) {}
+
+void Tracer::instant(std::string_view name, double t, std::uint32_t tid,
+                     std::string_view detail, double value) {
+  complete(name, t, -1.0, tid, detail, value);
+}
+
+void Tracer::complete(std::string_view name, double t_begin, double duration,
+                      std::uint32_t tid, std::string_view detail, double value) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{std::string(name), std::string(detail), t_begin, duration,
+                          value, tid});
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : events_) {
+    out << (first ? "\n" : ",\n") << "  {\"name\": ";
+    first = false;
+    write_json_string(out, e.name);
+    out << ", \"ph\": \"" << (e.dur < 0.0 ? 'i' : 'X') << "\", \"ts\": ";
+    write_us(out, e.t);
+    if (e.dur >= 0.0) {
+      out << ", \"dur\": ";
+      write_us(out, e.dur);
+    } else {
+      out << ", \"s\": \"t\"";  // instant scope: thread
+    }
+    out << ", \"pid\": 1, \"tid\": " << e.tid << ", \"args\": {\"value\": ";
+    {
+      std::ostringstream s;
+      s.imbue(std::locale::classic());
+      s << std::setprecision(std::numeric_limits<double>::max_digits10) << e.value;
+      out << s.str();
+    }
+    if (!e.detail.empty()) {
+      out << ", \"detail\": ";
+      write_json_string(out, e.detail);
+    }
+    out << "}}";
+  }
+  out << "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"schema\": \""
+      << kTraceSchema << "\", \"dropped\": " << dropped_ << "}\n}\n";
+}
+
+}  // namespace p2prank::obs

@@ -1,0 +1,64 @@
+// Virtual-time event tracer: spans and instants keyed to sim::EventQueue
+// time, exported as Chrome/Perfetto trace-event JSON (chrome://tracing,
+// https://ui.perfetto.dev). Part of the observability contract
+// (DESIGN.md §11): timestamps are simulation time only — never wall
+// clock — so a trace is a pure function of (scenario, seed) and two runs
+// of the same seed produce byte-identical traces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace p2prank::obs {
+
+/// Schema tag stamped into the trace's otherData block.
+inline constexpr std::string_view kTraceSchema = "p2prank-trace-v1";
+
+class Tracer {
+ public:
+  /// `max_events` bounds memory; events past the cap are counted in
+  /// dropped() and not recorded (the cap is part of the determinism
+  /// contract: it depends only on the event sequence, never on timing).
+  explicit Tracer(std::size_t max_events = 1u << 20);
+
+  /// Point event at virtual time `t`. `name` must be a names::k* constant;
+  /// `detail` is free-form (shown as args.detail), `value` a numeric
+  /// payload (args.value), `tid` the logical lane (ranker group id).
+  void instant(std::string_view name, double t, std::uint32_t tid = 0,
+               std::string_view detail = {}, double value = 0.0);
+
+  /// Complete span [t_begin, t_begin + duration] on lane `tid` — e.g. a
+  /// message's flight from send to delivery.
+  void complete(std::string_view name, double t_begin, double duration,
+                std::uint32_t tid = 0, std::string_view detail = {},
+                double value = 0.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Chrome trace-event JSON ("traceEvents" array, ts/dur in microseconds
+  /// of virtual time). Deterministic: events appear in record order, and
+  /// the simulation's event loop is deterministic.
+  void write_chrome_json(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string detail;
+    double t;
+    double dur;  // <0 for instants
+    double value;
+    std::uint32_t tid;
+  };
+
+  std::size_t max_events_;
+  std::uint64_t dropped_ P2P_EXTERNALLY_SYNCHRONIZED = 0;
+  std::vector<Event> events_ P2P_EXTERNALLY_SYNCHRONIZED;
+};
+
+}  // namespace p2prank::obs

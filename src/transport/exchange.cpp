@@ -7,12 +7,36 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+
 namespace p2prank::transport {
 
 using overlay::kInvalidNode;
 using overlay::NodeIndex;
 
 namespace {
+
+/// Publish a finished round's totals under the exchange.* names. Additive,
+/// so several rounds into one registry accumulate; pass one registry per
+/// scheme when comparing direct vs indirect.
+void export_report(obs::MetricsRegistry* m, const TransmissionReport& r) {
+  if (m == nullptr) return;
+  namespace names = obs::names;
+  m->counter(names::kExchangeDataMessages) += r.data_messages;
+  m->counter(names::kExchangeLookupMessages) += r.lookup_messages;
+  m->counter(names::kExchangeRecordsDelivered) += r.records_delivered;
+  m->counter(names::kExchangeRecordHops) += r.record_hops;
+  m->counter(names::kExchangeRounds) += r.rounds;
+  m->gauge(names::kExchangeDataBytes) += r.data_bytes;
+  m->gauge(names::kExchangeLookupBytes) += r.lookup_bytes;
+}
+
+/// Per-data-message size histogram cell, or nullptr when metrics are off.
+[[nodiscard]] util::Log2Histogram* message_bytes_hist(obs::MetricsRegistry* m) {
+  return m == nullptr ? nullptr
+                      : &m->log2_histogram(obs::names::kExchangeMessageBytes);
+}
 
 /// Snapshot an unordered accumulation map as a key-sorted vector. The
 /// forwarding loops below sum floating-point byte counts while walking
@@ -54,10 +78,12 @@ ExchangeDemand ExchangeDemand::all_pairs(std::uint32_t num_rankers,
 
 TransmissionReport run_direct_exchange(const overlay::Overlay& o,
                                        const ExchangeDemand& demand,
-                                       const WireFormat& wire, bool cache_lookups) {
+                                       const WireFormat& wire, bool cache_lookups,
+                                       obs::MetricsRegistry* metrics) {
   if (o.num_nodes() < demand.num_rankers()) {
     throw std::invalid_argument("direct exchange: overlay smaller than ranker set");
   }
+  util::Log2Histogram* msg_hist = message_bytes_hist(metrics);
   TransmissionReport report;
   report.rounds = 1;
   std::vector<double> node_out_bytes(demand.num_rankers(), 0.0);
@@ -87,20 +113,24 @@ TransmissionReport run_direct_exchange(const overlay::Overlay& o,
       node_out_bytes[src] += bytes;
       report.records_delivered += records;
       report.record_hops += records;  // one network transfer each
+      if (msg_hist != nullptr) msg_hist->add(static_cast<std::uint64_t>(bytes));
     }
   }
   report.max_node_out_bytes =
       *std::max_element(node_out_bytes.begin(), node_out_bytes.end());
+  export_report(metrics, report);
   return report;
 }
 
 TransmissionReport run_indirect_exchange(const overlay::Overlay& o,
                                          const ExchangeDemand& demand,
-                                         const WireFormat& wire) {
+                                         const WireFormat& wire,
+                                         obs::MetricsRegistry* metrics) {
   const std::uint32_t n = demand.num_rankers();
   if (o.num_nodes() < n) {
     throw std::invalid_argument("indirect exchange: overlay smaller than ranker set");
   }
+  util::Log2Histogram* msg_hist = message_bytes_hist(metrics);
   // Routed packages may pass through overlay nodes that host no ranker, so
   // the forwarding state spans the whole overlay.
   const auto overlay_n = static_cast<std::uint32_t>(o.num_nodes());
@@ -151,6 +181,7 @@ TransmissionReport run_indirect_exchange(const overlay::Overlay& o,
         report.data_messages += 1;
         report.data_bytes += bytes;
         node_out_bytes[node] += bytes;
+        if (msg_hist != nullptr) msg_hist->add(static_cast<std::uint64_t>(bytes));
       }
     }
     for (NodeIndex node = 0; node < overlay_n; ++node) {
@@ -174,6 +205,7 @@ TransmissionReport run_indirect_exchange(const overlay::Overlay& o,
       node_out_bytes.empty()
           ? 0.0
           : *std::max_element(node_out_bytes.begin(), node_out_bytes.end());
+  export_report(metrics, report);
   return report;
 }
 

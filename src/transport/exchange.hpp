@@ -27,6 +27,10 @@
 
 #include "overlay/overlay.hpp"
 
+namespace p2prank::obs {
+class MetricsRegistry;
+}
+
 namespace p2prank::transport {
 
 /// Sparse demand matrix: how many score records each source ranker must
@@ -75,6 +79,13 @@ struct TransmissionReport {
   std::uint64_t rounds = 0;
   /// Largest per-node outbound byte count — the bottleneck-bandwidth driver.
   double max_node_out_bytes = 0.0;
+  /// Bytes re-shipped by a reliability layer. Always 0 here: the one-shot
+  /// exchange simulations model a loss-free synchronous round, so
+  /// data_bytes is exactly the §4.5 D quantity. The field exists so every
+  /// consumer of a report sees the fresh/retransmit split explicitly — the
+  /// engine's reliable layer accounts its re-shipped bytes in the
+  /// `transport.retransmit_bytes` metric, never by inflating data bytes.
+  double retransmit_bytes = 0.0;
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept {
     return data_messages + lookup_messages;
@@ -87,15 +98,18 @@ struct TransmissionReport {
 /// Direct transmission of one exchange round. When `cache_lookups` is true
 /// the destination addresses are assumed known (lookup cost zero) — an
 /// ablation of how much of direct transmission's cost is lookups.
-[[nodiscard]] TransmissionReport run_direct_exchange(const overlay::Overlay& o,
-                                                     const ExchangeDemand& demand,
-                                                     const WireFormat& wire,
-                                                     bool cache_lookups = false);
+/// A non-null `metrics` additionally receives the report's totals under
+/// the exchange.* names plus a per-message byte-size histogram
+/// (DESIGN.md §11); pass one registry per scheme to compare runs.
+[[nodiscard]] TransmissionReport run_direct_exchange(
+    const overlay::Overlay& o, const ExchangeDemand& demand, const WireFormat& wire,
+    bool cache_lookups = false, obs::MetricsRegistry* metrics = nullptr);
 
 /// Indirect transmission of one exchange round: synchronized forwarding
 /// rounds; per round every holding node packs per-next-hop packages.
-[[nodiscard]] TransmissionReport run_indirect_exchange(const overlay::Overlay& o,
-                                                       const ExchangeDemand& demand,
-                                                       const WireFormat& wire);
+/// `metrics` as in run_direct_exchange.
+[[nodiscard]] TransmissionReport run_indirect_exchange(
+    const overlay::Overlay& o, const ExchangeDemand& demand, const WireFormat& wire,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace p2prank::transport

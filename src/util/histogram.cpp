@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace p2prank::util {
 
 void Log2Histogram::add(std::uint64_t value) noexcept {
-  // Bucket index: 0 for value 0, else floor(log2(value)) + 1, so bucket i>0
-  // covers [2^{i-1}, 2^i).
-  const std::size_t idx = value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  // Bucket index: 0 for values 0 and 1, else floor(log2(value)) =
+  // bit_width(value) - 1, so bucket i>=1 covers [2^i, 2^{i+1}).
+  const std::size_t idx =
+      value <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(value)) - 1;
   if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
   ++buckets_[idx];
   ++total_;
@@ -22,30 +25,49 @@ std::uint64_t Log2Histogram::bucket(std::size_t i) const noexcept {
 }
 
 std::uint64_t Log2Histogram::bucket_floor(std::size_t i) noexcept {
-  return i == 0 ? 0 : (1ULL << (i - 1));
+  return i == 0 ? 0 : (1ULL << i);
+}
+
+std::uint64_t Log2Histogram::bucket_ceil(std::size_t i) noexcept {
+  if (i == 0) return 1;
+  if (i >= 63) return std::numeric_limits<std::uint64_t>::max();
+  return (1ULL << (i + 1)) - 1;
 }
 
 std::string Log2Histogram::to_string() const {
   std::ostringstream out;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) continue;
-    const std::uint64_t lo = bucket_floor(i);
-    const std::uint64_t hi = i == 0 ? 0 : (1ULL << i) - 1;
-    out << '[' << lo << ", " << hi << "]: " << buckets_[i] << '\n';
+    out << '[' << bucket_floor(i) << ", " << bucket_ceil(i) << "]: " << buckets_[i]
+        << '\n';
   }
   return out.str();
 }
 
 LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+    : lo_(lo), width_(0.0), counts_(bins, 0) {
+  // Validate before deriving the bin width: dividing by bins == 0 would
+  // trip the float-divide-by-zero sanitizer before the throw.
   if (bins == 0) throw std::invalid_argument("LinearHistogram: bins must be > 0");
   if (!(hi > lo)) throw std::invalid_argument("LinearHistogram: hi must exceed lo");
+  width_ = (hi - lo) / static_cast<double>(bins);
 }
 
 void LinearHistogram::add(double value) noexcept {
-  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / width_);
-  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  if (std::isnan(value)) {
+    // NaN compares false with everything; clamping it into a bin would hide
+    // upstream bugs, and casting it to an integer index is UB. Tally apart.
+    ++nan_count_;
+    return;
+  }
+  const double pos = (value - lo_) / width_;
+  std::size_t bin = 0;
+  if (pos >= static_cast<double>(counts_.size())) {
+    bin = counts_.size() - 1;  // +inf and high outliers clamp into the last bin
+  } else if (pos > 0.0) {
+    bin = static_cast<std::size_t>(pos);
+  }  // -inf and low outliers stay in bin 0
+  ++counts_[bin];
   ++total_;
 }
 

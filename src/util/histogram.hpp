@@ -9,9 +9,12 @@
 
 namespace p2prank::util {
 
-/// Integer histogram with power-of-two buckets: bucket i counts values in
-/// [2^i, 2^{i+1}) (bucket 0 also holds value 0). Suited to heavy-tailed
-/// web-graph degree distributions.
+/// Integer histogram with power-of-two buckets. Bucket 0 counts values in
+/// [0, 1]; bucket i >= 1 counts values in [2^i, 2^{i+1}). Equivalently,
+/// a value v > 1 lands in bucket floor(log2(v)) = bit_width(v) - 1, so
+/// UINT64_MAX lands in bucket 63. Suited to heavy-tailed web-graph degree
+/// distributions. (`add`, `bucket_floor`, and `to_string` all follow this
+/// one convention; tests/util_histogram_table_test.cpp pins the edges.)
 class Log2Histogram {
  public:
   void add(std::uint64_t value) noexcept;
@@ -20,8 +23,11 @@ class Log2Histogram {
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept;
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 
-  /// Lower bound of bucket i (0 for bucket 0, else 2^{i-1}... see add()).
+  /// Lower bound of bucket i: 0 for bucket 0, else 2^i (i <= 63).
   [[nodiscard]] static std::uint64_t bucket_floor(std::size_t i) noexcept;
+  /// Upper bound (inclusive) of bucket i: 1 for bucket 0, else 2^{i+1}-1
+  /// (saturating to UINT64_MAX for bucket 63).
+  [[nodiscard]] static std::uint64_t bucket_ceil(std::size_t i) noexcept;
 
   /// Multi-line ASCII rendering (one row per non-empty bucket).
   [[nodiscard]] std::string to_string() const;
@@ -31,8 +37,11 @@ class Log2Histogram {
   std::uint64_t total_ = 0;
 };
 
-/// Fixed-width histogram over [lo, hi) with `bins` equal bins; out-of-range
-/// values clamp into the first/last bin.
+/// Fixed-width histogram over [lo, hi) with `bins` equal bins. Finite
+/// out-of-range values (including +/-infinity) clamp into the first/last
+/// bin; NaN is never binned — it is tallied separately in `nan_count()`
+/// (casting NaN to an integer bin index would be undefined behaviour).
+/// Construction requires hi > lo and bins > 0.
 class LinearHistogram {
  public:
   LinearHistogram(double lo, double hi, std::size_t bins);
@@ -41,7 +50,11 @@ class LinearHistogram {
 
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept;
+  /// Binned samples only; NaN samples are excluded (see nan_count()).
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Number of NaN samples passed to add().
+  [[nodiscard]] std::uint64_t nan_count() const noexcept { return nan_count_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
   [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
 
@@ -50,6 +63,7 @@ class LinearHistogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_count_ = 0;
 };
 
 }  // namespace p2prank::util

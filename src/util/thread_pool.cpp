@@ -29,7 +29,7 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
       if (epoch_ == seen) return;  // stop requested, no further job
       seen = epoch_;
     }
-    run_grains();
+    run_grains(/*worker=*/true);
     // Depart the epoch; the last worker out releases the waiting caller.
     if (departed_.fetch_add(1, std::memory_order_acq_rel) + 1 == workers_.size()) {
       MutexLock lock(done_mutex_);
@@ -38,10 +38,12 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
   }
 }
 
-void ThreadPool::run_grains() noexcept {
+void ThreadPool::run_grains(bool worker) noexcept {
+  std::uint64_t claimed = 0;
   for (;;) {
     const std::size_t g = next_grain_.fetch_add(1, std::memory_order_relaxed);
-    if (g >= job_num_grains_) return;
+    if (g >= job_num_grains_) break;
+    ++claimed;
     const std::size_t begin = g * job_grain_;
     const std::size_t end = std::min(job_n_, begin + job_grain_);
     try {
@@ -50,6 +52,11 @@ void ThreadPool::run_grains() noexcept {
       MutexLock lock(error_mutex_);
       if (!job_error_) job_error_ = std::current_exception();
     }
+  }
+  // One amortized add per join, not per grain, and only for workers: the
+  // caller's claims are whatever the workers did not take.
+  if (worker && claimed != 0) {
+    worker_claims_.fetch_add(claimed, std::memory_order_relaxed);
   }
 }
 
@@ -68,6 +75,7 @@ void ThreadPool::dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ct
   }
   next_grain_.store(0, std::memory_order_relaxed);
   departed_.store(0, std::memory_order_relaxed);
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
 
   {
     // The epoch bump publishes the descriptor: workers read it only after
@@ -77,7 +85,7 @@ void ThreadPool::dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ct
   }
   wake_cv_.notify_all();
 
-  run_grains();  // the caller is a full participant
+  run_grains(/*worker=*/false);  // the caller is a full participant
 
   {
     // Wait until every worker has joined and departed this epoch; after
@@ -96,6 +104,17 @@ void ThreadPool::dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ct
     job_error_ = nullptr;
   }
   if (error) std::rethrow_exception(error);
+}
+
+ThreadPool::Stats ThreadPool::stats() const noexcept {
+  Stats s;
+  s.parallel_for_calls = parallel_for_calls_.load(std::memory_order_relaxed);
+  s.grained_calls = grained_calls_.load(std::memory_order_relaxed);
+  s.indices = indices_.load(std::memory_order_relaxed);
+  s.fixed_grains = fixed_grains_.load(std::memory_order_relaxed);
+  s.dispatches = dispatches_.load(std::memory_order_relaxed);
+  s.worker_claims = worker_claims_.load(std::memory_order_relaxed);
+  return s;
 }
 
 ThreadPool& ThreadPool::shared() {

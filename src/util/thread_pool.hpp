@@ -41,6 +41,37 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Fork-join tallies, split by determinism (DESIGN.md §11). The first
+  /// family is a pure function of the work submitted — identical across
+  /// pool sizes — because grained decompositions depend only on (n, grain)
+  /// and the inline path walks the same grains as a dispatch. The second
+  /// family is not: plain parallel_for chunking and the inline-vs-dispatch
+  /// decision depend on the pool size, and grain claims race benignly
+  /// between workers and the caller.
+  struct Stats {
+    // Deterministic across pool sizes.
+    std::uint64_t parallel_for_calls = 0;
+    std::uint64_t grained_calls = 0;
+    std::uint64_t indices = 0;       ///< total n over all calls
+    std::uint64_t fixed_grains = 0;  ///< sum of num_grains(n, grain), grained calls
+    // Pool-size-dependent (obs exports these as unstable counters).
+    std::uint64_t dispatches = 0;     ///< fork-joins that actually woke workers
+    std::uint64_t worker_claims = 0;  ///< grains executed by workers (not caller)
+
+    /// Per-interval tallies: stats() counts from pool construction, so a
+    /// run measured on a shared pool subtracts its start-of-run snapshot.
+    friend Stats operator-(Stats a, const Stats& b) noexcept {
+      a.parallel_for_calls -= b.parallel_for_calls;
+      a.grained_calls -= b.grained_calls;
+      a.indices -= b.indices;
+      a.fixed_grains -= b.fixed_grains;
+      a.dispatches -= b.dispatches;
+      a.worker_claims -= b.worker_claims;
+      return a;
+    }
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
   /// Below this many indices a dispatch is not worth the fork-join wakeup:
   /// the body runs inline on the caller. Keeps micro-sweeps (1-page groups,
   /// tiny partitions) from paying broadcast + barrier cost per call.
@@ -60,6 +91,8 @@ class ThreadPool {
   template <typename F>
   void parallel_for(std::size_t n, const F& fn) {
     if (n == 0) return;
+    parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
+    indices_.fetch_add(n, std::memory_order_relaxed);
     if (n < kInlineCutoff || workers_.size() <= 1) {
       fn(std::size_t{0}, n);
       return;
@@ -78,6 +111,9 @@ class ThreadPool {
     if (n == 0) return;
     if (grain == 0) grain = 1;
     const std::size_t total = num_grains(n, grain);
+    grained_calls_.fetch_add(1, std::memory_order_relaxed);
+    indices_.fetch_add(n, std::memory_order_relaxed);
+    fixed_grains_.fetch_add(total, std::memory_order_relaxed);
     if (n < kInlineCutoff || workers_.size() <= 1 || total <= 1) {
       // Inline path still walks the exact grain decomposition so fused
       // kernels see identical per-grain partials with or without dispatch.
@@ -123,7 +159,7 @@ class ThreadPool {
   /// the job descriptor without dispatch_mutex_: publication happens via
   /// the epoch bump under wake_mutex_ (workers) or program order (the
   /// dispatching caller), a protocol the static analysis cannot see.
-  void run_grains() noexcept P2P_NO_THREAD_SAFETY_ANALYSIS;
+  void run_grains(bool worker) noexcept P2P_NO_THREAD_SAFETY_ANALYSIS;
   /// Exempt from analysis for the condition-variable wait: the predicate
   /// lambda reads epoch_ with wake_mutex_ held by wait(), but the analysis
   /// does not track capabilities into lambda bodies.
@@ -141,6 +177,17 @@ class ThreadPool {
   std::size_t job_num_grains_ P2P_GUARDED_BY(dispatch_mutex_) = 0;
   std::atomic<std::size_t> next_grain_{0};  // atomic: claimed lock-free
   std::atomic<std::size_t> departed_{0};    // atomic: done-handshake count
+
+  // Fork-join tallies (see Stats). Atomic so a pool shared across caller
+  // threads stays race-free; all increments/reads are relaxed — these are
+  // statistics, not synchronization.
+  std::atomic<std::uint64_t> parallel_for_calls_{0};
+  std::atomic<std::uint64_t> grained_calls_{0};
+  std::atomic<std::uint64_t> indices_{0};
+  std::atomic<std::uint64_t> fixed_grains_{0};
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<std::uint64_t> worker_claims_{0};
+
   Mutex error_mutex_;
   std::exception_ptr job_error_ P2P_GUARDED_BY(error_mutex_);
 

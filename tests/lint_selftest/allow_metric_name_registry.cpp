@@ -1,0 +1,19 @@
+// Fixture: the suppression path, plus the intended pattern (a registry
+// constant at the call site) which must lint clean without a pragma.
+#include <cstdint>
+#include <string_view>
+
+namespace names {
+inline constexpr std::string_view kSteps = "engine.steps";
+}
+
+struct Registry {
+  std::uint64_t& counter(std::string_view name);
+};
+
+void record_step(Registry& m) {
+  m.counter(names::kSteps) += 1;
+  // p2plint: allow(metric-name-registry): throwaway name in a debugging
+  // harness that never reaches a snapshot consumers diff
+  m.counter("debug.scratch") += 1;
+}

@@ -1,0 +1,11 @@
+// Fixture: an ad-hoc string literal naming a metric at the call site.
+// Snapshot keys are API — every name must come from the registry header
+// (src/obs/metric_names.hpp), never be minted inline.
+#include <cstdint>
+#include <string_view>
+
+struct Registry {
+  std::uint64_t& counter(std::string_view name);
+};
+
+void record_step(Registry& m) { m.counter("engine.adhoc_steps") += 1; }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "util/histogram.hpp"
@@ -19,19 +20,65 @@ TEST(Log2Histogram, ZeroGoesToBucketZero) {
 
 TEST(Log2Histogram, PowersLandInDistinctBuckets) {
   Log2Histogram h;
-  h.add(1);   // bucket 1: [1,1]
-  h.add(2);   // bucket 2: [2,3]
-  h.add(3);   // bucket 2
-  h.add(4);   // bucket 3: [4,7]
-  EXPECT_EQ(h.bucket(1), 1u);
-  EXPECT_EQ(h.bucket(2), 2u);
-  EXPECT_EQ(h.bucket(3), 1u);
+  h.add(1);   // bucket 0: [0,1]
+  h.add(2);   // bucket 1: [2,3]
+  h.add(3);   // bucket 1
+  h.add(4);   // bucket 2: [4,7]
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
 }
 
 TEST(Log2Histogram, BucketFloor) {
   EXPECT_EQ(Log2Histogram::bucket_floor(0), 0u);
-  EXPECT_EQ(Log2Histogram::bucket_floor(1), 1u);
-  EXPECT_EQ(Log2Histogram::bucket_floor(4), 8u);
+  EXPECT_EQ(Log2Histogram::bucket_floor(1), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_floor(4), 16u);
+}
+
+// Regression: the class comment, add(), bucket_floor(), and to_string()
+// used to disagree on whether bucket i covered [2^i, 2^{i+1}) or
+// [2^{i-1}, 2^i). Pin the exact edges of the one convention (bucket 0 =
+// [0,1], bucket i>=1 = [2^i, 2^{i+1})) for the boundary-sensitive values.
+TEST(Log2Histogram, PinnedBucketEdges) {
+  struct Case {
+    std::uint64_t value;
+    std::size_t bucket;
+  };
+  const Case cases[] = {
+      {0u, 0u},
+      {1u, 0u},
+      {2u, 1u},
+      {(1ULL << 10) - 1, 9u},   // 2^k - 1 belongs below the 2^k edge
+      {1ULL << 10, 10u},        // 2^k starts bucket k
+      {(1ULL << 32) - 1, 31u},
+      {1ULL << 32, 32u},
+      {std::numeric_limits<std::uint64_t>::max(), 63u},
+  };
+  for (const auto& c : cases) {
+    Log2Histogram h;
+    h.add(c.value);
+    EXPECT_EQ(h.bucket(c.bucket), 1u) << "value " << c.value;
+    EXPECT_EQ(h.total(), 1u);
+    // The landing bucket's [floor, ceil] range must actually contain the value.
+    EXPECT_GE(c.value, Log2Histogram::bucket_floor(c.bucket)) << "value " << c.value;
+    EXPECT_LE(c.value, Log2Histogram::bucket_ceil(c.bucket)) << "value " << c.value;
+    // ...and the adjacent buckets' ranges must not.
+    if (c.bucket > 0) {
+      EXPECT_GT(c.value, Log2Histogram::bucket_ceil(c.bucket - 1))
+          << "value " << c.value;
+    }
+    if (c.bucket < 63) {
+      EXPECT_LT(c.value, Log2Histogram::bucket_floor(c.bucket + 1))
+          << "value " << c.value;
+    }
+  }
+}
+
+TEST(Log2Histogram, BucketCeilSaturates) {
+  EXPECT_EQ(Log2Histogram::bucket_ceil(0), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_ceil(1), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_ceil(62), (1ULL << 63) - 1);
+  EXPECT_EQ(Log2Histogram::bucket_ceil(63), std::numeric_limits<std::uint64_t>::max());
 }
 
 TEST(Log2Histogram, OutOfRangeBucketReadsZero) {
@@ -68,6 +115,31 @@ TEST(LinearHistogram, ClampsOutOfRange) {
   h.add(100.0);
   EXPECT_EQ(h.count(0), 1u);
   EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(LinearHistogram, InfinitiesClampIntoEdgeBins) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.nan_count(), 0u);
+}
+
+// Regression: NaN used to be cast straight to an integer bin index (UB,
+// float-cast-overflow) and silently clamped into bin 0. It now goes to a
+// separate tally and never perturbs the binned counts.
+TEST(LinearHistogram, NanIsTalliedSeparately) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 1u);
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    EXPECT_EQ(h.count(b), b == 2 ? 1u : 0u);
+  }
 }
 
 TEST(LinearHistogram, BinBounds) {

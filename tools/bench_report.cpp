@@ -23,12 +23,19 @@
 // and appends virtual convergence time plus the full message accounting
 // (retransmissions, acks, duplicate rejections, retransmit overhead) to
 // BENCH_reliability.json with schema "p2prank-reliability-bench-v1".
+//
+// --obs measures the observability tax (DESIGN.md §11): the same engine run
+// — DPR2 on the standard 50k-page graph, advanced span by span of virtual
+// time — once bare and once with a MetricsRegistry + Tracer attached, and
+// appends both wall-clock timings plus the overhead ratio to BENCH_obs.json
+// with schema "p2prank-obs-bench-v1". The contract is overhead < 5%.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +43,8 @@
 #include "engine/distributed.hpp"
 #include "engine/reference.hpp"
 #include "graph/synthetic_web.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rank/link_matrix.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -65,6 +74,8 @@ struct Options {
   std::uint32_t k = 16;
   double error_threshold = 1e-8;
   double max_time = 20000.0;
+  // --obs mode.
+  bool obs = false;
 };
 
 /// Best-of-`repetitions` timing of one sweep variant: each repetition runs
@@ -276,6 +287,98 @@ int run_reliability_bench(const Options& opts) {
   return 0;
 }
 
+// --- Observability overhead benchmark ----------------------------------------
+
+std::string render_obs_run(const Options& opts, std::size_t edges,
+                           std::size_t pool_threads, double span,
+                           double baseline_ns, double instrumented_ns,
+                           const p2prank::obs::Tracer& tracer) {
+  const double overhead = instrumented_ns / baseline_ns - 1.0;
+  std::ostringstream os;
+  os.precision(6);
+  os << "    {\n";
+  os << "      \"label\": \"" << json_escape(opts.label) << "\",\n";
+  os << "      \"pages\": " << opts.pages << ",\n";
+  os << "      \"edges\": " << edges << ",\n";
+  os << "      \"k\": " << opts.k << ",\n";
+  os << "      \"graph_seed\": " << opts.seed << ",\n";
+  os << "      \"alpha\": " << opts.alpha << ",\n";
+  os << "      \"pool_threads\": " << pool_threads << ",\n";
+  os << "      \"span_virtual_time\": " << span << ",\n";
+  os << "      \"baseline_ns_per_span\": " << baseline_ns << ",\n";
+  os << "      \"instrumented_ns_per_span\": " << instrumented_ns << ",\n";
+  os << "      \"overhead\": " << overhead << ",\n";
+  os << "      \"trace_events\": " << tracer.size() << ",\n";
+  os << "      \"trace_dropped\": " << tracer.dropped() << "\n";
+  os << "    }";
+  return os.str();
+}
+
+int run_obs_bench(const Options& opts) {
+  const auto g = graph::generate_synthetic_web(
+      graph::google2002_config(opts.pages, opts.seed));
+  auto& pool = util::ThreadPool::shared();
+  // Round-robin partition, as in the reliability bench: this measures the
+  // observability tax, not partition quality.
+  std::vector<std::uint32_t> assignment(g.num_pages());
+  for (std::uint32_t p = 0; p < g.num_pages(); ++p) assignment[p] = p % opts.k;
+  const std::vector<double> reference =
+      engine::open_system_reference(g, opts.alpha, pool);
+
+  const auto make_engine = [&](p2prank::obs::MetricsRegistry* m,
+                               p2prank::obs::Tracer* t) {
+    engine::EngineOptions eo;
+    eo.algorithm = engine::Algorithm::kDPR2;
+    eo.alpha = opts.alpha;
+    eo.seed = opts.seed ^ 0x0b5e55ULL;
+    eo.metrics = m;
+    eo.tracer = t;
+    auto sim = std::make_unique<engine::DistributedRanking>(g, assignment,
+                                                            opts.k, eo, pool);
+    sim->set_reference(reference);
+    return sim;
+  };
+
+  // Each body call advances its engine by the same span of virtual time.
+  // The sweep/exchange timers keep firing whether or not the run has
+  // converged, so every span does the same simulated work — exactly the
+  // steady-state hot path the <5% overhead contract covers.
+  constexpr double kSpan = 10.0;
+  p2prank::obs::MetricsRegistry metrics;
+  p2prank::obs::Tracer tracer;
+  auto baseline = make_engine(nullptr, nullptr);
+  auto instrumented = make_engine(&metrics, &tracer);
+  double base_t = 0.0;
+  double instr_t = 0.0;
+  const double baseline_ns = time_variant(opts, [&] {
+    base_t += kSpan;
+    (void)baseline->run(base_t, kSpan);
+  });
+  const double instrumented_ns = time_variant(opts, [&] {
+    instr_t += kSpan;
+    (void)instrumented->run(instr_t, kSpan);
+  });
+  p2prank::obs::export_pool_metrics(pool, metrics);
+
+  std::size_t edges = 0;
+  for (graph::PageId u = 0; u < g.num_pages(); ++u) edges += g.out_degree(u);
+  const double overhead = instrumented_ns / baseline_ns - 1.0;
+  std::cout << "graph: " << opts.pages << " pages, " << edges << " edges; k="
+            << opts.k << "; pool " << pool.size() << " thread(s)\n"
+            << "  bare:         " << baseline_ns / 1e6 << " ms per " << kSpan
+            << " virtual time units\n"
+            << "  instrumented: " << instrumented_ns / 1e6 << " ms per " << kSpan
+            << " virtual time units\n"
+            << "  overhead:     " << overhead * 100.0 << "% ("
+            << tracer.size() << " trace events, " << tracer.dropped()
+            << " dropped)\n";
+  write_report(opts.out, "p2prank-obs-bench-v1",
+               render_obs_run(opts, edges, pool.size(), kSpan, baseline_ns,
+                              instrumented_ns, tracer));
+  std::cout << "appended run \"" << opts.label << "\" to " << opts.out << "\n";
+  return 0;
+}
+
 Options parse_args(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
@@ -303,6 +406,8 @@ Options parse_args(int argc, char** argv) {
       opts.out = need_value("--out");
     } else if (arg == "--reliability") {
       opts.reliability = true;
+    } else if (arg == "--obs") {
+      opts.obs = true;
     } else if (arg == "--k") {
       opts.k = static_cast<std::uint32_t>(std::stoul(need_value("--k")));
     } else if (arg == "--error-threshold") {
@@ -314,14 +419,21 @@ Options parse_args(int argc, char** argv) {
                    "[--reps R] [--min-rep-seconds T] [--label L] [--out FILE]\n"
                    "       bench_report --reliability [--pages N] [--k K] "
                    "[--seed S] [--error-threshold E] [--max-time T] "
-                   "[--label L] [--out FILE]\n";
+                   "[--label L] [--out FILE]\n"
+                   "       bench_report --obs [--pages N] [--k K] [--seed S] "
+                   "[--reps R] [--label L] [--out FILE]\n";
       std::exit(0);
     } else {
       throw std::runtime_error("bench_report: unknown flag " + arg);
     }
   }
+  if (opts.reliability && opts.obs) {
+    throw std::runtime_error("bench_report: --reliability and --obs are exclusive");
+  }
   if (opts.out.empty()) {
-    opts.out = opts.reliability ? "BENCH_reliability.json" : "BENCH_kernels.json";
+    opts.out = opts.reliability ? "BENCH_reliability.json"
+               : opts.obs      ? "BENCH_obs.json"
+                               : "BENCH_kernels.json";
   }
   if (opts.reliability && opts.pages == 50000) {
     opts.pages = 2000;  // convergence sweeps run a full engine: keep it small
@@ -335,6 +447,7 @@ int main(int argc, char** argv) {
   try {
     const Options opts = parse_args(argc, argv);
     if (opts.reliability) return run_reliability_bench(opts);
+    if (opts.obs) return run_obs_bench(opts);
     const auto g = graph::generate_synthetic_web(
         graph::google2002_config(opts.pages, opts.seed));
     const auto m = rank::LinkMatrix::from_graph(g, opts.alpha);

@@ -1,0 +1,208 @@
+// rankmeter — instrumented chaos-scenario runs: deterministic metrics
+// snapshot (JSON) plus a Chrome/Perfetto trace keyed to virtual time.
+//
+//   rankmeter --seed 17                        # metrics.json + trace.json
+//   rankmeter --seed 17 --metrics-out m.json --trace-out t.json
+//   rankmeter --seeds-file tests/corpus/scenario_seeds.txt --smoke
+//   rankmeter --seed 17 --reliable --unstable  # include pool-dependent counters
+//
+// Default mode runs every selected scenario through one MetricsRegistry and
+// one Tracer (counters accumulate across scenarios; each scenario restarts
+// the virtual clock, so multi-seed traces overlay their timelines) and
+// writes both files. --smoke instead runs each scenario twice with fresh
+// registries and demands bitwise-identical snapshots — the determinism
+// contract of DESIGN.md §11 — and writes nothing. Exit code: 0 clean,
+// 1 determinism breach or invariant violation, 2 usage error.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/runner.hpp"
+#include "check/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using p2prank::check::Scenario;
+using p2prank::check::ScenarioResult;
+using p2prank::check::ScenarioRunner;
+
+int usage(std::ostream& err) {
+  err << "usage: rankmeter [--seed X] [--seeds-file PATH] [--reliable]\n"
+         "                 [--threads T] [--metrics-out PATH] [--trace-out PATH]\n"
+         "                 [--unstable] [--smoke] [--quiet]\n"
+         "  --smoke     run each scenario twice with fresh sinks and fail\n"
+         "              unless the two metrics snapshots are byte-identical\n"
+         "  --unstable  include pool-size-dependent counters in the snapshot\n";
+  return 2;
+}
+
+/// One instrumented run with fresh sinks; returns the default (stable)
+/// snapshot and leaves the trace in `tracer`.
+std::string run_once(ScenarioRunner& runner, p2prank::util::ThreadPool& pool,
+                     const Scenario& s, bool include_unstable,
+                     p2prank::obs::Tracer& tracer, ScenarioResult& result) {
+  p2prank::obs::MetricsRegistry metrics;
+  p2prank::check::RunnerOptions ropts = runner.options();
+  ropts.metrics = &metrics;
+  ropts.tracer = &tracer;
+  ScenarioRunner instrumented(pool, ropts);
+  // Pool stats count from pool construction; export this run's interval so
+  // back-to-back runs on the shared pool compare equal.
+  const p2prank::util::ThreadPool::Stats before = pool.stats();
+  result = instrumented.run(s);
+  p2prank::obs::export_pool_metrics(pool.stats() - before, metrics);
+  return metrics.snapshot(include_unstable);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::optional<std::uint64_t> single_seed;
+  std::string seeds_file;
+  std::string metrics_out = "metrics.json";
+  std::string trace_out = "trace.json";
+  bool smoke = false;
+  bool quiet = false;
+  bool force_reliable = false;
+  bool include_unstable = false;
+  std::size_t threads = 2;
+
+  const auto need_value = [&](std::size_t& i) -> const std::string& {
+    if (i + 1 >= args.size()) {
+      std::cerr << "missing value for " << args[i] << '\n';
+      std::exit(usage(std::cerr));
+    }
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    try {
+      if (a == "--seed") {
+        single_seed = std::stoull(need_value(i));
+      } else if (a == "--seeds-file") {
+        seeds_file = need_value(i);
+      } else if (a == "--metrics-out") {
+        metrics_out = need_value(i);
+      } else if (a == "--trace-out") {
+        trace_out = need_value(i);
+      } else if (a == "--threads") {
+        threads = std::stoul(need_value(i));
+      } else if (a == "--reliable") {
+        force_reliable = true;
+      } else if (a == "--unstable") {
+        include_unstable = true;
+      } else if (a == "--smoke") {
+        smoke = true;
+      } else if (a == "--quiet") {
+        quiet = true;
+      } else {
+        std::cerr << "unknown argument: " << a << '\n';
+        return usage(std::cerr);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << a << '\n';
+      return usage(std::cerr);
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  if (!seeds_file.empty()) {
+    std::ifstream in(seeds_file);
+    if (!in) {
+      std::cerr << "cannot open seeds file " << seeds_file << '\n';
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      scenarios.push_back(Scenario::from_seed(std::stoull(line)));
+    }
+  } else {
+    scenarios.push_back(Scenario::from_seed(single_seed.value_or(1)));
+  }
+  if (force_reliable) {
+    for (Scenario& s : scenarios) s.reliable = true;
+  }
+
+  p2prank::util::ThreadPool pool(threads);
+  ScenarioRunner base_runner(pool);
+  std::size_t failures = 0;
+
+  if (smoke) {
+    // Determinism smoke: two runs of the same scenario must agree byte for
+    // byte in the stable snapshot. Pool counters are intentionally left out
+    // of the comparison unless --unstable forces them in (worker_claims
+    // races make that comparison flaky by design — useful only with
+    // --threads 1).
+    for (const Scenario& scenario : scenarios) {
+      p2prank::obs::Tracer trace_a;
+      p2prank::obs::Tracer trace_b;
+      ScenarioResult res_a;
+      ScenarioResult res_b;
+      const std::string snap_a =
+          run_once(base_runner, pool, scenario, include_unstable, trace_a, res_a);
+      const std::string snap_b =
+          run_once(base_runner, pool, scenario, include_unstable, trace_b, res_b);
+      const bool snaps_equal = snap_a == snap_b;
+      const bool traces_equal = trace_a.size() == trace_b.size();
+      if (!snaps_equal || !traces_equal) ++failures;
+      if (!quiet || !snaps_equal || !traces_equal) {
+        std::cout << "seed " << scenario.origin_seed << ": "
+                  << (snaps_equal && traces_equal ? "deterministic"
+                                                  : "NONDETERMINISTIC")
+                  << "  events=" << trace_a.size() << "  " << res_a.summary()
+                  << '\n';
+      }
+    }
+    std::cout << scenarios.size() << " scenario(s), " << failures
+              << " determinism failure(s)\n";
+    return failures == 0 ? 0 : 1;
+  }
+
+  p2prank::obs::MetricsRegistry metrics;
+  p2prank::obs::Tracer tracer;
+  p2prank::check::RunnerOptions ropts = base_runner.options();
+  ropts.metrics = &metrics;
+  ropts.tracer = &tracer;
+  ScenarioRunner runner(pool, ropts);
+  const p2prank::util::ThreadPool::Stats pool_before = pool.stats();
+  for (const Scenario& scenario : scenarios) {
+    const ScenarioResult result = runner.run(scenario);
+    if (!result.ok()) ++failures;
+    if (!quiet) {
+      std::cout << "seed " << scenario.origin_seed << ": " << result.summary()
+                << '\n';
+    }
+  }
+  p2prank::obs::export_pool_metrics(pool.stats() - pool_before, metrics);
+
+  {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_out << '\n';
+      return 2;
+    }
+    metrics.write_json(out, include_unstable);
+  }
+  {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "cannot write " << trace_out << '\n';
+      return 2;
+    }
+    tracer.write_chrome_json(out);
+  }
+  if (!quiet) {
+    std::cout << "wrote " << metrics_out << " and " << trace_out << " ("
+              << tracer.size() << " events, " << tracer.dropped()
+              << " dropped)\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
