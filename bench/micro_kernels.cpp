@@ -1,8 +1,22 @@
 // Google-benchmark microbenchmarks for the hot paths: the SpMV rank sweep,
 // whole-graph open-system solves, overlay routing, partitioning, and the
 // indirect-transmission pack/unpack loop.
+//
+// Custom flags (stripped before google-benchmark sees argv):
+//   --threads 1,2,8,16     register every pooled variant once per pool size
+//                          (each run records a "pool_threads" counter)
+//   --determinism-check [--pages N]
+//                          no benchmarks: solve the N-page graph dense and
+//                          with the worklist kernel on 1- and 2-thread
+//                          pools and exit 0 iff all four rank vectors are
+//                          bitwise identical (the tier-bench-smoke gate)
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "engine/reference.hpp"
@@ -58,12 +72,15 @@ void BM_SpmvSweepSerial(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmvSweepSerial);
 
-void BM_SpmvSweepParallel(benchmark::State& state) {
+// The pooled sweep kernels are registered from main() — once per entry of
+// the --threads list — so one binary invocation produces the whole thread
+// scaling curve. Each takes its pool explicitly and records its size.
+void BM_SpmvSweepParallel(benchmark::State& state, util::ThreadPool& pool) {
   const auto& g = bench_graph();
   const auto m = rank::LinkMatrix::from_graph(g, 0.85);
-  auto& pool = util::ThreadPool::shared();
   std::vector<double> x(m.dimension(), 1.0);
   std::vector<double> y(m.dimension());
+  state.counters["pool_threads"] = static_cast<double>(pool.size());
   for (auto _ : state) {
     m.multiply(x, y, pool);
     benchmark::DoNotOptimize(y.data());
@@ -73,7 +90,6 @@ void BM_SpmvSweepParallel(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           multiply_bytes(m));
 }
-BENCHMARK(BM_SpmvSweepParallel);
 
 void BM_SpmvSweepContributionSerial(benchmark::State& state) {
   const auto& g = bench_graph();
@@ -92,13 +108,13 @@ void BM_SpmvSweepContributionSerial(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmvSweepContributionSerial);
 
-void BM_SpmvSweepContribution(benchmark::State& state) {
+void BM_SpmvSweepContribution(benchmark::State& state, util::ThreadPool& pool) {
   const auto& g = bench_graph();
   const auto m = rank::LinkMatrix::from_graph(g, 0.85);
-  auto& pool = util::ThreadPool::shared();
   std::vector<double> x(m.dimension(), 1.0);
   std::vector<double> y(m.dimension());
   rank::SweepScratch scratch;
+  state.counters["pool_threads"] = static_cast<double>(pool.size());
   for (auto _ : state) {
     m.sweep(x, y, scratch, pool);
     benchmark::DoNotOptimize(y.data());
@@ -108,16 +124,15 @@ void BM_SpmvSweepContribution(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           contribution_bytes(m));
 }
-BENCHMARK(BM_SpmvSweepContribution);
 
-void BM_SpmvSweepFused(benchmark::State& state) {
+void BM_SpmvSweepFused(benchmark::State& state, util::ThreadPool& pool) {
   const auto& g = bench_graph();
   const auto m = rank::LinkMatrix::from_graph(g, 0.85);
-  auto& pool = util::ThreadPool::shared();
   std::vector<double> x(m.dimension(), 1.0);
   std::vector<double> y(m.dimension());
   const std::vector<double> forcing(m.dimension(), 0.15);
   rank::SweepScratch scratch;
+  state.counters["pool_threads"] = static_cast<double>(pool.size());
   for (auto _ : state) {
     auto stats = m.sweep_and_residual(x, y, forcing, scratch, pool);
     benchmark::DoNotOptimize(stats.l1_delta);
@@ -128,18 +143,17 @@ void BM_SpmvSweepFused(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           fused_bytes(m));
 }
-BENCHMARK(BM_SpmvSweepFused);
 
 // The unfused equivalent of BM_SpmvSweepFused: sweep, add forcing, then a
 // separate residual pass — what open_system solves did before fusion.
-void BM_SpmvSweepThenResidual(benchmark::State& state) {
+void BM_SpmvSweepThenResidual(benchmark::State& state, util::ThreadPool& pool) {
   const auto& g = bench_graph();
   const auto m = rank::LinkMatrix::from_graph(g, 0.85);
-  auto& pool = util::ThreadPool::shared();
   std::vector<double> x(m.dimension(), 1.0);
   std::vector<double> y(m.dimension());
   const std::vector<double> forcing(m.dimension(), 0.15);
   rank::SweepScratch scratch;
+  state.counters["pool_threads"] = static_cast<double>(pool.size());
   for (auto _ : state) {
     m.sweep(x, y, scratch, pool);
     for (std::size_t v = 0; v < y.size(); ++v) y[v] += forcing[v];
@@ -153,7 +167,76 @@ void BM_SpmvSweepThenResidual(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations()) *
       (contribution_bytes(m) + static_cast<std::int64_t>(m.dimension()) * 40));
 }
-BENCHMARK(BM_SpmvSweepThenResidual);
+
+// Worklist kernel, forced dense every sweep: the frontier machinery's
+// overhead ceiling relative to BM_SpmvSweepFused.
+void BM_WorklistDenseFull(benchmark::State& state, util::ThreadPool& pool) {
+  const auto& g = bench_graph();
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  std::vector<double> x(m.dimension(), 1.0);
+  std::vector<double> y(m.dimension());
+  const std::vector<double> forcing(m.dimension(), 0.15);
+  rank::SweepScratch scratch;
+  rank::WorklistOptions wopts;
+  rank::WorklistState wstate;
+  state.counters["pool_threads"] = static_cast<double>(pool.size());
+  for (auto _ : state) {
+    auto stats = m.sweep_and_residual_worklist(x, y, forcing, scratch, wstate,
+                                               wopts, pool, /*force_dense=*/true);
+    benchmark::DoNotOptimize(stats.l1_delta);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.num_entries()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          fused_bytes(m));
+}
+
+// Worklist kernel at a contracted steady-state frontier: converge first,
+// then keep a 32-row perturbation live so each timed sweep recomputes only
+// the rows the wave actually reaches (see tools/bench_report.cpp for the
+// JSON-reported twin of this measurement).
+void BM_WorklistContracted(benchmark::State& state, util::ThreadPool& pool) {
+  const auto& g = bench_graph();
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  const std::size_t n = m.dimension();
+  std::vector<double> a(n, 1.0);
+  std::vector<double> b(n);
+  std::vector<double> forcing(n, 0.15);
+  rank::SweepScratch scratch;
+  rank::WorklistOptions wopts;
+  wopts.epsilon = 1e-7;
+  wopts.full_interval = 0;
+  rank::WorklistState wstate;
+  for (int warm = 0; warm < 200; ++warm) {
+    auto stats =
+        m.sweep_and_residual_worklist(a, b, forcing, scratch, wstate, wopts, pool);
+    std::swap(a, b);
+    if (stats.l1_delta == 0.0) break;
+  }
+  state.counters["pool_threads"] = static_cast<double>(pool.size());
+  std::size_t tick = 0;
+  for (auto _ : state) {
+    const double delta = (tick++ & 1) ? -1e-6 : 1e-6;
+    for (std::size_t j = 0; j < 32; ++j) {
+      const std::size_t row = (j * 1543) % n;
+      forcing[row] += delta;
+      wstate.mark_forcing_dirty(row);
+    }
+    auto stats =
+        m.sweep_and_residual_worklist(a, b, forcing, scratch, wstate, wopts, pool);
+    benchmark::DoNotOptimize(stats.l1_delta);
+    std::swap(a, b);
+  }
+  state.counters["rows_per_sweep"] =
+      wstate.sweeps == 0 ? 0.0
+                         : static_cast<double>(wstate.rows_computed) /
+                               static_cast<double>(wstate.sweeps);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.num_entries()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          fused_bytes(m));
+}
 
 void BM_OpenSystemSolve(benchmark::State& state) {
   const auto& g = bench_graph();
@@ -264,6 +347,116 @@ void BM_CentralizedReference(benchmark::State& state) {
 }
 BENCHMARK(BM_CentralizedReference)->Unit(benchmark::kMillisecond);
 
+// --- custom main: --threads sweep, --determinism-check ----------------------
+
+/// Pools for the registered pooled benchmarks; they must outlive
+/// RunSpecifiedBenchmarks. Size 0 means the shared hardware-sized pool.
+util::ThreadPool& pool_for(unsigned threads) {
+  if (threads == 0) return util::ThreadPool::shared();
+  static std::vector<std::unique_ptr<util::ThreadPool>> pools;
+  pools.push_back(std::make_unique<util::ThreadPool>(threads));
+  return *pools.back();
+}
+
+void register_pooled_benchmarks(const std::vector<unsigned>& thread_list) {
+  for (const unsigned t : thread_list) {
+    auto& pool = pool_for(t);
+    const std::string suffix = "/threads:" + std::to_string(pool.size());
+    const auto reg = [&](const char* name,
+                         void (*fn)(benchmark::State&, util::ThreadPool&)) {
+      benchmark::RegisterBenchmark(
+          (name + suffix).c_str(),
+          [fn, &pool](benchmark::State& state) { fn(state, pool); });
+    };
+    reg("BM_SpmvSweepParallel", BM_SpmvSweepParallel);
+    reg("BM_SpmvSweepContribution", BM_SpmvSweepContribution);
+    reg("BM_SpmvSweepFused", BM_SpmvSweepFused);
+    reg("BM_SpmvSweepThenResidual", BM_SpmvSweepThenResidual);
+    reg("BM_WorklistDenseFull", BM_WorklistDenseFull);
+    reg("BM_WorklistContracted", BM_WorklistContracted);
+  }
+}
+
+/// Solve a small graph dense and with the worklist kernel on 1- and
+/// 2-thread pools; exit 0 iff all rank vectors are bitwise identical.
+/// This is the tier-bench-smoke CI gate — cheap enough for every PR.
+int run_determinism_check(std::uint32_t pages) {
+  const auto g =
+      graph::generate_synthetic_web(graph::google2002_config(pages, 42));
+  const auto m = rank::LinkMatrix::from_graph(g, 0.85);
+  const std::vector<double> forcing(m.dimension(), (1.0 - 0.85) * 1.0);
+  rank::SolveOptions sopts;
+  sopts.epsilon = 1e-10;
+
+  std::vector<std::vector<double>> solutions;
+  std::vector<std::string> names;
+  for (const unsigned threads : {1u, 2u}) {
+    util::ThreadPool pool(threads);
+    auto dense = rank::solve_open_system(m, forcing, {}, sopts, pool);
+    solutions.push_back(std::move(dense.ranks));
+    names.push_back("dense/t" + std::to_string(threads));
+    rank::WorklistOptions wopts;  // epsilon 0: exact mode
+    rank::WorklistState wstate;
+    auto sparse = rank::solve_open_system_worklist(m, forcing, {}, sopts, wopts,
+                                                   wstate, pool);
+    solutions.push_back(std::move(sparse.ranks));
+    names.push_back("worklist/t" + std::to_string(threads));
+  }
+
+  bool ok = true;
+  for (std::size_t v = 1; v < solutions.size(); ++v) {
+    if (std::memcmp(solutions[0].data(), solutions[v].data(),
+                    solutions[0].size() * sizeof(double)) != 0) {
+      std::cerr << "determinism-check: " << names[v]
+                << " differs bitwise from " << names[0] << "\n";
+      ok = false;
+    }
+  }
+  std::cout << "determinism-check: " << pages << " pages, "
+            << m.num_entries() << " edges, " << solutions.size()
+            << " solves " << (ok ? "bitwise identical" : "MISMATCH") << "\n";
+  return ok ? 0 : 1;
+}
+
+std::vector<unsigned> parse_thread_list(const std::string& spec) {
+  std::vector<unsigned> out;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(static_cast<unsigned>(std::stoul(item)));
+  }
+  return out;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<unsigned> thread_list;
+  bool determinism_check = false;
+  std::uint32_t det_pages = 2000;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      thread_list = parse_thread_list(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      thread_list = parse_thread_list(arg.substr(std::strlen("--threads=")));
+    } else if (arg == "--determinism-check") {
+      determinism_check = true;
+    } else if (arg == "--pages" && i + 1 < argc) {
+      det_pages = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (determinism_check) return run_determinism_check(det_pages);
+
+  if (thread_list.empty()) thread_list = {0};  // shared hardware-sized pool
+  register_pooled_benchmarks(thread_list);
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

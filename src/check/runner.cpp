@@ -137,6 +137,9 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   // `reliable` turns on the full layer: retransmission implies the epoch
   // duplicate filter and the suspicion-based failure detector.
   eo.reliability.retransmit = s.reliable;
+  // Exact-mode worklist sweeps: bitwise-identical ranks, so every invariant
+  // below applies verbatim whether this is on or off.
+  eo.worklist = s.worklist;
   eo.stability_epsilon = s.stability_epsilon;
   eo.seed = s.engine_seed;
   // Observability pass-through: pure observation, so every code path below

@@ -202,6 +202,7 @@ void Scenario::serialize(std::ostream& out) const {
   out << "delivery_latency " << delivery_latency << '\n';
   out << "latency_jitter " << latency_jitter << '\n';
   out << "reliable " << (reliable ? 1 : 0) << '\n';
+  out << "worklist " << (worklist ? 1 : 0) << '\n';
   out << "stability_epsilon " << stability_epsilon << '\n';
   out << "warm_start_scale " << warm_start_scale << '\n';
   out << "engine_seed " << engine_seed << '\n';
@@ -312,6 +313,10 @@ Scenario Scenario::parse(std::istream& in) {
       int flag = 0;
       if (!(fields >> flag)) fail("bad reliable");
       s.reliable = flag != 0;
+    } else if (key == "worklist") {
+      int flag = 0;
+      if (!(fields >> flag)) fail("bad worklist");
+      s.worklist = flag != 0;
     } else if (key == "stability_epsilon") {
       if (!(fields >> s.stability_epsilon)) fail("bad stability_epsilon");
     } else if (key == "warm_start_scale") {

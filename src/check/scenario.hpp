@@ -83,6 +83,11 @@ struct Scenario {
   /// Run the reliable exchange layer (epochs + ack/retransmit + suspicion)
   /// instead of the paper's fire-and-forget channel.
   bool reliable = false;
+  /// Route every group's local iteration through the residual-driven
+  /// worklist kernel in exact mode (worklist_epsilon = 0, DESIGN.md §6).
+  /// Exactness means every invariant the checker enforces must hold
+  /// unchanged — this flag exists so the chaos corpus can prove it.
+  bool worklist = false;
   double stability_epsilon = 0.0;
   /// 0 = cold start (the theorems' R0 = 0 premise). Otherwise the engine
   /// warm-starts from scale·R*, which is still a sub-fixed-point start

@@ -30,11 +30,20 @@ PageGroup::PageGroup(const graph::WebGraph& g, std::vector<graph::PageId> member
   scratch_.assign(members_.size(), 0.0);
 }
 
+void PageGroup::configure_worklist(const rank::WorklistOptions& opts) {
+  worklist_enabled_ = true;
+  wl_opts_ = opts;
+  wl_state_.reset();
+}
+
 void PageGroup::set_ranks(std::span<const double> ranks) {
   if (ranks.size() != ranks_.size()) {
     throw std::invalid_argument("PageGroup::set_ranks: size mismatch");
   }
   ranks_.assign(ranks.begin(), ranks.end());
+  // R changed out of band (warm start / checkpoint restore): every frontier
+  // assumption is stale, so the next sweep must run dense.
+  wl_state_.reset();
 }
 
 void PageGroup::reset_state() {
@@ -42,6 +51,7 @@ void PageGroup::reset_state() {
   std::fill(x_.begin(), x_.end(), 0.0);
   forcing_ = beta_e_;
   last_sweep_delta_ = 0.0;
+  wl_state_.reset();
   received_.clear();
   for (auto& block : blocks_) {
     std::fill(block.last_sent.begin(), block.last_sent.end(),
@@ -132,6 +142,9 @@ void PageGroup::refresh_x(std::uint32_t source_group, const YSlice& slice) {
     x_[local] += delta;
     forcing_[local] += delta;
     slot = value;
+    // A bitwise-unchanged forcing slot (delta exactly 0) cannot change the
+    // row's next value, so only real changes wake the row.
+    if (worklist_enabled_ && delta != 0.0) wl_state_.mark_forcing_dirty(local);
   }
 }
 
@@ -149,12 +162,35 @@ void PageGroup::scale_received(std::uint32_t source_group, double factor) {
     x_[local] += delta;
     forcing_[local] += delta;
     value = decayed;
+    if (worklist_enabled_ && delta != 0.0) wl_state_.mark_forcing_dirty(local);
   }
 }
 
 std::size_t PageGroup::solve_to_convergence(double epsilon,
                                             std::size_t max_iterations,
                                             util::ThreadPool& pool) {
+  if (worklist_enabled_) {
+    // Iterate in place on the persistent ranks_/scratch_ pair so the
+    // frontier survives across outer steps: after the first solve, later
+    // solves only touch rows reached from refreshed forcing entries. Same
+    // convergence gating as solve_open_system_worklist.
+    std::size_t iterations = 0;
+    bool confirm = false;
+    for (std::size_t it = 0; it < max_iterations; ++it) {
+      const rank::WorklistSweepStats stats = matrix_.sweep_and_residual_worklist(
+          ranks_, scratch_, forcing_, sweep_scratch_, wl_state_, wl_opts_, pool,
+          /*force_dense=*/confirm);
+      std::swap(ranks_, scratch_);
+      ++iterations;
+      if (stats.l1_delta <= epsilon) {
+        if (stats.dense || wl_opts_.epsilon == 0.0) break;
+        confirm = true;
+      } else {
+        confirm = false;
+      }
+    }
+    return iterations;
+  }
   rank::SolveOptions opts;
   opts.alpha = matrix_.alpha();
   opts.epsilon = epsilon;
@@ -165,9 +201,17 @@ std::size_t PageGroup::solve_to_convergence(double epsilon,
 }
 
 void PageGroup::sweep_once(util::ThreadPool& pool) {
-  last_sweep_delta_ =
-      rank::open_system_sweep(matrix_, ranks_, scratch_, forcing_, sweep_scratch_, pool)
-          .l1_delta;
+  if (worklist_enabled_) {
+    last_sweep_delta_ =
+        matrix_
+            .sweep_and_residual_worklist(ranks_, scratch_, forcing_,
+                                         sweep_scratch_, wl_state_, wl_opts_, pool)
+            .l1_delta;
+  } else {
+    last_sweep_delta_ =
+        rank::open_system_sweep(matrix_, ranks_, scratch_, forcing_, sweep_scratch_, pool)
+            .l1_delta;
+  }
   std::swap(ranks_, scratch_);
 }
 

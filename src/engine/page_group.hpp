@@ -86,6 +86,18 @@ class PageGroup {
   /// entry-by-entry, exactly like any refresh.
   void scale_received(std::uint32_t source_group, double factor);
 
+  /// Route all local iteration through the residual-driven worklist kernel
+  /// (DESIGN.md §6). Call during wiring; the frontier state then persists
+  /// across steps so converged rows stay skipped until their inputs move.
+  /// With opts.epsilon == 0 every iterate is bitwise-identical to the dense
+  /// kernels.
+  void configure_worklist(const rank::WorklistOptions& opts);
+
+  /// Frontier state (tallies of skipped/recomputed rows); for tests.
+  [[nodiscard]] const rank::WorklistState& worklist_state() const noexcept {
+    return wl_state_;
+  }
+
   /// DPR1 body: solve R = A·R + βE + X to `epsilon`, warm-started from the
   /// current R. Returns inner iterations used.
   std::size_t solve_to_convergence(double epsilon, std::size_t max_iterations,
@@ -142,6 +154,9 @@ class PageGroup {
   std::vector<double> forcing_;         // βE + X, kept in sync with x_
   std::vector<double> scratch_;         // sweep target
   rank::SweepScratch sweep_scratch_;    // contribution vector + partials
+  bool worklist_enabled_ = false;       // route sweeps through the frontier kernel
+  rank::WorklistOptions wl_opts_;
+  rank::WorklistState wl_state_;        // frontier bitmaps, pinned to ranks_/scratch_
   double last_sweep_delta_ = 0.0;       // L1 residual of the last sweep_once
   std::vector<EfferentBlock> blocks_;   // sorted by dest_group
   std::vector<std::uint32_t> efferent_dests_;

@@ -47,6 +47,76 @@ struct SweepScratch {
   std::vector<double> partial_linf;
 };
 
+/// Tuning knobs of the residual-driven worklist kernel (DESIGN.md §6).
+struct WorklistOptions {
+  /// Contribution-change threshold: a source whose contribution moved by
+  /// ≤ epsilon since it last propagated does not wake its destinations.
+  /// 0 means *exact* mode — skip only bitwise-unchanged inputs — which
+  /// keeps every sweep bitwise-identical to the dense kernel.
+  double epsilon = 0.0;
+  /// Force a dense sweep every N worklist sweeps to flush sub-epsilon
+  /// drift. 0 disables periodic refresh (sound only when epsilon == 0).
+  std::uint32_t full_interval = 64;
+  /// Push–pull switch: scatter dirty bits along out-edges only while the
+  /// active sources' out-edges are below this fraction of all edges;
+  /// above it a dense pull sweep is cheaper than the scatter.
+  double push_density = 0.125;
+};
+
+/// Result of one worklist sweep: the residual norms plus whether the sweep
+/// ran dense (all rows recomputed — residual exact even when epsilon > 0).
+struct WorklistSweepStats : SweepStats {
+  bool dense = false;
+};
+
+/// Persistent frontier state for sweep_and_residual_worklist. Owned by the
+/// caller (one per ping-pong buffer pair); reset() forces the next sweep
+/// dense, which re-primes every derived bitmap. All bitmaps are 64 rows per
+/// word, and sweep grains are 64-aligned so parallel grains own whole words.
+struct WorklistState {
+  /// Last *propagated* contribution per source: updated when a source's
+  /// change exceeds epsilon (always, in a dense sweep). Rows recompute by
+  /// gathering these, so a sub-epsilon change is invisible until the next
+  /// dense sweep — bounded drift, zero drift when epsilon == 0.
+  std::vector<double> contrib;
+  std::vector<std::uint64_t> differ;         // out-buffer != in-buffer, per row
+  std::vector<std::uint64_t> dirty;          // rows to recompute (per-sweep scratch)
+  std::vector<std::uint64_t> src_active;     // sources that propagated (scratch)
+  std::vector<std::uint64_t> forcing_dirty;  // forcing[v] changed since last sweep
+  std::vector<std::uint32_t> active_grains;  // frontier grain ids (scratch)
+  std::vector<std::uint64_t> grain_edges;    // per-grain active out-edge tallies
+  bool primed = false;
+  std::uint32_t sweeps_since_dense = 0;
+  // The buffer pair the differ bitmap talks about; a sweep on any other
+  // pair auto-unprimes. std::swap of the vectors keeps the pointers valid.
+  const void* pair_a = nullptr;
+  const void* pair_b = nullptr;
+  // Cumulative tallies, deterministic across pool sizes (derived from the
+  // bitmaps, which depend only on the values swept).
+  std::uint64_t sweeps = 0;
+  std::uint64_t dense_sweeps = 0;
+  std::uint64_t rows_computed = 0;
+  std::uint64_t rows_copied = 0;
+
+  /// Drop all frontier knowledge: the next sweep runs dense. Required after
+  /// any out-of-band change to the rank buffers (warm start, checkpoint
+  /// restore, group rebuild).
+  void reset() noexcept {
+    primed = false;
+    sweeps_since_dense = 0;
+    pair_a = nullptr;
+    pair_b = nullptr;
+  }
+
+  /// Record that forcing[row] changed, so the row must recompute next sweep
+  /// even if no source moved. No-op while unprimed (a dense sweep is coming
+  /// anyway, and the bitmaps may not be sized yet).
+  void mark_forcing_dirty(std::size_t row) noexcept {
+    if (!primed || (row >> 6) >= forcing_dirty.size()) return;
+    forcing_dirty[row >> 6] |= std::uint64_t{1} << (row & 63);
+  }
+};
+
 class LinkMatrix {
  public:
   /// Matrix over the whole crawl.
@@ -90,9 +160,33 @@ class LinkMatrix {
                                 std::span<const double> forcing,
                                 SweepScratch& scratch, util::ThreadPool& pool) const;
 
-  /// Rows per parallel grain of sweep kernels (~64KB of row data each);
+  /// Residual-driven worklist sweep: like sweep_and_residual, but rows whose
+  /// inputs did not change beyond opts.epsilon since they last recomputed
+  /// are skipped (their value is carried over), and when the frontier is
+  /// small the dirty set is built by *pushing* along out-edges of active
+  /// sources instead of scanning all rows. With epsilon == 0 every sweep —
+  /// values and residual — is bitwise-identical to sweep_and_residual for
+  /// any pool size; with epsilon > 0 only dense sweeps (periodic, or when
+  /// force_dense is set) report an exact residual. `state` must persist
+  /// alongside the in/out ping-pong pair; the kernel unprimes itself (one
+  /// dense sweep) whenever it sees an unfamiliar pair.
+  WorklistSweepStats sweep_and_residual_worklist(
+      std::span<const double> in, std::span<double> out,
+      std::span<const double> forcing, SweepScratch& scratch,
+      WorklistState& state, const WorklistOptions& opts, util::ThreadPool& pool,
+      bool force_dense = false) const;
+
+  /// Rows per parallel grain of sweep kernels (~64KB of row data each,
+  /// rounded up to a multiple of 64 so each grain owns whole bitmap words);
   /// a function of the matrix shape only. Exposed for tests and sizing.
   [[nodiscard]] std::size_t sweep_grain() const noexcept { return sweep_grain_; }
+
+  /// Out-edges of local source u (push CSR: the transpose adjacency used to
+  /// scatter frontier bits). Exposed for tests.
+  [[nodiscard]] std::span<const std::uint32_t> out_targets(std::size_t u) const noexcept {
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
 
   /// Weighted in-edges of local row v: parallel spans of sources/weights.
   [[nodiscard]] std::span<const std::uint32_t> row_sources(std::size_t v) const noexcept {
@@ -123,6 +217,8 @@ class LinkMatrix {
   std::vector<std::uint32_t> sources_;       // local source index per entry
   std::vector<double> weights_;              // alpha / d_global(source), per edge
   std::vector<double> source_weight_;        // alpha / d_global(u), per local source
+  std::vector<std::uint64_t> out_offsets_;   // push CSR: size dim+1
+  std::vector<std::uint32_t> out_targets_;   // push CSR: destination per out-edge
   double alpha_ = 0.0;
   std::size_t sweep_grain_ = 1;              // rows per grain (fixed per matrix)
 };

@@ -58,6 +58,52 @@ SolveResult solve_open_system(const LinkMatrix& A, std::span<const double> forci
   return result;
 }
 
+SolveResult solve_open_system_worklist(const LinkMatrix& A,
+                                       std::span<const double> forcing,
+                                       std::span<const double> initial,
+                                       const SolveOptions& opts,
+                                       const WorklistOptions& wl,
+                                       WorklistState& state,
+                                       util::ThreadPool& pool) {
+  const std::size_t n = A.dimension();
+  if (forcing.size() != n) {
+    throw std::invalid_argument("solve_open_system_worklist: forcing size mismatch");
+  }
+  if (!initial.empty() && initial.size() != n) {
+    throw std::invalid_argument("solve_open_system_worklist: initial size mismatch");
+  }
+
+  SolveResult result;
+  result.ranks.assign(initial.begin(), initial.end());
+  if (result.ranks.empty()) result.ranks.assign(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  SweepScratch scratch;
+
+  bool confirm = false;
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    const WorklistSweepStats stats = A.sweep_and_residual_worklist(
+        result.ranks, next, forcing, scratch, state, wl, pool,
+        /*force_dense=*/confirm);
+    std::swap(result.ranks, next);
+    ++result.iterations;
+    result.final_delta = stats.l1_delta;
+    if (opts.record_residuals) result.residual_history.push_back(stats.l1_delta);
+    if (stats.l1_delta <= opts.epsilon) {
+      // Sparse sweeps under-report the residual when epsilon > 0 (skipped
+      // rows claim zero); accept only a dense sweep's exact residual and
+      // force one to confirm otherwise.
+      if (stats.dense || wl.epsilon == 0.0) {
+        result.converged = true;
+        break;
+      }
+      confirm = true;
+    } else {
+      confirm = false;
+    }
+  }
+  return result;
+}
+
 SolveResult solve_open_system_uniform(const LinkMatrix& A, double e_value,
                                       const SolveOptions& opts,
                                       util::ThreadPool& pool) {

@@ -38,6 +38,18 @@ void open_system_sweep(const LinkMatrix& A, std::span<const double> in,
                                             const SolveOptions& opts,
                                             util::ThreadPool& pool);
 
+/// Worklist variant of solve_open_system: iterates with the residual-driven
+/// frontier kernel, carrying `state` across sweeps (and across calls, when
+/// the caller reuses the same buffers). With wl.epsilon == 0 the iterate
+/// sequence is bitwise-identical to solve_open_system; with wl.epsilon > 0
+/// convergence is only accepted at a dense sweep (a confirmation sweep is
+/// forced when a sparse residual first dips under opts.epsilon), so the
+/// reported final_delta is always an exact residual.
+[[nodiscard]] SolveResult solve_open_system_worklist(
+    const LinkMatrix& A, std::span<const double> forcing,
+    std::span<const double> initial, const SolveOptions& opts,
+    const WorklistOptions& wl, WorklistState& state, util::ThreadPool& pool);
+
 /// Convenience: uniform forcing βE with E(v) = e_value for all v, X = 0 —
 /// the whole-crawl "centralized open-system" reference of Section 5 (what
 /// distributed ranking must converge to).

@@ -41,9 +41,12 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
 void ThreadPool::run_grains(bool worker) noexcept {
   std::uint64_t claimed = 0;
   for (;;) {
-    const std::size_t g = next_grain_.fetch_add(1, std::memory_order_relaxed);
-    if (g >= job_num_grains_) break;
+    const std::size_t slot = next_grain_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= job_num_grains_) break;
     ++claimed;
+    // Frontier dispatch claims list positions; the grain id (and hence the
+    // index range) comes from the list, keeping geometry pool-independent.
+    const std::size_t g = job_list_ ? job_list_[slot] : slot;
     const std::size_t begin = g * job_grain_;
     const std::size_t end = std::min(job_n_, begin + job_grain_);
     try {
@@ -60,7 +63,8 @@ void ThreadPool::run_grains(bool worker) noexcept {
   }
 }
 
-void ThreadPool::dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ctx) {
+void ThreadPool::dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ctx,
+                          const std::uint32_t* list, std::size_t list_len) {
   // One fork-join in flight at a time; concurrent callers serialize here.
   MutexLock dispatch_lock(dispatch_mutex_);
 
@@ -68,7 +72,8 @@ void ThreadPool::dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ct
   job_ctx_ = ctx;
   job_n_ = n;
   job_grain_ = grain;
-  job_num_grains_ = num_grains(n, grain);
+  job_num_grains_ = list ? list_len : num_grains(n, grain);
+  job_list_ = list;
   {
     MutexLock error_lock(error_mutex_);
     job_error_ = nullptr;

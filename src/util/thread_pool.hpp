@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -127,6 +128,41 @@ class ThreadPool {
              const_cast<void*>(static_cast<const void*>(&fn)));
   }
 
+  /// Frontier-aware variant of parallel_for_grains: run fn(grain_index,
+  /// begin, end) for exactly the grain ids listed in `grains`, which must be
+  /// sorted ascending, duplicate-free, and drawn from the same (n, grain)
+  /// decomposition as parallel_for_grains. Grain geometry is unchanged —
+  /// only the subset executes — so per-grain partials indexed by grain id
+  /// keep the grain-order combine determinism while skipped grains cost
+  /// nothing. Workers claim *list positions* off the atomic counter; the
+  /// inline path walks the list in order.
+  template <typename F>
+  void parallel_for_grains_subset(std::span<const std::uint32_t> grains,
+                                  std::size_t n, std::size_t grain,
+                                  const F& fn) {
+    if (grains.empty() || n == 0) return;
+    if (grain == 0) grain = 1;
+    grained_calls_.fetch_add(1, std::memory_order_relaxed);
+    // Indices actually covered: every listed grain is full-size except a
+    // possible final short grain of the decomposition.
+    std::size_t covered = grains.size() * grain;
+    if (grains.back() == num_grains(n, grain) - 1) {
+      covered -= num_grains(n, grain) * grain - n;
+    }
+    indices_.fetch_add(covered, std::memory_order_relaxed);
+    fixed_grains_.fetch_add(grains.size(), std::memory_order_relaxed);
+    if (covered < kInlineCutoff || workers_.size() <= 1 || grains.size() <= 1) {
+      for (const std::uint32_t g : grains) {
+        const std::size_t begin = std::size_t{g} * grain;
+        fn(std::size_t{g}, begin, std::min(n, begin + grain));
+      }
+      return;
+    }
+    dispatch(n, grain, &invoke_grain<F>,
+             const_cast<void*>(static_cast<const void*>(&fn)), grains.data(),
+             grains.size());
+  }
+
   /// Process-wide shared pool (lazily constructed, sized to the machine).
   [[nodiscard]] static ThreadPool& shared();
 
@@ -153,7 +189,10 @@ class ThreadPool {
     return std::max<std::size_t>(1, (n + target - 1) / target);
   }
 
-  void dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ctx)
+  /// `list`/`list_len` select a sorted subset of grain ids to execute
+  /// (frontier dispatch); nullptr means every grain of the decomposition.
+  void dispatch(std::size_t n, std::size_t grain, GrainFn fn, void* ctx,
+                const std::uint32_t* list = nullptr, std::size_t list_len = 0)
       P2P_EXCLUDES(dispatch_mutex_, wake_mutex_, done_mutex_);
   /// Claim and execute grains of the current job until none remain. Reads
   /// the job descriptor without dispatch_mutex_: publication happens via
@@ -175,6 +214,9 @@ class ThreadPool {
   std::size_t job_n_ P2P_GUARDED_BY(dispatch_mutex_) = 0;
   std::size_t job_grain_ P2P_GUARDED_BY(dispatch_mutex_) = 0;
   std::size_t job_num_grains_ P2P_GUARDED_BY(dispatch_mutex_) = 0;
+  // Optional frontier list: when set, the claim counter indexes into this
+  // array of grain ids instead of the dense [0, job_num_grains_) range.
+  const std::uint32_t* job_list_ P2P_GUARDED_BY(dispatch_mutex_) = nullptr;
   std::atomic<std::size_t> next_grain_{0};  // atomic: claimed lock-free
   std::atomic<std::size_t> departed_{0};    // atomic: done-handshake count
 

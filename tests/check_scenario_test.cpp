@@ -122,6 +122,25 @@ TEST(Scenario, PreReliabilityTracesParseWithDefaults) {
   EXPECT_EQ(back.to_text(), text);
 }
 
+// The worklist header key round-trips, and traces written before the
+// worklist extension parse with the flag defaulting off.
+TEST(Scenario, WorklistKeyRoundTripsAndDefaultsOff) {
+  Scenario s = Scenario::from_seed(13);
+  s.worklist = true;
+  const Scenario back = Scenario::parse_text(s.to_text());
+  EXPECT_TRUE(back.worklist);
+  EXPECT_EQ(back.to_text(), s.to_text());
+
+  std::string pruned;
+  std::istringstream lines(s.to_text());
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("worklist ", 0) == 0) continue;
+    pruned += line + '\n';
+  }
+  const Scenario old = Scenario::parse_text(pruned);
+  EXPECT_FALSE(old.worklist);
+}
+
 // from_seed only pairs jitter with the reliable layer: jitter without epochs
 // would make stale reordered slices clobber newer X entries, which is the
 // hazard the regression test demonstrates — the fuzzer must not generate it

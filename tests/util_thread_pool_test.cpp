@@ -196,5 +196,75 @@ TEST(ThreadPool, ManySequentialGrainedDispatches) {
   }
 }
 
+TEST(ThreadPool, GrainSubsetRunsExactlyTheListedGrains) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  constexpr std::size_t kGrain = 512;
+  const std::size_t total = ThreadPool::num_grains(kN, kGrain);
+  // Every third grain, including the final short one.
+  std::vector<std::uint32_t> list;
+  for (std::size_t g = 0; g < total; g += 3) {
+    list.push_back(static_cast<std::uint32_t>(g));
+  }
+  if (list.back() != total - 1) list.push_back(static_cast<std::uint32_t>(total - 1));
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_grains_subset(
+      list, kN, kGrain, [&](std::size_t g, std::size_t begin, std::size_t end) {
+        EXPECT_EQ(begin, g * kGrain);
+        EXPECT_EQ(end, std::min(kN, begin + kGrain));
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+  std::vector<bool> listed(total, false);
+  for (const std::uint32_t g : list) listed[g] = true;
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), listed[i / kGrain] ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPool, GrainSubsetInlinePathMatchesDispatch) {
+  // Small covered ranges run inline; the grain geometry must be identical
+  // either way (same ids, same boundaries).
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;  // < kInlineCutoff: always inline
+  const std::vector<std::uint32_t> list{0, 3, 7};
+  std::vector<std::size_t> seen;
+  pool.parallel_for_grains_subset(
+      list, kN, 128, [&](std::size_t g, std::size_t begin, std::size_t end) {
+        seen.push_back(g);
+        EXPECT_EQ(begin, g * 128);
+        EXPECT_EQ(end, std::min<std::size_t>(kN, begin + 128));
+      });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 3, 7}));
+}
+
+TEST(ThreadPool, GrainSubsetEmptyListIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_grains_subset(
+      {}, 100, 10, [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, GrainSubsetExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 100000;
+  const std::size_t total = ThreadPool::num_grains(kN, 64);
+  std::vector<std::uint32_t> list(total);
+  std::iota(list.begin(), list.end(), 0u);
+  EXPECT_THROW(
+      pool.parallel_for_grains_subset(
+          list, kN, 64,
+          [&](std::size_t g, std::size_t, std::size_t) {
+            if (g == 17) throw std::runtime_error("boom");
+          }),
+      std::runtime_error);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_grains_subset(
+      list, kN, 64, [&](std::size_t, std::size_t begin, std::size_t end) {
+        covered.fetch_add(end - begin);
+      });
+  EXPECT_EQ(covered.load(), kN);
+}
+
 }  // namespace
 }  // namespace p2prank::util

@@ -31,9 +31,11 @@
 // with schema "p2prank-obs-bench-v1". The contract is overhead < 5%.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -69,6 +71,9 @@ struct Options {
   double min_rep_seconds = 0.4;
   std::string label = "run";
   std::string out;  // default depends on mode
+  /// Kernel mode: pool sizes to sweep, one JSON run per size. Empty keeps
+  /// the historical behavior (the shared hardware-sized pool).
+  std::vector<unsigned> threads;
   // --reliability mode.
   bool reliability = false;
   std::uint32_t k = 16;
@@ -121,25 +126,40 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Fixed-notation JSON number. Default ostream formatting flips between
+/// integer-looking and 9.47164e+08-style scientific output depending on the
+/// measured magnitude, so consecutive runs of the same tool did not diff
+/// cleanly. Magnitude-banded precision keeps throughputs fixed-point and
+/// tiny thresholds exact, and the same value always renders the same way.
+std::string json_number(double v) {
+  std::ostringstream t;
+  const double a = std::abs(v);
+  if (a != 0.0 && (a >= 1e15 || a < 1e-6)) {
+    t << std::scientific << std::setprecision(6) << v;
+  } else {
+    t << std::fixed << std::setprecision(3) << v;
+  }
+  return t.str();
+}
+
 std::string render_run(const Options& opts, std::size_t edges,
                        std::size_t pool_threads,
                        const std::vector<VariantResult>& variants) {
   std::ostringstream os;
-  os.precision(6);
   os << "    {\n";
   os << "      \"label\": \"" << json_escape(opts.label) << "\",\n";
   os << "      \"pages\": " << opts.pages << ",\n";
   os << "      \"edges\": " << edges << ",\n";
   os << "      \"graph_seed\": " << opts.seed << ",\n";
-  os << "      \"alpha\": " << opts.alpha << ",\n";
+  os << "      \"alpha\": " << json_number(opts.alpha) << ",\n";
   os << "      \"pool_threads\": " << pool_threads << ",\n";
   os << "      \"variants\": [\n";
   for (std::size_t i = 0; i < variants.size(); ++i) {
     const auto& v = variants[i];
     os << "        {\"name\": \"" << json_escape(v.name) << "\", "
-       << "\"ns_per_sweep\": " << v.ns_per_sweep << ", "
-       << "\"items_per_sec\": " << v.items_per_sec << ", "
-       << "\"bytes_per_sec\": " << v.bytes_per_sec << "}"
+       << "\"ns_per_sweep\": " << json_number(v.ns_per_sweep) << ", "
+       << "\"items_per_sec\": " << json_number(v.items_per_sec) << ", "
+       << "\"bytes_per_sec\": " << json_number(v.bytes_per_sec) << "}"
        << (i + 1 < variants.size() ? "," : "") << "\n";
   }
   os << "      ]\n";
@@ -214,15 +234,14 @@ ReliabilityPoint run_reliability_point(const graph::WebGraph& g,
 std::string render_reliability_run(const Options& opts, std::size_t edges,
                                    const std::vector<ReliabilityPoint>& points) {
   std::ostringstream os;
-  os.precision(10);
   os << "    {\n";
   os << "      \"label\": \"" << json_escape(opts.label) << "\",\n";
   os << "      \"pages\": " << opts.pages << ",\n";
   os << "      \"edges\": " << edges << ",\n";
   os << "      \"k\": " << opts.k << ",\n";
   os << "      \"graph_seed\": " << opts.seed << ",\n";
-  os << "      \"alpha\": " << opts.alpha << ",\n";
-  os << "      \"error_threshold\": " << opts.error_threshold << ",\n";
+  os << "      \"alpha\": " << json_number(opts.alpha) << ",\n";
+  os << "      \"error_threshold\": " << json_number(opts.error_threshold) << ",\n";
   os << "      \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& pt = points[i];
@@ -232,19 +251,20 @@ std::string render_reliability_run(const Options& opts, std::size_t edges,
             ? 0.0
             : static_cast<double>(r.retransmissions) /
                   static_cast<double>(r.messages_sent);
-    os << "        {\"delivery_p\": " << pt.delivery_p << ", \"scheme\": \""
+    os << "        {\"delivery_p\": " << json_number(pt.delivery_p)
+       << ", \"scheme\": \""
        << (pt.reliable ? "reliable" : "fire_and_forget") << "\", "
        << "\"reached\": " << (r.reached ? "true" : "false") << ", "
-       << "\"time\": " << r.time << ", "
-       << "\"mean_outer_steps\": " << r.mean_outer_steps << ", "
+       << "\"time\": " << json_number(r.time) << ", "
+       << "\"mean_outer_steps\": " << json_number(r.mean_outer_steps) << ", "
        << "\"messages_sent\": " << r.messages_sent << ", "
        << "\"messages_lost\": " << r.messages_lost << ", "
        << "\"retransmissions\": " << r.retransmissions << ", "
        << "\"acks_sent\": " << r.acks_sent << ", "
        << "\"duplicates_rejected\": " << r.duplicates_rejected << ", "
-       << "\"retransmit_overhead\": " << overhead << ", "
-       << "\"final_relative_error\": " << r.final_relative_error << "}"
-       << (i + 1 < points.size() ? "," : "") << "\n";
+       << "\"retransmit_overhead\": " << json_number(overhead) << ", "
+       << "\"final_relative_error\": " << json_number(r.final_relative_error)
+       << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   os << "      ]\n";
   os << "    }";
@@ -295,19 +315,19 @@ std::string render_obs_run(const Options& opts, std::size_t edges,
                            const p2prank::obs::Tracer& tracer) {
   const double overhead = instrumented_ns / baseline_ns - 1.0;
   std::ostringstream os;
-  os.precision(6);
   os << "    {\n";
   os << "      \"label\": \"" << json_escape(opts.label) << "\",\n";
   os << "      \"pages\": " << opts.pages << ",\n";
   os << "      \"edges\": " << edges << ",\n";
   os << "      \"k\": " << opts.k << ",\n";
   os << "      \"graph_seed\": " << opts.seed << ",\n";
-  os << "      \"alpha\": " << opts.alpha << ",\n";
+  os << "      \"alpha\": " << json_number(opts.alpha) << ",\n";
   os << "      \"pool_threads\": " << pool_threads << ",\n";
-  os << "      \"span_virtual_time\": " << span << ",\n";
-  os << "      \"baseline_ns_per_span\": " << baseline_ns << ",\n";
-  os << "      \"instrumented_ns_per_span\": " << instrumented_ns << ",\n";
-  os << "      \"overhead\": " << overhead << ",\n";
+  os << "      \"span_virtual_time\": " << json_number(span) << ",\n";
+  os << "      \"baseline_ns_per_span\": " << json_number(baseline_ns) << ",\n";
+  os << "      \"instrumented_ns_per_span\": " << json_number(instrumented_ns)
+     << ",\n";
+  os << "      \"overhead\": " << json_number(overhead) << ",\n";
   os << "      \"trace_events\": " << tracer.size() << ",\n";
   os << "      \"trace_dropped\": " << tracer.dropped() << "\n";
   os << "    }";
@@ -379,6 +399,202 @@ int run_obs_bench(const Options& opts) {
   return 0;
 }
 
+// --- Kernel benchmark --------------------------------------------------------
+
+/// Times every sweep-kernel variant on `m` with the given pool. The two
+/// worklist variants bracket the frontier kernel's envelope: forced-dense
+/// sweeps (its overhead ceiling vs fused_sweep_residual) and a contracted
+/// steady-state frontier (its payoff once convergence has localized the
+/// residual — the regime DPR1's inner iterations live in after warm-up).
+std::vector<VariantResult> kernel_variants(const Options& opts,
+                                           const rank::LinkMatrix& m,
+                                           util::ThreadPool& pool) {
+  const std::size_t n = m.dimension();
+  const std::size_t edges = m.num_entries();
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 0.1 + static_cast<double>(i % 7);
+  std::vector<double> y(n);
+  const std::vector<double> forcing(n, 0.15);
+  rank::SweepScratch scratch;
+
+  // Hot-loop bytes per sweep; accounting documented in DESIGN.md.
+  const auto i64 = [](std::size_t v) { return static_cast<std::int64_t>(v); };
+  const std::int64_t multiply_bytes = i64(edges) * 20 + i64(n) * 8;
+  const std::int64_t contribution_bytes = i64(edges) * 12 + i64(n) * 32;
+  const std::int64_t fused_bytes = contribution_bytes + i64(n) * 16;
+  const std::int64_t unfused_bytes = contribution_bytes + i64(n) * 40;
+
+  std::vector<VariantResult> results;
+  // Frozen copy of the seed's multiply hot loop (single-chain
+  // accumulation over the per-edge weight stream). Every run carries this
+  // in-phase baseline so kernel speedups can be read off one run without
+  // being confounded by machine phase (shared boxes drift ±30%).
+  results.push_back(make_result(
+      "seed_pooled_multiply",
+      time_variant(opts,
+                   [&] {
+                     for (std::size_t v = 0; v < n; ++v) {
+                       double acc = 0.0;
+                       const auto src = m.row_sources(v);
+                       const auto w = m.row_weights(v);
+                       for (std::size_t e = 0; e < src.size(); ++e) {
+                         acc += x[src[e]] * w[e];
+                       }
+                       y[v] = acc;
+                     }
+                   }),
+      edges, multiply_bytes));
+  results.push_back(make_result(
+      "serial_multiply",
+      time_variant(opts, [&] { m.multiply(x, y); }), edges, multiply_bytes));
+  results.push_back(make_result(
+      "pooled_multiply",
+      time_variant(opts, [&] { m.multiply(x, y, pool); }), edges,
+      multiply_bytes));
+  results.push_back(make_result(
+      "contribution_serial",
+      time_variant(opts, [&] { m.sweep(x, y, scratch); }), edges,
+      contribution_bytes));
+  results.push_back(make_result(
+      "contribution_pooled",
+      time_variant(opts, [&] { m.sweep(x, y, scratch, pool); }), edges,
+      contribution_bytes));
+  results.push_back(make_result(
+      "fused_sweep_residual",
+      time_variant(opts,
+                   [&] {
+                     auto stats = m.sweep_and_residual(x, y, forcing, scratch, pool);
+                     if (stats.l1_delta < 0.0) std::abort();  // keep the result live
+                   }),
+      edges, fused_bytes));
+  results.push_back(make_result(
+      "sweep_then_residual",
+      time_variant(opts,
+                   [&] {
+                     m.sweep(x, y, scratch, pool);
+                     for (std::size_t v = 0; v < n; ++v) y[v] += forcing[v];
+                     volatile double delta = util::l1_distance(y, x);
+                     (void)delta;
+                   }),
+      edges, unfused_bytes));
+
+  {
+    // Worklist kernel, forced dense every sweep: same row loop as
+    // fused_sweep_residual plus frontier bookkeeping — its overhead ceiling.
+    rank::WorklistOptions wopts;
+    rank::WorklistState wstate;
+    rank::SweepScratch wscratch;
+    results.push_back(make_result(
+        "worklist_dense_full",
+        time_variant(opts,
+                     [&] {
+                       auto stats = m.sweep_and_residual_worklist(
+                           x, y, forcing, wscratch, wstate, wopts, pool,
+                           /*force_dense=*/true);
+                       if (stats.l1_delta < 0.0) std::abort();
+                     }),
+        edges, fused_bytes));
+  }
+
+  {
+    // Worklist kernel at a contracted steady-state frontier: converge to
+    // the fixed point first, then keep a small recurring perturbation live
+    // (32 forcing entries toggled ±1e-6 per sweep) so every timed sweep
+    // pays realistic frontier maintenance, not the empty-frontier fast
+    // path. The threshold localizes the wave to a few hops of the
+    // perturbed rows. Bytes use the dense accounting so bytes_per_sec
+    // stays comparable — it reads as "effective dense bandwidth".
+    rank::WorklistOptions wopts;
+    wopts.epsilon = 1e-7;
+    wopts.full_interval = 0;
+    rank::WorklistState wstate;
+    rank::SweepScratch wscratch;
+    std::vector<double> a(x), b(n);
+    std::vector<double> f(forcing);
+    for (int warm = 0; warm < 200; ++warm) {
+      auto stats = m.sweep_and_residual_worklist(a, b, f, wscratch, wstate,
+                                                 wopts, pool);
+      std::swap(a, b);
+      if (stats.l1_delta == 0.0) break;
+    }
+    const std::uint64_t warm_sweeps = wstate.sweeps;
+    const std::uint64_t warm_rows = wstate.rows_computed;
+    std::size_t tick = 0;
+    results.push_back(make_result(
+        "worklist_contracted",
+        time_variant(opts,
+                     [&] {
+                       const double delta = (tick++ & 1) ? -1e-6 : 1e-6;
+                       for (std::size_t j = 0; j < 32; ++j) {
+                         const std::size_t row = (j * 1543) % n;
+                         f[row] += delta;
+                         wstate.mark_forcing_dirty(row);
+                       }
+                       auto stats = m.sweep_and_residual_worklist(
+                           a, b, f, wscratch, wstate, wopts, pool);
+                       if (stats.l1_delta < 0.0) std::abort();
+                       std::swap(a, b);
+                     }),
+        edges, fused_bytes));
+    const std::uint64_t timed = wstate.sweeps - warm_sweeps;
+    if (timed > 0) {
+      std::cout << "  worklist_contracted frontier: "
+                << static_cast<double>(wstate.rows_computed - warm_rows) /
+                       static_cast<double>(timed)
+                << " rows recomputed per sweep (n=" << n << ")\n";
+    }
+  }
+  return results;
+}
+
+int run_kernel_bench(const Options& opts) {
+  const auto g = graph::generate_synthetic_web(
+      graph::google2002_config(opts.pages, opts.seed));
+  const auto m = rank::LinkMatrix::from_graph(g, opts.alpha);
+  const std::size_t edges = m.num_entries();
+
+  const auto one_pool = [&](util::ThreadPool& pool) {
+    std::cout << "graph: " << opts.pages << " pages, " << edges
+              << " edges; pool " << pool.size() << " thread(s)\n";
+    const auto results = kernel_variants(opts, m, pool);
+    for (const auto& r : results) {
+      std::cout << "  " << r.name << ": " << r.ns_per_sweep / 1e3
+                << " us/sweep, " << r.items_per_sec / 1e6 << " M items/s, "
+                << r.bytes_per_sec / 1e9 << " GB/s\n";
+    }
+    write_report(opts.out, "p2prank-kernel-bench-v1",
+                 render_run(opts, edges, pool.size(), results));
+    std::cout << "appended run \"" << opts.label << "\" (pool " << pool.size()
+              << ") to " << opts.out << "\n";
+  };
+
+  if (opts.threads.empty()) {
+    one_pool(util::ThreadPool::shared());
+  } else {
+    for (const unsigned t : opts.threads) {
+      util::ThreadPool pool(t);
+      one_pool(pool);
+    }
+  }
+  return 0;
+}
+
+/// Parse "1,2,8,16" into pool sizes.
+std::vector<unsigned> parse_thread_list(const std::string& spec) {
+  std::vector<unsigned> out;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const unsigned long v = std::stoul(item);
+    if (v == 0) throw std::runtime_error("bench_report: --threads values must be >= 1");
+    out.push_back(static_cast<unsigned>(v));
+  }
+  if (out.empty()) throw std::runtime_error("bench_report: --threads needs a list like 1,2,8");
+  return out;
+}
+
 Options parse_args(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
@@ -400,6 +616,8 @@ Options parse_args(int argc, char** argv) {
       opts.repetitions = std::stoi(need_value("--reps"));
     } else if (arg == "--min-rep-seconds") {
       opts.min_rep_seconds = std::stod(need_value("--min-rep-seconds"));
+    } else if (arg == "--threads") {
+      opts.threads = parse_thread_list(need_value("--threads"));
     } else if (arg == "--label") {
       opts.label = need_value("--label");
     } else if (arg == "--out") {
@@ -416,7 +634,8 @@ Options parse_args(int argc, char** argv) {
       opts.max_time = std::stod(need_value("--max-time"));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: bench_report [--pages N] [--seed S] [--alpha A] "
-                   "[--reps R] [--min-rep-seconds T] [--label L] [--out FILE]\n"
+                   "[--reps R] [--min-rep-seconds T] [--threads 1,2,8,16] "
+                   "[--label L] [--out FILE]\n"
                    "       bench_report --reliability [--pages N] [--k K] "
                    "[--seed S] [--error-threshold E] [--max-time T] "
                    "[--label L] [--out FILE]\n"
@@ -448,91 +667,7 @@ int main(int argc, char** argv) {
     const Options opts = parse_args(argc, argv);
     if (opts.reliability) return run_reliability_bench(opts);
     if (opts.obs) return run_obs_bench(opts);
-    const auto g = graph::generate_synthetic_web(
-        graph::google2002_config(opts.pages, opts.seed));
-    const auto m = rank::LinkMatrix::from_graph(g, opts.alpha);
-    auto& pool = util::ThreadPool::shared();
-    const std::size_t n = m.dimension();
-    const std::size_t edges = m.num_entries();
-
-    std::vector<double> x(n);
-    for (std::size_t i = 0; i < n; ++i) x[i] = 0.1 + static_cast<double>(i % 7);
-    std::vector<double> y(n);
-    const std::vector<double> forcing(n, 0.15);
-    rank::SweepScratch scratch;
-
-    // Hot-loop bytes per sweep; accounting documented in DESIGN.md.
-    const auto i64 = [](std::size_t v) { return static_cast<std::int64_t>(v); };
-    const std::int64_t multiply_bytes = i64(edges) * 20 + i64(n) * 8;
-    const std::int64_t contribution_bytes = i64(edges) * 12 + i64(n) * 32;
-    const std::int64_t fused_bytes = contribution_bytes + i64(n) * 16;
-    const std::int64_t unfused_bytes = contribution_bytes + i64(n) * 40;
-
-    std::vector<VariantResult> results;
-    // Frozen copy of the seed's multiply hot loop (single-chain
-    // accumulation over the per-edge weight stream). Every run carries this
-    // in-phase baseline so kernel speedups can be read off one run without
-    // being confounded by machine phase (shared boxes drift ±30%).
-    results.push_back(make_result(
-        "seed_pooled_multiply",
-        time_variant(opts,
-                     [&] {
-                       for (std::size_t v = 0; v < n; ++v) {
-                         double acc = 0.0;
-                         const auto src = m.row_sources(v);
-                         const auto w = m.row_weights(v);
-                         for (std::size_t e = 0; e < src.size(); ++e) {
-                           acc += x[src[e]] * w[e];
-                         }
-                         y[v] = acc;
-                       }
-                     }),
-        edges, multiply_bytes));
-    results.push_back(make_result(
-        "serial_multiply",
-        time_variant(opts, [&] { m.multiply(x, y); }), edges, multiply_bytes));
-    results.push_back(make_result(
-        "pooled_multiply",
-        time_variant(opts, [&] { m.multiply(x, y, pool); }), edges,
-        multiply_bytes));
-    results.push_back(make_result(
-        "contribution_serial",
-        time_variant(opts, [&] { m.sweep(x, y, scratch); }), edges,
-        contribution_bytes));
-    results.push_back(make_result(
-        "contribution_pooled",
-        time_variant(opts, [&] { m.sweep(x, y, scratch, pool); }), edges,
-        contribution_bytes));
-    results.push_back(make_result(
-        "fused_sweep_residual",
-        time_variant(opts,
-                     [&] {
-                       auto stats = m.sweep_and_residual(x, y, forcing, scratch, pool);
-                       if (stats.l1_delta < 0.0) std::abort();  // keep the result live
-                     }),
-        edges, fused_bytes));
-    results.push_back(make_result(
-        "sweep_then_residual",
-        time_variant(opts,
-                     [&] {
-                       m.sweep(x, y, scratch, pool);
-                       for (std::size_t v = 0; v < n; ++v) y[v] += forcing[v];
-                       volatile double delta = util::l1_distance(y, x);
-                       (void)delta;
-                     }),
-        edges, unfused_bytes));
-
-    const std::string run = render_run(opts, edges, pool.size(), results);
-    write_report(opts.out, "p2prank-kernel-bench-v1", run);
-
-    std::cout << "graph: " << opts.pages << " pages, " << edges << " edges; pool "
-              << pool.size() << " thread(s)\n";
-    for (const auto& r : results) {
-      std::cout << "  " << r.name << ": " << r.ns_per_sweep / 1e3 << " us/sweep, "
-                << r.items_per_sec / 1e6 << " M items/s, "
-                << r.bytes_per_sec / 1e9 << " GB/s\n";
-    }
-    std::cout << "appended run \"" << opts.label << "\" to " << opts.out << "\n";
+    return run_kernel_bench(opts);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 1;

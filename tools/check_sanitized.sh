@@ -29,6 +29,14 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/scenario_fuzz \
   --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-tsan --quiet
 echo "TSan: chaos-scenario smoke corpus clean"
 
+# Worklist sweeps scatter dirty bits along push edges with relaxed atomic
+# fetch_or while other workers read neighbouring words — run the corpus with
+# the frontier kernel forced on so TSan certifies that pattern too.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/scenario_fuzz \
+  --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-tsan --quiet \
+  --worklist
+echo "TSan: chaos-scenario smoke corpus clean (--worklist)"
+
 # Same corpus under ASan + UBSan (heap-use-after-free / overflow, plus
 # -fsanitize=float-divide-by-zero,float-cast-overflow — rank math divides
 # by degree sums and casts scores to counters, so silent inf/NaN or a
@@ -42,4 +50,7 @@ ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
   --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-asan --quiet \
   --reliable
-echo "ASan: chaos-scenario smoke corpus clean (base + --reliable)"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
+  --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-asan --quiet \
+  --worklist
+echo "ASan: chaos-scenario smoke corpus clean (base + --reliable + --worklist)"

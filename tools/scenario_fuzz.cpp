@@ -6,6 +6,7 @@
 //   scenario_fuzz --replay trace.txt     # re-run a written trace
 //   scenario_fuzz --seeds 50 --broken    # self-test: every run must FAIL
 //   scenario_fuzz --seeds 100 --reliable # force the reliable exchange layer
+//   scenario_fuzz --seeds 100 --worklist # force worklist (frontier) sweeps
 //
 // Each scenario expands a 64-bit seed into a fault schedule (crash / pause /
 // resume / loss bursts / checkpoint save+restore / graph update / ranker
@@ -40,9 +41,11 @@ int usage(std::ostream& err) {
          "                     [--seeds-file PATH] [--replay PATH]\n"
          "                     [--trace-dir DIR] [--broken] [--no-minimize]\n"
          "                     [--threads T] [--tail-time T] [--quiet]\n"
-         "                     [--reliable]\n"
+         "                     [--reliable] [--worklist]\n"
          "  --reliable  force every scenario onto the reliable exchange\n"
-         "              layer (epochs + retransmission + failure detection)\n";
+         "              layer (epochs + retransmission + failure detection)\n"
+         "  --worklist  force every scenario onto exact-mode worklist\n"
+         "              sweeps (residual-driven frontier kernel)\n";
   return 2;
 }
 
@@ -53,6 +56,7 @@ std::string scenario_label(const Scenario& s) {
       << " ops=" << s.ops.size()
       << (s.warm_start_scale > 0.0 ? " warm" : "")
       << (s.reliable ? " reliable" : "")
+      << (s.worklist ? " worklist" : "")
       << (s.latency_jitter > 0.0 ? " jitter" : "");
   return out.str();
 }
@@ -91,6 +95,7 @@ int main(int argc, char** argv) {
   bool minimize = true;
   bool quiet = false;
   bool force_reliable = false;
+  bool force_worklist = false;
   std::size_t threads = 2;
   p2prank::check::RunnerOptions ropts;
 
@@ -126,6 +131,8 @@ int main(int argc, char** argv) {
         minimize = false;
       } else if (a == "--reliable") {
         force_reliable = true;
+      } else if (a == "--worklist") {
+        force_worklist = true;
       } else if (a == "--quiet") {
         quiet = true;
       } else {
@@ -175,6 +182,9 @@ int main(int argc, char** argv) {
 
   if (force_reliable) {
     for (Scenario& s : scenarios) s.reliable = true;
+  }
+  if (force_worklist) {
+    for (Scenario& s : scenarios) s.worklist = true;
   }
 
   p2prank::util::ThreadPool pool(threads);
