@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "partition/partitioner.hpp"
+#include "serve/snapshot.hpp"
 #include "util/rng.hpp"
 
 namespace p2prank::check {
@@ -149,6 +150,13 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   if (opts_.break_skip_refresh) {
     eo.fault_skip_refresh_group = largest_group(assignment, s.k);
   }
+  // Serving pass-through (DESIGN.md §12): like metrics/tracer, attaching a
+  // sink is pure observation — every invariant below applies unchanged with
+  // the flag on. The store outlives the engine (including kGraphUpdate
+  // rebuilds, which reuse `eo` and hence the same sink), so snapshot epochs
+  // must stay monotone across the whole scenario.
+  serve::SnapshotStore serve_store(/*top_k_capacity=*/8);
+  if (s.serve) eo.snapshot_sink = &serve_store;
 
   // Reordering without the epoch filter is a *designed* monotonicity hazard:
   // a delayed stale Y replaces a newer X entry and the affected ranks dip.
@@ -197,6 +205,45 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   bool state_consistent = true;
   bool checkpoint_consistent = false;
 
+  // Serving-contract probes, sampled alongside the theorem checks: a
+  // snapshot exists from t = 0 on, its shard epochs agree (the torn-read
+  // tripwire), epochs never run backwards — not even across a kGraphUpdate
+  // engine rebuild — and the merged top-K matches a brute-force sort of the
+  // snapshot's own ranks.
+  std::uint64_t serve_last_epoch = 0;
+  const auto serve_probe = [&] {
+    if (!s.serve || result.violations.size() >= opts_.max_violations) return;
+    const double t = offset + sim->now();
+    const std::shared_ptr<const serve::RankSnapshot> snap = serve_store.acquire();
+    if (snap == nullptr) {
+      result.violations.push_back({"serve-available", t, "no snapshot published"});
+      return;
+    }
+    if (!snap->epoch_consistent()) {
+      result.violations.push_back(
+          {"serve-epoch", t, "mixed shard epochs (torn snapshot)"});
+    }
+    if (snap->epoch() < serve_last_epoch) {
+      std::ostringstream detail;
+      detail << "epoch " << snap->epoch() << " after " << serve_last_epoch;
+      result.violations.push_back({"serve-epoch-monotonic", t, detail.str()});
+    }
+    serve_last_epoch = std::max(serve_last_epoch, snap->epoch());
+    const std::size_t probe_k = std::min<std::size_t>(5, snap->num_pages());
+    std::vector<serve::TopKEntry> brute;
+    brute.reserve(snap->num_pages());
+    for (std::uint32_t page = 0; page < snap->num_pages(); ++page) {
+      brute.push_back({page, snap->rank(page)});
+    }
+    std::sort(brute.begin(), brute.end(), serve::ranks_before);
+    brute.resize(probe_k);
+    if (snap->top_k(probe_k) != brute) {
+      result.violations.push_back(
+          {"serve-topk", t,
+           "merged top-K disagrees with brute force over the snapshot's ranks"});
+    }
+  };
+
   const auto advance_to = [&](double global_t) {
     while (offset + sim->now() + 1e-12 < global_t &&
            result.violations.size() < opts_.max_violations) {
@@ -206,6 +253,7 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
       if (interval <= 0.0) break;  // fp guard: nothing left to simulate
       (void)sim->run(next - offset, interval);
       checker->check_sample(result.violations);
+      serve_probe();
       ++result.samples_checked;
       if (obs_samples != nullptr) ++*obs_samples;
       if (opts_.tracer != nullptr) {
@@ -294,7 +342,28 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
         // the restored state, and the first post-restore send would deflate
         // it — a rank dip that breaks monotone re-arming).
         sim->drop_in_flight();
+        if (s.serve) {
+          // The rollback instant: every published epoch reflects the
+          // abandoned timeline and must read as stale — but still serve
+          // (availability over freshness).
+          const auto snap = serve_store.acquire();
+          if (snap == nullptr || !serve_store.is_stale(*snap)) {
+            result.violations.push_back(
+                {"serve-invalidate", offset + sim->now(),
+                 "snapshot not stale after restore rollback"});
+          }
+        }
         sim->warm_start(loaded.ranks);
+        if (s.serve) {
+          // The warm start republishes the restored state, superseding the
+          // stale epochs immediately.
+          const auto snap = serve_store.acquire();
+          if (snap == nullptr || serve_store.is_stale(*snap)) {
+            result.violations.push_back(
+                {"serve-invalidate", offset + sim->now(),
+                 "restore warm start did not republish a fresh snapshot"});
+          }
+        }
         checker->on_restore(loaded.ranks, checkpoint_consistent);
         state_consistent = checkpoint_consistent;
         break;

@@ -203,6 +203,7 @@ void Scenario::serialize(std::ostream& out) const {
   out << "latency_jitter " << latency_jitter << '\n';
   out << "reliable " << (reliable ? 1 : 0) << '\n';
   out << "worklist " << (worklist ? 1 : 0) << '\n';
+  out << "serve " << (serve ? 1 : 0) << '\n';
   out << "stability_epsilon " << stability_epsilon << '\n';
   out << "warm_start_scale " << warm_start_scale << '\n';
   out << "engine_seed " << engine_seed << '\n';
@@ -317,6 +318,10 @@ Scenario Scenario::parse(std::istream& in) {
       int flag = 0;
       if (!(fields >> flag)) fail("bad worklist");
       s.worklist = flag != 0;
+    } else if (key == "serve") {
+      int flag = 0;
+      if (!(fields >> flag)) fail("bad serve");
+      s.serve = flag != 0;
     } else if (key == "stability_epsilon") {
       if (!(fields >> s.stability_epsilon)) fail("bad stability_epsilon");
     } else if (key == "warm_start_scale") {

@@ -88,6 +88,13 @@ struct Scenario {
   /// Exactness means every invariant the checker enforces must hold
   /// unchanged — this flag exists so the chaos corpus can prove it.
   bool worklist = false;
+  /// Attach a serve::SnapshotStore to the engine and probe the serving
+  /// contract (DESIGN.md §12) at every sample: a snapshot exists, its
+  /// epochs are consistent and monotone, its top-K matches a brute-force
+  /// sort of its own ranks, and restores mark it stale exactly once before
+  /// the warm start republishes. Attaching is pure observation, so every
+  /// other invariant must hold unchanged with the flag on.
+  bool serve = false;
   double stability_epsilon = 0.0;
   /// 0 = cold start (the theorems' R0 = 0 premise). Otherwise the engine
   /// warm-starts from scale·R*, which is still a sub-fixed-point start

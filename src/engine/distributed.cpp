@@ -47,6 +47,8 @@ EngineOptions DistributedRanking::validated(EngineOptions o) {
   //                              registry, must outlive the engine
   //   tracer                   — nullptr (default) = tracing off; any
   //                              tracer, must outlive the engine
+  //   snapshot_sink            — nullptr (default) = serving off; any sink,
+  //                              must outlive the engine (DESIGN.md §12)
   if (!(o.alpha > 0.0 && o.alpha < 1.0)) {
     throw std::invalid_argument("EngineOptions.alpha: must be in (0,1)");
   }
@@ -86,6 +88,10 @@ EngineOptions DistributedRanking::validated(EngineOptions o) {
   }
   if (!(o.send_threshold >= 0.0)) {
     throw std::invalid_argument("EngineOptions.send_threshold: must be >= 0");
+  }
+  if (!(o.snapshot_interval > 0.0) || !std::isfinite(o.snapshot_interval)) {
+    throw std::invalid_argument(
+        "EngineOptions.snapshot_interval: must be > 0 and finite");
   }
   // worklist — both values valid: false keeps the dense kernels, true
   // routes local iteration through the frontier kernel (DESIGN.md §6).
@@ -185,6 +191,11 @@ DistributedRanking::DistributedRanking(const graph::WebGraph& g,
   for (std::uint32_t grp = 0; grp < k; ++grp) {
     if (groups_[grp]->size() > 0) schedule_step(grp);
   }
+
+  // Serving is live from t = 0: the all-zero cold-start state is the true
+  // current state, and publishing it means a reader never finds the store
+  // empty once the engine exists (a warm_start republishes immediately).
+  publish_snapshot();
 }
 
 void DistributedRanking::init_obs() {
@@ -281,6 +292,10 @@ void DistributedRanking::build_groups(std::span<const std::uint32_t> assignment)
     }
   }
   for (auto& grp : groups_) grp->finalize_efferents();
+
+  // Every membership change funnels through here (construction, churn);
+  // the bump tells snapshot sinks their cached page → shard maps are stale.
+  ++ownership_version_;
 }
 
 void DistributedRanking::warm_start(std::span<const double> global_ranks) {
@@ -310,6 +325,9 @@ void DistributedRanking::warm_start(std::span<const double> global_ranks) {
       groups_[dest]->refresh_x(src, groups_[src]->compute_y(dest));
     }
   }
+  // A warm start changes the served state wholesale (initial seeding, churn
+  // handoff, restore) — republish instead of waiting out the cadence.
+  publish_snapshot();
 }
 
 void DistributedRanking::pause_group(std::uint32_t group) {
@@ -375,6 +393,13 @@ void DistributedRanking::drop_in_flight() {
   ++generation_;
   pending_payload_.clear();
   if (reliable_) reliable_->reset_pending();
+  // A restore is a global rollback for the serving layer too: every epoch
+  // published from the rolled-back timeline is stale. The sink keeps
+  // serving it (availability over freshness) until the restore's
+  // warm_start republishes.
+  if (opts_.snapshot_sink != nullptr) {
+    opts_.snapshot_sink->invalidate(queue_.now());
+  }
 }
 
 void DistributedRanking::apply_churn(std::span<const std::uint32_t> assignment) {
@@ -805,7 +830,36 @@ void DistributedRanking::run_step(std::uint32_t group) {
     send_slice(group, dest, std::move(slice));
   }
 
+  // Publish-at-iteration-boundary (DESIGN.md §12): loop-step boundaries are
+  // the engine's consistent cut points, and they happen at deterministic
+  // event times — so the published epoch sequence is bitwise-identical
+  // across pool sizes, like every other result.
+  if (opts_.snapshot_sink != nullptr && queue_.now() + 1e-12 >= next_snapshot_) {
+    publish_snapshot();
+  }
+
   schedule_step(group);
+}
+
+void DistributedRanking::publish_snapshot() {
+  if (opts_.snapshot_sink == nullptr) return;
+  // Hand the sink each group's (members, ranks) view directly: the sink
+  // scatters into its own storage exactly once and the engine gathers
+  // nothing — publishing a 50k-page snapshot costs one streaming pass,
+  // which is what keeps it inside the serving layer's overhead budget.
+  // The views die when the call returns (RankSnapshotSink contract).
+  snapshot_cuts_.clear();
+  snapshot_cuts_.reserve(groups_.size());
+  for (const auto& g : groups_) {
+    snapshot_cuts_.push_back(GroupCut{g->members(), g->ranks()});
+  }
+  opts_.snapshot_sink->publish_groups(queue_.now(), snapshot_cuts_,
+                                      graph_.num_pages(), ownership_version_);
+  next_snapshot_ = queue_.now() + opts_.snapshot_interval;
+  if (opts_.tracer != nullptr) {
+    opts_.tracer->instant(obs::names::kTraceSnapshot, queue_.now(), 0, {},
+                          static_cast<double>(num_groups()));
+  }
 }
 
 void DistributedRanking::set_reference(std::vector<double> reference) {

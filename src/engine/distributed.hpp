@@ -272,6 +272,9 @@ class DistributedRanking {
   void schedule_step(std::uint32_t group);
   void run_step(std::uint32_t group);
   void init_obs();
+  /// Push the current (ranks, ownership) into opts_.snapshot_sink (no-op
+  /// without one) and restart the publish-cadence clock.
+  void publish_snapshot();
 
   // Reliable-exchange plumbing.
   void send_slice(std::uint32_t src, std::uint32_t dst, YSlice slice);
@@ -338,6 +341,14 @@ class DistributedRanking {
   std::vector<char> stable_flag_;
   std::uint32_t stable_count_ = 0;
   double termination_time_ = -1.0;
+  /// Next virtual time at which a loop step publishes into snapshot_sink.
+  double next_snapshot_ = 0.0;
+  /// Per-group view array for publish_snapshot(), reused across publishes
+  /// so the per-outer-iteration publish path allocates nothing.
+  std::vector<GroupCut> snapshot_cuts_;
+  /// Bumped by build_groups() on every membership change; handed to the
+  /// snapshot sink so it can keep ownership-derived state across publishes.
+  std::uint64_t ownership_version_ = 0;
   std::uint64_t status_messages_ = 0;
   std::vector<double> step_scratch_;
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "overlay/overlay.hpp"
@@ -13,6 +14,80 @@ class Tracer;
 }  // namespace p2prank::obs
 
 namespace p2prank::engine {
+
+/// One ranker group's slice of a snapshot cut: `ranks[i]` is the rank of
+/// global page `members[i]`. Members are ascending (PageGroup keeps them
+/// that way); the views alias live group state and are only valid while
+/// the publish_groups call they were passed to is on the stack.
+struct GroupCut {
+  std::span<const std::uint32_t> members;
+  std::span<const double> ranks;
+};
+
+/// Engine → serving handoff (DESIGN.md §12 "Serving contract"). The engine
+/// pushes consistent (ranks, ownership) states into this interface at
+/// loop-step boundaries; src/serve/ implements it with epoch-swapped
+/// immutable snapshots that concurrent readers query without ever blocking
+/// a sweep. The interface lives engine-side so the engine never links the
+/// serving layer — the dependency points serve → engine only.
+///
+/// Every call happens on the simulation thread. Implementations that hand
+/// the state to other threads (the whole point) own that synchronization.
+class RankSnapshotSink {
+ public:
+  virtual ~RankSnapshotSink() = default;
+
+  /// One consistent cut of the engine at virtual time `time`: the global
+  /// rank vector and the page → ranker-group ownership map, with group ids
+  /// in [0, num_shards). Called at construction, every snapshot_interval of
+  /// virtual time at loop-step boundaries, and after every warm start
+  /// (initial seeding, churn handoff, checkpoint restore) — so ownership
+  /// changes are republished promptly. The spans are valid only for the
+  /// duration of the call.
+  virtual void publish(double time, std::span<const double> ranks,
+                       std::span<const std::uint32_t> assignment,
+                       std::uint32_t num_shards) = 0;
+
+  /// Group-structured variant of publish(): one cut per ranker group, the
+  /// group's shard id being its position in `groups`. Members are
+  /// ascending global page ids (PageGroup's invariant) and groups
+  /// partition the owned pages; pages in no group (post-crash orphans)
+  /// read as unowned. This is the engine's publish path: handing the
+  /// per-group views straight through lets the sink scatter into its own
+  /// storage exactly once instead of the engine materializing dense
+  /// vectors the sink would immediately re-copy and re-scan — the
+  /// difference between blowing and meeting the < 5% serving overhead
+  /// budget at 50k+ pages. Same validity contract as publish(): the spans
+  /// die when the call returns. Default: materialize and forward.
+  ///
+  /// `ownership_version` is a monotone counter the publisher bumps whenever
+  /// the page → group map changes (0 = unknown). Ranks change every
+  /// publish but ownership almost never does, so sinks may keep
+  /// ownership-derived state (dense shard maps, shard page counts) from
+  /// any earlier publish with the same nonzero version instead of
+  /// rewriting it.
+  virtual void publish_groups(double time, std::span<const GroupCut> groups,
+                              std::uint32_t num_pages,
+                              std::uint64_t ownership_version) {
+    static_cast<void>(ownership_version);  // the dense path always rebuilds
+    std::vector<double> ranks(num_pages, 0.0);
+    std::vector<std::uint32_t> assignment(num_pages, UINT32_MAX);
+    for (std::size_t sh = 0; sh < groups.size(); ++sh) {
+      for (std::size_t i = 0; i < groups[sh].members.size(); ++i) {
+        ranks[groups[sh].members[i]] = groups[sh].ranks[i];
+        assignment[groups[sh].members[i]] = static_cast<std::uint32_t>(sh);
+      }
+    }
+    publish(time, ranks, assignment, static_cast<std::uint32_t>(groups.size()));
+  }
+
+  /// Every previously published epoch is now a lie: a checkpoint restore
+  /// rolled the engine back past it (the serving twin of drop_in_flight()'s
+  /// in-flight-slice rollback). Implementations mark published state stale
+  /// but keep serving it — availability over freshness — until the next
+  /// publish supersedes it.
+  virtual void invalidate(double time) = 0;
+};
 
 // (The paper's Section 3: "The case when E is not uniform over pages can be
 // used for personalized page ranking" — EngineOptions::personalization wires
@@ -165,6 +240,19 @@ struct EngineOptions {
   /// or event ordering. nullptr (default) = off, zero overhead.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+
+  /// Rank serving (DESIGN.md §12): when non-null, the engine publishes a
+  /// consistent (global ranks, ownership) state into this sink — at
+  /// construction, then every snapshot_interval of virtual time at loop-step
+  /// boundaries, and after every warm start (so churn handoffs and restores
+  /// republish the new ownership immediately) — and calls invalidate() from
+  /// drop_in_flight() (a restore is a global rollback; published epochs from
+  /// the rolled-back timeline are stale). Pure observation: attaching a sink
+  /// never changes rank results, RNG streams, or event ordering. Must
+  /// outlive the engine. nullptr (default) = serving off, zero overhead.
+  RankSnapshotSink* snapshot_sink = nullptr;
+  /// Virtual-time cadence of snapshot publication (snapshot_sink only).
+  double snapshot_interval = 1.0;
 
   std::uint64_t seed = 7;
 };

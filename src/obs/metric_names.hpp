@@ -84,6 +84,33 @@ inline constexpr std::string_view kPoolWorkerClaims = "pool.worker_claims";
 inline constexpr std::string_view kCheckOpsApplied = "check.ops_applied";
 inline constexpr std::string_view kCheckSamples = "check.samples";
 
+// --- serve: rank serving layer (DESIGN.md §12) ---------------------------
+inline constexpr std::string_view kServeQueries = "serve.queries";
+inline constexpr std::string_view kServePointQueries = "serve.point_queries";
+inline constexpr std::string_view kServeTopkQueries = "serve.topk_queries";
+/// Queries answered before any snapshot was published (no epoch to pin).
+inline constexpr std::string_view kServeUnavailable = "serve.unavailable";
+/// Queries answered from an epoch at or below the invalidation watermark
+/// (served anyway — availability over freshness; see DESIGN.md §12).
+inline constexpr std::string_view kServeStaleReads = "serve.stale_reads";
+/// Queries whose pinned snapshot mixed shard epochs. The serving contract
+/// says this is impossible; the counter is the machine check.
+inline constexpr std::string_view kServeTornReads = "serve.torn_reads";
+inline constexpr std::string_view kServeSnapshotsPublished =
+    "serve.snapshots_published";
+inline constexpr std::string_view kServeSnapshotsInvalidated =
+    "serve.snapshots_invalidated";
+/// Publishes that recycled a retired buffer instead of allocating.
+inline constexpr std::string_view kServeBufferReuses = "serve.buffer_reuses";
+/// Closed-loop query latency in virtual time units (LinearHistogram).
+inline constexpr std::string_view kServeLatency = "serve.latency";
+/// Exact latency quantiles / throughput of a finished load run (gauges).
+inline constexpr std::string_view kServeLatencyP50 = "serve.latency_p50";
+inline constexpr std::string_view kServeLatencyP99 = "serve.latency_p99";
+inline constexpr std::string_view kServeQps = "serve.qps";
+/// High-water mark of the service queue (gauge).
+inline constexpr std::string_view kServeMaxQueueDepth = "serve.max_queue_depth";
+
 // --- trace event names ---------------------------------------------------
 inline constexpr std::string_view kTraceStep = "engine.step";
 inline constexpr std::string_view kTraceMsgFlight = "engine.msg_flight";
@@ -92,5 +119,9 @@ inline constexpr std::string_view kTraceChurn = "engine.churn";
 inline constexpr std::string_view kTraceChaosOp = "chaos.op";
 inline constexpr std::string_view kTraceSample = "check.sample";
 inline constexpr std::string_view kTracePhase = "check.phase";
+/// Engine published a rank snapshot epoch into the serving sink.
+inline constexpr std::string_view kTraceSnapshot = "serve.snapshot";
+/// One served query's issue→completion span (closed-loop load generator).
+inline constexpr std::string_view kTraceServeQuery = "serve.query";
 
 }  // namespace p2prank::obs::names

@@ -1,0 +1,73 @@
+#include "serve/topk.hpp"
+
+#include <algorithm>
+
+namespace p2prank::serve {
+
+namespace {
+
+/// Heap comparator: std::push_heap keeps the "largest" element at the
+/// front, so making "larger" mean "served earlier" leaves the *worst*
+/// retained entry at the front — exactly the eviction candidate.
+constexpr bool heap_order(const TopKEntry& a, const TopKEntry& b) noexcept {
+  return ranks_before(a, b);
+}
+
+}  // namespace
+
+void topk_offer(std::vector<TopKEntry>& heap, std::size_t capacity,
+                TopKEntry entry) {
+  if (capacity == 0) return;
+  if (heap.size() < capacity) {
+    heap.push_back(entry);
+    std::push_heap(heap.begin(), heap.end(), heap_order);
+    return;
+  }
+  if (!ranks_before(entry, heap.front())) return;  // not better than the worst
+  std::pop_heap(heap.begin(), heap.end(), heap_order);
+  heap.back() = entry;
+  std::push_heap(heap.begin(), heap.end(), heap_order);
+}
+
+void topk_finalize(std::vector<TopKEntry>& heap) {
+  // sort_heap leaves the range ascending under heap_order; heap_order sorts
+  // better entries "less", so ascending is best-first — the serving order.
+  std::sort_heap(heap.begin(), heap.end(), heap_order);
+}
+
+std::vector<TopKEntry> merge_top_k(
+    std::span<const std::span<const TopKEntry>> lists, std::size_t k) {
+  struct Cursor {
+    std::size_t list = 0;
+    std::size_t pos = 0;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(lists.size());
+  // Front of the cursor heap = the best not-yet-taken entry: the heap's
+  // "largest" element is the one no other cursor ranks before. ranks_before
+  // is total across shards (pages are globally unique), so the pop order —
+  // and therefore the merged list — is deterministic.
+  const auto better = [&](const Cursor& a, const Cursor& b) noexcept {
+    return ranks_before(lists[b.list][b.pos], lists[a.list][a.pos]);
+  };
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    if (!lists[i].empty()) heap.push_back({i, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), better);
+
+  std::vector<TopKEntry> out;
+  out.reserve(std::min(k, heap.size() * 4));
+  while (out.size() < k && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), better);
+    Cursor c = heap.back();
+    heap.pop_back();
+    out.push_back(lists[c.list][c.pos]);
+    if (++c.pos < lists[c.list].size()) {
+      heap.push_back(c);
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  }
+  return out;
+}
+
+}  // namespace p2prank::serve

@@ -1,0 +1,49 @@
+// Bounded-heap top-K selection and deterministic K-way merge — the index
+// machinery behind RankSnapshot's per-shard top-K lists (DESIGN.md §12).
+//
+// Ordering is a strict total order (rank descending, page id ascending on
+// ties), so every list and every merge is a pure function of the input
+// ranks — two snapshots built from bitwise-identical rank vectors carry
+// bitwise-identical indexes, which is what lets the serving layer inherit
+// the engine's pool-size determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace p2prank::serve {
+
+/// One index entry: a page and its rank at the snapshot's epoch.
+struct TopKEntry {
+  std::uint32_t page = 0;
+  double rank = 0.0;
+
+  friend bool operator==(const TopKEntry&, const TopKEntry&) = default;
+};
+
+/// Serving order: higher rank first; equal ranks break toward the smaller
+/// page id. Total (pages are unique), hence deterministic.
+[[nodiscard]] constexpr bool ranks_before(const TopKEntry& a,
+                                          const TopKEntry& b) noexcept {
+  if (a.rank != b.rank) return a.rank > b.rank;
+  return a.page < b.page;
+}
+
+/// Offer one entry to a bounded best-`capacity` heap. `heap` must only ever
+/// be grown through this function (it maintains a min-heap with the worst
+/// retained entry at the front). capacity == 0 retains nothing.
+void topk_offer(std::vector<TopKEntry>& heap, std::size_t capacity,
+                TopKEntry entry);
+
+/// Turn a topk_offer heap into a sorted (ranks_before) list, best first.
+void topk_finalize(std::vector<TopKEntry>& heap);
+
+/// K-way merge of per-shard lists, each sorted by ranks_before, into the
+/// globally best `k` entries. Exact whenever each input list holds its
+/// shard's best min(k, shard size) entries — i.e. for k up to the per-shard
+/// index capacity. Empty lists are fine.
+[[nodiscard]] std::vector<TopKEntry> merge_top_k(
+    std::span<const std::span<const TopKEntry>> lists, std::size_t k);
+
+}  // namespace p2prank::serve

@@ -1,0 +1,184 @@
+// Closed-loop load generator (DESIGN.md §12): same seed ⇒ byte-identical
+// query stream, checksum, and metrics snapshot; Zipf key sanity; and the
+// serving-contract accounting (unavailable before first publish, zero torn
+// reads against a live store).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::serve {
+namespace {
+
+constexpr std::size_t kPages = 100;
+
+void publish_ramp(SnapshotStore& store, double t) {
+  std::vector<double> ranks(kPages);
+  std::vector<std::uint32_t> assignment(kPages);
+  for (std::size_t i = 0; i < kPages; ++i) {
+    ranks[i] = 1.0 / static_cast<double>(i + 1);
+    assignment[i] = static_cast<std::uint32_t>(i % 4);
+  }
+  store.publish(t, ranks, assignment, 4);
+}
+
+LoadGenOptions small_options(std::uint64_t seed) {
+  LoadGenOptions o;
+  o.clients = 32;
+  o.servers = 4;
+  o.think_mean = 0.5;
+  o.top_k = 5;
+  o.seed = seed;
+  o.record_stream = true;
+  return o;
+}
+
+TEST(ServeZipf, ProbabilitiesSumToOneAndDecayMonotonically) {
+  const ZipfSampler zipf(50, 1.1);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < zipf.n(); ++i) {
+    sum += zipf.probability(i);
+    if (i > 0) EXPECT_LT(zipf.probability(i), zipf.probability(i - 1));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ServeZipf, SampleFrequenciesTrackTheDistribution) {
+  const ZipfSampler zipf(20, 1.1);
+  util::Rng rng(3);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(zipf.n(), 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.sample(rng)];
+  // The head keys carry most of the mass; check the empirical frequency of
+  // the first few against the analytic pmf with a loose 10% relative band.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const double freq = static_cast<double>(counts[i]) / kSamples;
+    EXPECT_NEAR(freq, zipf.probability(i), 0.1 * zipf.probability(i))
+        << "key " << i;
+  }
+  EXPECT_GT(counts[0], counts[zipf.n() - 1] * 10);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), kSamples);
+}
+
+TEST(ServeZipf, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.1), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(ServeLoadGen, RejectsDegenerateOptions) {
+  SnapshotStore store(4);
+  LoadGenOptions o = small_options(1);
+  o.clients = 0;
+  EXPECT_THROW(LoadGenerator(store, kPages, o), std::invalid_argument);
+  o = small_options(1);
+  o.servers = 0;
+  EXPECT_THROW(LoadGenerator(store, kPages, o), std::invalid_argument);
+  o = small_options(1);
+  o.topk_fraction = 1.5;
+  EXPECT_THROW(LoadGenerator(store, kPages, o), std::invalid_argument);
+}
+
+TEST(ServeLoadGen, SameSeedYieldsIdenticalStreamChecksumAndMetrics) {
+  SnapshotStore store(8);
+  publish_ramp(store, 1.0);
+  publish_ramp(store, 2.0);
+
+  const auto run_once = [&](std::string& stream, std::string& metrics_json) {
+    obs::MetricsRegistry metrics;
+    LoadGenerator gen(store, kPages, small_options(77), &metrics);
+    gen.run_until(50.0);
+    const LoadGenReport r = gen.report();
+    stream = gen.stream_log();
+    std::ostringstream out;
+    metrics.write_json(out);
+    metrics_json = out.str();
+    return r;
+  };
+
+  std::string stream_a, stream_b, json_a, json_b;
+  const LoadGenReport a = run_once(stream_a, json_a);
+  const LoadGenReport b = run_once(stream_b, json_b);
+
+  EXPECT_GT(a.completed, 0u);
+  EXPECT_FALSE(stream_a.empty());
+  // Byte-identical replay: the query stream, the order-sensitive checksum,
+  // and the latency-histogram snapshot all match exactly.
+  EXPECT_EQ(stream_a, stream_b);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(json_a, json_b);
+  EXPECT_EQ(a.issued, b.issued);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p99, b.p99);
+}
+
+TEST(ServeLoadGen, DifferentSeedDiverges) {
+  SnapshotStore store(8);
+  publish_ramp(store, 1.0);
+  const auto checksum_for = [&](std::uint64_t seed, std::string& stream) {
+    LoadGenerator gen(store, kPages, small_options(seed));
+    gen.run_until(50.0);
+    stream = gen.stream_log();
+    return gen.report().checksum;
+  };
+  std::string stream_a, stream_b;
+  const std::uint64_t a = checksum_for(101, stream_a);
+  const std::uint64_t b = checksum_for(102, stream_b);
+  EXPECT_NE(a, b);
+  EXPECT_NE(stream_a, stream_b);
+}
+
+TEST(ServeLoadGen, UnavailableBeforeFirstPublish) {
+  SnapshotStore store(4);  // never published
+  LoadGenerator gen(store, kPages, small_options(5));
+  gen.run_until(20.0);
+  const LoadGenReport r = gen.report();
+  EXPECT_GT(r.issued, 0u);
+  // Every query found no snapshot: served=false across the whole stream.
+  EXPECT_EQ(r.unavailable, r.issued);
+  EXPECT_EQ(gen.stream_log().find("served=1"), std::string::npos);
+}
+
+TEST(ServeLoadGen, LiveStoreServesEverythingWithoutTornReads) {
+  SnapshotStore store(8);
+  publish_ramp(store, 0.5);
+  LoadGenOptions o = small_options(9);
+  o.clients = 200;
+  o.servers = 16;
+  LoadGenerator gen(store, kPages, o);
+  // Interleave publishes with traffic, as rankserve does.
+  for (double t = 5.0; t <= 60.0; t += 5.0) {
+    publish_ramp(store, t);
+    gen.run_until(t);
+  }
+  const LoadGenReport r = gen.report();
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_EQ(r.torn_reads, 0u);
+  EXPECT_EQ(r.unavailable, 0u);
+  EXPECT_GT(r.qps, 0.0);
+  EXPECT_LE(r.p50, r.p99);
+  EXPECT_LE(r.p99, r.max_latency);
+  EXPECT_GT(r.point_queries + r.topk_queries, 0u);
+}
+
+TEST(ServeLoadGen, StreamLogOnlyRecordedWhenRequested) {
+  SnapshotStore store(4);
+  publish_ramp(store, 1.0);
+  LoadGenOptions o = small_options(4);
+  o.record_stream = false;
+  LoadGenerator gen(store, kPages, o);
+  gen.run_until(10.0);
+  EXPECT_GT(gen.report().completed, 0u);
+  EXPECT_TRUE(gen.stream_log().empty());
+}
+
+}  // namespace
+}  // namespace p2prank::serve

@@ -1,0 +1,171 @@
+// Per-shard top-K index and K-way merge vs brute force (DESIGN.md §12):
+// adversarial shapes — ties, K past the shard size, K = 0, K = N, empty
+// shards — plus snapshot-level top_k() and serialize() determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+#include "serve/topk.hpp"
+#include "util/rng.hpp"
+
+namespace p2prank::serve {
+namespace {
+
+std::vector<TopKEntry> brute_force(std::vector<TopKEntry> entries,
+                                   std::size_t k) {
+  std::sort(entries.begin(), entries.end(), ranks_before);
+  entries.resize(std::min(k, entries.size()));
+  return entries;
+}
+
+std::vector<TopKEntry> offer_all(const std::vector<TopKEntry>& entries,
+                                 std::size_t capacity) {
+  std::vector<TopKEntry> heap;
+  for (const TopKEntry& e : entries) topk_offer(heap, capacity, e);
+  topk_finalize(heap);
+  return heap;
+}
+
+TEST(ServeTopK, OrderIsRankDescThenPageAsc) {
+  EXPECT_TRUE(ranks_before({0, 2.0}, {1, 1.0}));
+  EXPECT_FALSE(ranks_before({1, 1.0}, {0, 2.0}));
+  // Ties break toward the smaller page id — a strict total order.
+  EXPECT_TRUE(ranks_before({3, 1.0}, {5, 1.0}));
+  EXPECT_FALSE(ranks_before({5, 1.0}, {3, 1.0}));
+  EXPECT_FALSE(ranks_before({5, 1.0}, {5, 1.0}));
+}
+
+TEST(ServeTopK, BoundedHeapMatchesBruteForceOnRandomInputs) {
+  util::Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + rng.below(60);
+    std::vector<TopKEntry> entries;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Coarse ranks: plenty of exact ties to exercise the tie-break.
+      entries.push_back({static_cast<std::uint32_t>(i),
+                         static_cast<double>(rng.below(8)) / 4.0});
+    }
+    for (const std::size_t capacity : {std::size_t{0}, std::size_t{1},
+                                       std::size_t{5}, n, n + 10}) {
+      EXPECT_EQ(offer_all(entries, capacity), brute_force(entries, capacity))
+          << "round " << round << " capacity " << capacity;
+    }
+  }
+}
+
+TEST(ServeTopK, CapacityZeroRetainsNothing) {
+  std::vector<TopKEntry> heap;
+  topk_offer(heap, 0, {1, 5.0});
+  topk_offer(heap, 0, {2, 9.0});
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(ServeTopK, MergeMatchesBruteForceAcrossShards) {
+  util::Rng rng(11);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t shards = 1 + rng.below(6);
+    const std::size_t capacity = 1 + rng.below(8);
+    std::vector<std::vector<TopKEntry>> lists(shards);
+    std::vector<TopKEntry> all;
+    std::uint32_t page = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t size = rng.below(12);  // empty shards happen
+      std::vector<TopKEntry> shard_entries;
+      for (std::size_t i = 0; i < size; ++i) {
+        const TopKEntry e{page++, static_cast<double>(rng.below(6)) / 3.0};
+        shard_entries.push_back(e);
+      }
+      lists[s] = offer_all(shard_entries, capacity);
+      // The merge is exact only up to the per-shard capacity, so compare
+      // against brute force over what the indexes retained.
+      for (const TopKEntry& e : lists[s]) all.push_back(e);
+    }
+    std::vector<std::span<const TopKEntry>> spans(lists.begin(), lists.end());
+    for (const std::size_t k : {std::size_t{0}, std::size_t{1}, capacity,
+                                capacity * shards + 5}) {
+      EXPECT_EQ(merge_top_k(spans, k), brute_force(all, k))
+          << "round " << round << " k " << k;
+    }
+  }
+}
+
+TEST(ServeTopK, MergeHandlesAllEmptyLists) {
+  const std::vector<std::vector<TopKEntry>> lists(4);
+  std::vector<std::span<const TopKEntry>> spans(lists.begin(), lists.end());
+  EXPECT_TRUE(merge_top_k(spans, 10).empty());
+  EXPECT_TRUE(merge_top_k({}, 10).empty());
+}
+
+// --- snapshot-level ---------------------------------------------------------
+
+/// Publish one synthetic state and return the store's snapshot.
+std::shared_ptr<const RankSnapshot> publish_one(
+    SnapshotStore& store, const std::vector<double>& ranks,
+    const std::vector<std::uint32_t>& assignment, std::uint32_t shards) {
+  store.publish(1.0, ranks, assignment, shards);
+  return store.acquire();
+}
+
+TEST(ServeSnapshotTopK, GlobalTopKMatchesBruteForceIncludingKEqualsN) {
+  util::Rng rng(23);
+  const std::size_t n = 64;
+  const std::uint32_t shards = 5;
+  std::vector<double> ranks(n);
+  std::vector<std::uint32_t> assignment(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ranks[i] = static_cast<double>(rng.below(10)) / 4.0;  // many ties
+    assignment[i] = static_cast<std::uint32_t>(rng.below(shards));
+  }
+  SnapshotStore store(/*top_k_capacity=*/8);
+  const auto snap = publish_one(store, ranks, assignment, shards);
+  ASSERT_NE(snap, nullptr);
+
+  std::vector<TopKEntry> all;
+  for (std::size_t i = 0; i < n; ++i) {
+    all.push_back({static_cast<std::uint32_t>(i), ranks[i]});
+  }
+  // k <= capacity exercises the K-way merge; k > capacity (up to k = N and
+  // beyond) the dense fallback. Both must agree with brute force.
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{8},
+                              std::size_t{9}, std::size_t{32}, n, n + 7}) {
+    EXPECT_EQ(snap->top_k(k), brute_force(all, k)) << "k=" << k;
+  }
+}
+
+TEST(ServeSnapshotTopK, EmptyShardsAfterChurnServeEmptyIndexes) {
+  // Shards 1 and 3 own nothing — the post-churn shape.
+  const std::vector<double> ranks = {1.0, 3.0, 2.0, 4.0};
+  const std::vector<std::uint32_t> assignment = {0, 2, 0, 2};
+  SnapshotStore store(4);
+  const auto snap = publish_one(store, ranks, assignment, 4);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_TRUE(snap->epoch_consistent());
+  EXPECT_EQ(snap->shard(1).pages, 0u);
+  EXPECT_TRUE(snap->shard(1).top.empty());
+  EXPECT_TRUE(snap->shard_top_k(1, 5).empty());
+  EXPECT_EQ(snap->shard(3).pages, 0u);
+  // The merge skips the empty shards and still finds the global order.
+  const std::vector<TopKEntry> expect = {{3, 4.0}, {1, 3.0}};
+  EXPECT_EQ(snap->top_k(2), expect);
+  EXPECT_EQ(snap->shard_top_k(2, 1), (std::vector<TopKEntry>{{3, 4.0}}));
+}
+
+TEST(ServeSnapshotTopK, SerializeIsDeterministicAndEpochStamped) {
+  const std::vector<double> ranks = {0.25, 1.5, 0.75};
+  const std::vector<std::uint32_t> assignment = {0, 1, 0};
+  SnapshotStore a(2);
+  SnapshotStore b(2);
+  std::ostringstream sa, sb;
+  publish_one(a, ranks, assignment, 2)->serialize(sa);
+  publish_one(b, ranks, assignment, 2)->serialize(sb);
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_NE(sa.str().find("p2prank-snapshot-v1"), std::string::npos);
+  EXPECT_NE(sa.str().find("epoch 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2prank::serve

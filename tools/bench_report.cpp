@@ -29,6 +29,16 @@
 // time — once bare and once with a MetricsRegistry + Tracer attached, and
 // appends both wall-clock timings plus the overhead ratio to BENCH_obs.json
 // with schema "p2prank-obs-bench-v1". The contract is overhead < 5%.
+//
+// --serve measures the rank-serving layer (DESIGN.md §12): snapshot-publish
+// overhead on the sweep (bare vs sink-attached engine — contract < 5%), then
+// a closed-loop run of N simulated clients (default 10000) querying the live
+// SnapshotStore in virtual time while the engine sweeps underneath, appending
+// QPS, p50/p99 latency, and the torn/stale/availability accounting to
+// BENCH_serve.json with schema "p2prank-serve-bench-v1". Any torn-epoch read
+// fails the run. --serve --determinism-check instead byte-compares the query
+// stream, final snapshot, and result checksum across a repeated run and pool
+// sizes {1,2}, exiting nonzero on any difference.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -47,7 +57,10 @@
 #include "graph/synthetic_web.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/metric_names.hpp"
 #include "rank/link_matrix.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/snapshot.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -81,6 +94,11 @@ struct Options {
   double max_time = 20000.0;
   // --obs mode.
   bool obs = false;
+  // --serve mode.
+  bool serve = false;
+  bool determinism_check = false;
+  std::uint32_t clients = 10000;
+  double serve_duration = 200.0;  // virtual time of the closed-loop phase
 };
 
 /// Best-of-`repetitions` timing of one sweep variant: each repetition runs
@@ -399,6 +417,345 @@ int run_obs_bench(const Options& opts) {
   return 0;
 }
 
+// --- Rank-serving benchmark --------------------------------------------------
+
+constexpr std::uint32_t kServeServers = 64;
+constexpr double kServeSlice = 1.0;  // engine <-> loadgen interleave step
+
+/// One complete co-simulated serving run: a DPR2 engine with a SnapshotStore
+/// attached, advanced slice by slice of virtual time, with the closed-loop
+/// load generator querying the store in between. Returns everything the
+/// determinism check byte-compares.
+struct ServeRunOut {
+  serve::LoadGenReport report;
+  std::string stream;    // per-query log (record_stream only)
+  std::string snapshot;  // final snapshot, serialized
+  std::uint64_t snapshots_published = 0;
+  std::uint64_t buffer_reuses = 0;
+};
+
+ServeRunOut one_serve_run(const graph::WebGraph& g,
+                          const std::vector<std::uint32_t>& assignment,
+                          const std::vector<double>& reference,
+                          const Options& opts, util::ThreadPool& pool,
+                          std::uint32_t clients, double duration,
+                          bool record_stream,
+                          p2prank::obs::MetricsRegistry* metrics = nullptr) {
+  engine::EngineOptions eo;
+  eo.algorithm = engine::Algorithm::kDPR2;
+  eo.alpha = opts.alpha;
+  eo.seed = opts.seed ^ 0x5e57e0ULL;
+  serve::SnapshotStore store(/*top_k_capacity=*/16);
+  eo.snapshot_sink = &store;
+  engine::DistributedRanking sim(g, assignment, opts.k, eo, pool);
+  sim.set_reference(reference);
+
+  serve::LoadGenOptions lg;
+  lg.clients = clients;
+  lg.servers = kServeServers;
+  lg.seed = opts.seed ^ 0x10adULL;
+  lg.record_stream = record_stream;
+  serve::LoadGenerator gen(store, g.num_pages(), lg, metrics);
+
+  for (double t = kServeSlice; t <= duration + 1e-9; t += kServeSlice) {
+    (void)sim.run(t, kServeSlice);
+    gen.run_until(t);
+  }
+
+  ServeRunOut out;
+  out.report = gen.report();
+  out.stream = gen.stream_log();
+  std::ostringstream snap;
+  if (const auto s = store.acquire()) s->serialize(snap);
+  out.snapshot = snap.str();
+  out.snapshots_published = store.published();
+  out.buffer_reuses = store.buffer_reuses();
+  if (metrics != nullptr) {
+    serve::export_serve_metrics(store, gen.server(), *metrics);
+    metrics->gauge(p2prank::obs::names::kServeQps) = out.report.qps;
+    metrics->gauge(p2prank::obs::names::kServeLatencyP50) = out.report.p50;
+    metrics->gauge(p2prank::obs::names::kServeLatencyP99) = out.report.p99;
+    metrics->gauge(p2prank::obs::names::kServeMaxQueueDepth) =
+        static_cast<double>(out.report.max_queue_depth);
+  }
+  return out;
+}
+
+std::string render_serve_run(const Options& opts, std::size_t edges,
+                             std::uint32_t loadgen_pages,
+                             std::size_t pool_threads, double baseline_ns,
+                             double serving_ns, double publish_ns,
+                             double snapshot_interval, double overhead,
+                             const ServeRunOut& run) {
+  const auto& r = run.report;
+  std::ostringstream os;
+  os << "    {\n";
+  os << "      \"label\": \"" << json_escape(opts.label) << "\",\n";
+  os << "      \"pages\": " << opts.pages << ",\n";
+  os << "      \"edges\": " << edges << ",\n";
+  os << "      \"loadgen_pages\": " << loadgen_pages << ",\n";
+  os << "      \"k\": " << opts.k << ",\n";
+  os << "      \"graph_seed\": " << opts.seed << ",\n";
+  os << "      \"pool_threads\": " << pool_threads << ",\n";
+  os << "      \"clients\": " << opts.clients << ",\n";
+  os << "      \"servers\": " << kServeServers << ",\n";
+  os << "      \"duration_virtual\": " << json_number(opts.serve_duration)
+     << ",\n";
+  os << "      \"baseline_ns_per_span\": " << json_number(baseline_ns) << ",\n";
+  os << "      \"serving_ns_per_span\": " << json_number(serving_ns) << ",\n";
+  os << "      \"publish_ns_per_snapshot\": " << json_number(publish_ns)
+     << ",\n";
+  os << "      \"snapshot_interval\": " << json_number(snapshot_interval)
+     << ",\n";
+  os << "      \"publish_overhead\": " << json_number(overhead) << ",\n";
+  os << "      \"qps\": " << json_number(r.qps) << ",\n";
+  os << "      \"p50\": " << json_number(r.p50) << ",\n";
+  os << "      \"p99\": " << json_number(r.p99) << ",\n";
+  os << "      \"max_latency\": " << json_number(r.max_latency) << ",\n";
+  os << "      \"issued\": " << r.issued << ",\n";
+  os << "      \"completed\": " << r.completed << ",\n";
+  os << "      \"point_queries\": " << r.point_queries << ",\n";
+  os << "      \"topk_queries\": " << r.topk_queries << ",\n";
+  os << "      \"torn_reads\": " << r.torn_reads << ",\n";
+  os << "      \"stale_reads\": " << r.stale_reads << ",\n";
+  os << "      \"unavailable\": " << r.unavailable << ",\n";
+  os << "      \"max_queue_depth\": " << r.max_queue_depth << ",\n";
+  os << "      \"snapshots_published\": " << run.snapshots_published << ",\n";
+  os << "      \"buffer_reuses\": " << run.buffer_reuses << ",\n";
+  os << "      \"checksum\": " << r.checksum << "\n";
+  os << "    }";
+  return os.str();
+}
+
+/// Forwards RankSnapshotSink calls to the real store while timing each
+/// publish at the call site — the measurement side of run_serve_bench's
+/// direct-attribution overhead estimate.
+class TimingSink final : public engine::RankSnapshotSink {
+ public:
+  explicit TimingSink(engine::RankSnapshotSink& inner) : inner_(inner) {}
+
+  void publish(double time, std::span<const double> ranks,
+               std::span<const std::uint32_t> assignment,
+               std::uint32_t num_shards) override {
+    const auto t0 = Clock::now();
+    inner_.publish(time, ranks, assignment, num_shards);
+    record(t0);
+  }
+  void publish_groups(double time, std::span<const engine::GroupCut> groups,
+                      std::uint32_t num_pages,
+                      std::uint64_t ownership_version) override {
+    const auto t0 = Clock::now();
+    inner_.publish_groups(time, groups, num_pages, ownership_version);
+    record(t0);
+  }
+  void invalidate(double time) override { inner_.invalidate(time); }
+
+  /// Median nanoseconds over all recorded publishes (0 if none) — robust
+  /// against the occasional publish that eats a scheduler preemption.
+  [[nodiscard]] double median_ns() const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> s = samples_;
+    const auto mid = s.begin() + static_cast<std::ptrdiff_t>(s.size() / 2);
+    std::nth_element(s.begin(), mid, s.end());
+    return *mid;
+  }
+
+ private:
+  void record(Clock::time_point t0) {
+    samples_.push_back(
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count());
+  }
+
+  engine::RankSnapshotSink& inner_;
+  std::vector<double> samples_;
+};
+
+int run_serve_bench(const Options& opts) {
+  auto& pool = util::ThreadPool::shared();
+  // Phase 1 graph at full scale (default 50k pages, like the obs bench):
+  // the publish-overhead ratio only means something where sweeps carry
+  // their real memory traffic. Round-robin partition, as in the
+  // reliability/obs benches: this measures the serving layer, not
+  // partition quality.
+  const auto g = graph::generate_synthetic_web(
+      graph::google2002_config(opts.pages, opts.seed));
+  std::vector<std::uint32_t> assignment(g.num_pages());
+  for (std::uint32_t p = 0; p < g.num_pages(); ++p) assignment[p] = p % opts.k;
+  const std::vector<double> reference =
+      engine::open_system_reference(g, opts.alpha, pool);
+
+  // Phase 1 — publish overhead: a sweep span, bare vs with a SnapshotStore
+  // attached, publishing once per mean outer iteration ((t1+t2)/2 of the
+  // step timer — the "snapshot after each outer iteration" cadence of
+  // DESIGN.md §12). The serving contract caps the slowdown at < 5%.
+  //
+  // The criterion is computed by DIRECT ATTRIBUTION: each publish is timed
+  // at the sink and its per-virtual-time-unit cost is divided by a
+  // low-quantile sweep cost. On a shared machine the span timings carry
+  // ±50% scheduler bursts, so the difference of two noisy span populations
+  // cannot resolve a few-percent effect; a median over ~100 individually
+  // timed publishes and a 10th-percentile sweep floor can.
+  const double snapshot_interval = [] {
+    engine::EngineOptions defaults;
+    return 0.5 * (defaults.t1 + defaults.t2);
+  }();
+  const auto make_engine = [&](engine::RankSnapshotSink* sink) {
+    engine::EngineOptions eo;
+    eo.algorithm = engine::Algorithm::kDPR2;
+    eo.alpha = opts.alpha;
+    eo.seed = opts.seed ^ 0x5e57e0ULL;
+    eo.snapshot_sink = sink;
+    eo.snapshot_interval = snapshot_interval;
+    auto sim = std::make_unique<engine::DistributedRanking>(g, assignment,
+                                                            opts.k, eo, pool);
+    sim->set_reference(reference);
+    return sim;
+  };
+  constexpr double kSpan = 10.0;
+  serve::SnapshotStore overhead_store(/*top_k_capacity=*/16);
+  TimingSink timed_sink(overhead_store);
+  auto bare = make_engine(nullptr);
+  auto serving = make_engine(&timed_sink);
+  double bare_t = 0.0;
+  double serving_t = 0.0;
+  const auto time_span = [](engine::DistributedRanking& sim, double& t) {
+    const auto start = Clock::now();
+    t += kSpan;
+    (void)sim.run(t, kSpan);
+    return std::chrono::duration<double, std::nano>(Clock::now() - start)
+        .count();
+  };
+  // Interleave bare/serving spans so both variants sample the same machine
+  // conditions with their virtual clocks in lockstep; the reported span
+  // costs are 10th percentiles (burst noise is purely additive, so a low
+  // quantile estimates the undisturbed cost).
+  std::vector<double> bare_spans;
+  std::vector<double> serving_spans;
+  for (int i = 0; i < 3; ++i) {  // warm caches and scratch
+    time_span(*bare, bare_t);
+    time_span(*serving, serving_t);
+  }
+  const int reps = std::max(opts.repetitions * 4, 20);
+  for (int rep = 0; rep < reps; ++rep) {
+    bare_spans.push_back(time_span(*bare, bare_t));
+    serving_spans.push_back(time_span(*serving, serving_t));
+  }
+  const auto quantile = [](std::vector<double> v, double q) {
+    std::sort(v.begin(), v.end());
+    return v[static_cast<std::size_t>(q * static_cast<double>(v.size() - 1))];
+  };
+  const double baseline_ns = quantile(bare_spans, 0.1);
+  const double serving_ns = quantile(serving_spans, 0.1);
+  const double publish_ns = timed_sink.median_ns();
+  const double overhead =
+      (publish_ns / snapshot_interval) / (baseline_ns / kSpan);
+
+  // Phase 2 — the closed-loop run: `clients` simulated clients querying the
+  // live store while the engine sweeps underneath, all in virtual time. A
+  // smaller graph keeps the co-simulated wall time sane; the serving-side
+  // numbers (QPS, latency, epoch accounting) don't need the 50k sweeps.
+  const std::uint32_t loadgen_pages = std::min<std::uint32_t>(opts.pages, 2000);
+  const auto g2 = graph::generate_synthetic_web(
+      graph::google2002_config(loadgen_pages, opts.seed));
+  std::vector<std::uint32_t> assignment2(g2.num_pages());
+  for (std::uint32_t p = 0; p < g2.num_pages(); ++p) {
+    assignment2[p] = p % opts.k;
+  }
+  const std::vector<double> reference2 =
+      engine::open_system_reference(g2, opts.alpha, pool);
+  p2prank::obs::MetricsRegistry metrics;
+  const auto wall_start = Clock::now();
+  const ServeRunOut run =
+      one_serve_run(g2, assignment2, reference2, opts, pool, opts.clients,
+                    opts.serve_duration, /*record_stream=*/false, &metrics);
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  std::size_t edges = 0;
+  for (graph::PageId u = 0; u < g.num_pages(); ++u) edges += g.out_degree(u);
+  const auto& r = run.report;
+  std::cout << "overhead graph: " << opts.pages << " pages, " << edges
+            << " edges; closed-loop graph: " << loadgen_pages << " pages; k="
+            << opts.k << "; pool " << pool.size() << " thread(s)\n"
+            << "  publish overhead: " << overhead * 100.0 << "% (median "
+            << "publish " << publish_ns / 1e3 << " us every "
+            << snapshot_interval << " virtual time units; p10 sweep spans "
+            << baseline_ns / 1e6 << " -> " << serving_ns / 1e6 << " ms per "
+            << kSpan << " units)\n"
+            << "  closed loop: " << opts.clients << " clients, "
+            << r.completed << " queries in " << r.duration
+            << " virtual time units (" << wall_s << " s wall)\n"
+            << "  qps=" << r.qps << " p50=" << r.p50 << " p99=" << r.p99
+            << " max_queue_depth=" << r.max_queue_depth << "\n"
+            << "  torn_reads=" << r.torn_reads << " stale_reads="
+            << r.stale_reads << " unavailable=" << r.unavailable
+            << " snapshots=" << run.snapshots_published << " (reused "
+            << run.buffer_reuses << " buffers)\n";
+
+  write_report(opts.out, "p2prank-serve-bench-v1",
+               render_serve_run(opts, edges, loadgen_pages, pool.size(),
+                                baseline_ns, serving_ns, publish_ns,
+                                snapshot_interval, overhead, run));
+  std::cout << "appended run \"" << opts.label << "\" to " << opts.out << "\n";
+  if (r.torn_reads != 0) {
+    std::cerr << "bench_report: FAIL — " << r.torn_reads
+              << " torn-epoch read(s); the serving contract requires zero\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// --serve --determinism-check: the serving stack must be a pure function
+/// of its seeds — same run twice, and again on a different pool size, must
+/// produce byte-identical query streams, reports, and final snapshots.
+int run_serve_determinism_check(Options opts) {
+  opts.pages = std::min<std::uint32_t>(opts.pages, 2000);
+  opts.clients = std::min<std::uint32_t>(opts.clients, 256);
+  opts.serve_duration = std::min(opts.serve_duration, 30.0);
+
+  const auto g = graph::generate_synthetic_web(
+      graph::google2002_config(opts.pages, opts.seed));
+  std::vector<std::uint32_t> assignment(g.num_pages());
+  for (std::uint32_t p = 0; p < g.num_pages(); ++p) assignment[p] = p % opts.k;
+
+  const auto run_with_pool = [&](std::size_t threads) {
+    util::ThreadPool pool(threads);
+    const std::vector<double> reference =
+        engine::open_system_reference(g, opts.alpha, pool);
+    return one_serve_run(g, assignment, reference, opts, pool, opts.clients,
+                         opts.serve_duration, /*record_stream=*/true);
+  };
+  const ServeRunOut a = run_with_pool(1);
+  const ServeRunOut b = run_with_pool(1);
+  const ServeRunOut c = run_with_pool(2);
+
+  bool ok = true;
+  const auto expect = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::cerr << "bench_report: serve determinism FAIL — " << what << "\n";
+      ok = false;
+    }
+  };
+  expect(!a.stream.empty(), "empty query stream");
+  expect(a.stream == b.stream, "query stream differs between identical runs");
+  expect(a.stream == c.stream, "query stream differs across pool sizes 1 vs 2");
+  expect(a.snapshot == b.snapshot,
+         "final snapshot differs between identical runs");
+  expect(a.snapshot == c.snapshot,
+         "final snapshot differs across pool sizes 1 vs 2");
+  expect(a.report.checksum == b.report.checksum,
+         "result checksum differs between identical runs");
+  expect(a.report.checksum == c.report.checksum,
+         "result checksum differs across pool sizes 1 vs 2");
+  expect(a.report.torn_reads == 0, "torn-epoch reads in determinism run");
+  if (ok) {
+    std::cout << "serve determinism check passed: " << a.report.completed
+              << " queries, checksum " << a.report.checksum
+              << ", identical across repeat + pool sizes {1,2}\n";
+  }
+  return ok ? 0 : 1;
+}
+
 // --- Kernel benchmark --------------------------------------------------------
 
 /// Times every sweep-kernel variant on `m` with the given pool. The two
@@ -626,6 +983,15 @@ Options parse_args(int argc, char** argv) {
       opts.reliability = true;
     } else if (arg == "--obs") {
       opts.obs = true;
+    } else if (arg == "--serve") {
+      opts.serve = true;
+    } else if (arg == "--determinism-check") {
+      opts.determinism_check = true;
+    } else if (arg == "--clients") {
+      opts.clients =
+          static_cast<std::uint32_t>(std::stoul(need_value("--clients")));
+    } else if (arg == "--duration") {
+      opts.serve_duration = std::stod(need_value("--duration"));
     } else if (arg == "--k") {
       opts.k = static_cast<std::uint32_t>(std::stoul(need_value("--k")));
     } else if (arg == "--error-threshold") {
@@ -640,23 +1006,37 @@ Options parse_args(int argc, char** argv) {
                    "[--seed S] [--error-threshold E] [--max-time T] "
                    "[--label L] [--out FILE]\n"
                    "       bench_report --obs [--pages N] [--k K] [--seed S] "
-                   "[--reps R] [--label L] [--out FILE]\n";
+                   "[--reps R] [--label L] [--out FILE]\n"
+                   "       bench_report --serve [--pages N] [--k K] [--seed S] "
+                   "[--clients C] [--duration T] [--label L] [--out FILE]\n"
+                   "       bench_report --serve --determinism-check\n";
       std::exit(0);
     } else {
       throw std::runtime_error("bench_report: unknown flag " + arg);
     }
   }
-  if (opts.reliability && opts.obs) {
-    throw std::runtime_error("bench_report: --reliability and --obs are exclusive");
+  if (static_cast<int>(opts.reliability) + static_cast<int>(opts.obs) +
+          static_cast<int>(opts.serve) >
+      1) {
+    throw std::runtime_error(
+        "bench_report: --reliability, --obs, and --serve are exclusive");
+  }
+  if (opts.determinism_check && !opts.serve) {
+    throw std::runtime_error(
+        "bench_report: --determinism-check requires --serve");
   }
   if (opts.out.empty()) {
     opts.out = opts.reliability ? "BENCH_reliability.json"
                : opts.obs      ? "BENCH_obs.json"
+               : opts.serve    ? "BENCH_serve.json"
                                : "BENCH_kernels.json";
   }
   if (opts.reliability && opts.pages == 50000) {
     opts.pages = 2000;  // convergence sweeps run a full engine: keep it small
   }
+  // --serve keeps the full 50k-page default: the publish-overhead phase
+  // must be measured at the scale where sweeps carry their real memory
+  // traffic (run_serve_bench clamps its closed-loop phase separately).
   return opts;
 }
 
@@ -667,6 +1047,10 @@ int main(int argc, char** argv) {
     const Options opts = parse_args(argc, argv);
     if (opts.reliability) return run_reliability_bench(opts);
     if (opts.obs) return run_obs_bench(opts);
+    if (opts.serve) {
+      return opts.determinism_check ? run_serve_determinism_check(opts)
+                                    : run_serve_bench(opts);
+    }
     return run_kernel_bench(opts);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";

@@ -16,11 +16,18 @@ cd "$(dirname "$0")/.."
 
 cmake --preset tsan
 cmake --build --preset tsan \
-  --target util_thread_pool_test rank_sweep_test scenario_fuzz -j"$(nproc)"
+  --target util_thread_pool_test rank_sweep_test serve_snapshot_test \
+  scenario_fuzz -j"$(nproc)"
 
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/util_thread_pool_test "$@"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/rank_sweep_test "$@"
 echo "TSan: thread-pool and rank-sweep suites clean"
+
+# The serving layer's epoch-swap path: real reader threads racing a real
+# publisher over the double-buffered SnapshotStore. TSan is the proof that
+# "zero torn reads" comes from the publication protocol, not from luck.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_snapshot_test "$@"
+echo "TSan: serve snapshot-swap suite clean"
 
 # The chaos-scenario smoke corpus drives the whole engine (fork-join sweeps,
 # event queue, fault injection) through randomized fault schedules — run it
@@ -36,6 +43,14 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/scenario_fuzz \
   --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-tsan --quiet \
   --worklist
 echo "TSan: chaos-scenario smoke corpus clean (--worklist)"
+
+# With a rank-serving SnapshotStore attached to every scenario the runner
+# probes the store at each sample while the engine publishes underneath —
+# the cross-layer version of the serve_snapshot_test race.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/scenario_fuzz \
+  --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-tsan --quiet \
+  --serve
+echo "TSan: chaos-scenario smoke corpus clean (--serve)"
 
 # Same corpus under ASan + UBSan (heap-use-after-free / overflow, plus
 # -fsanitize=float-divide-by-zero,float-cast-overflow — rank math divides
@@ -53,4 +68,7 @@ ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
   --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-asan --quiet \
   --worklist
-echo "ASan: chaos-scenario smoke corpus clean (base + --reliable + --worklist)"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
+  --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-asan --quiet \
+  --serve
+echo "ASan: chaos-scenario smoke corpus clean (base + --reliable + --worklist + --serve)"

@@ -7,6 +7,7 @@
 //   scenario_fuzz --seeds 50 --broken    # self-test: every run must FAIL
 //   scenario_fuzz --seeds 100 --reliable # force the reliable exchange layer
 //   scenario_fuzz --seeds 100 --worklist # force worklist (frontier) sweeps
+//   scenario_fuzz --seeds 100 --serve    # attach the serving layer + probes
 //
 // Each scenario expands a 64-bit seed into a fault schedule (crash / pause /
 // resume / loss bursts / checkpoint save+restore / graph update / ranker
@@ -41,11 +42,15 @@ int usage(std::ostream& err) {
          "                     [--seeds-file PATH] [--replay PATH]\n"
          "                     [--trace-dir DIR] [--broken] [--no-minimize]\n"
          "                     [--threads T] [--tail-time T] [--quiet]\n"
-         "                     [--reliable] [--worklist]\n"
+         "                     [--reliable] [--worklist] [--serve]\n"
          "  --reliable  force every scenario onto the reliable exchange\n"
          "              layer (epochs + retransmission + failure detection)\n"
          "  --worklist  force every scenario onto exact-mode worklist\n"
-         "              sweeps (residual-driven frontier kernel)\n";
+         "              sweeps (residual-driven frontier kernel)\n"
+         "  --serve     attach a rank-serving snapshot store to every\n"
+         "              scenario and probe the serving contract (snapshot\n"
+         "              availability, epoch consistency/monotonicity,\n"
+         "              top-K vs brute force, restore invalidation)\n";
   return 2;
 }
 
@@ -57,6 +62,7 @@ std::string scenario_label(const Scenario& s) {
       << (s.warm_start_scale > 0.0 ? " warm" : "")
       << (s.reliable ? " reliable" : "")
       << (s.worklist ? " worklist" : "")
+      << (s.serve ? " serve" : "")
       << (s.latency_jitter > 0.0 ? " jitter" : "");
   return out.str();
 }
@@ -96,6 +102,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool force_reliable = false;
   bool force_worklist = false;
+  bool force_serve = false;
   std::size_t threads = 2;
   p2prank::check::RunnerOptions ropts;
 
@@ -133,6 +140,8 @@ int main(int argc, char** argv) {
         force_reliable = true;
       } else if (a == "--worklist") {
         force_worklist = true;
+      } else if (a == "--serve") {
+        force_serve = true;
       } else if (a == "--quiet") {
         quiet = true;
       } else {
@@ -185,6 +194,9 @@ int main(int argc, char** argv) {
   }
   if (force_worklist) {
     for (Scenario& s : scenarios) s.worklist = true;
+  }
+  if (force_serve) {
+    for (Scenario& s : scenarios) s.serve = true;
   }
 
   p2prank::util::ThreadPool pool(threads);
