@@ -157,6 +157,26 @@ void InvariantChecker::check_sample(std::vector<Violation>& out) {
     out.push_back({"zombie", t, msg.str()});
   }
 
+  // corrupt-applied: a corrupted frame survived checksum + header validation
+  // and was applied. A 64-bit FNV collision landing on a valid frame is
+  // astronomically unlikely; any nonzero count means the codec's validation
+  // order regressed.
+  if (sim_.corrupt_frames_applied() != 0) {
+    std::ostringstream msg;
+    msg << sim_.corrupt_frames_applied()
+        << " corrupted frame(s) passed validation and were applied";
+    out.push_back({"corrupt-applied", t, msg.str()});
+  }
+  // slice-guard: the refresh-time NaN/Inf/negative/order guard behind the
+  // codec fired. The codec quarantines garbage first, so in simulation this
+  // defense-in-depth layer must never be the one that catches it.
+  if (sim_.slices_rejected() != 0) {
+    std::ostringstream msg;
+    msg << sim_.slices_rejected()
+        << " slice(s) rejected by the refresh-time payload guard";
+    out.push_back({"slice-guard", t, msg.str()});
+  }
+
   // epochs: every ordered pair's accepted epoch is non-decreasing. This is
   // unconditional — crashes wipe application state, churn rebuilds the
   // wiring, but the transport session's sequence numbers survive both.

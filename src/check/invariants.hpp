@@ -32,6 +32,12 @@
 //                finds its epoch both pending and acked (an ack clears the
 //                pending epoch atomically). A nonzero count is a regression
 //                in the ack bookkeeping, not a tunable.
+//   corrupt-applied  corrupt_frames_applied() stays 0: no byte-flipped
+//                frame ever survives the codec's checksum + header
+//                validation and reaches a ranker's X (DESIGN.md §13).
+//   slice-guard  slices_rejected() stays 0: the refresh-time payload guard
+//                (NaN/Inf/negative/order) behind the codec never fires —
+//                garbage is quarantined at decode, one layer earlier.
 //   ownership    every page has exactly one owning ranker — churn handoffs
 //                (leave/join) conserve page ownership exactly (no page
 //                orphaned, none duplicated).
@@ -53,7 +59,9 @@ namespace p2prank::check {
 
 struct Violation {
   /// "monotone" | "bound" | "finite" | "counters" | "epochs" | "zombie" |
-  /// "ownership" | "convergence"
+  /// "corrupt-applied" | "slice-guard" | "ownership" | "convergence" —
+  /// plus the runner-side probes: "serve-*", "recover-ledger",
+  /// "recover-epoch"
   std::string invariant;
   double time = 0.0;      ///< virtual time of the failing sample
   std::string detail;

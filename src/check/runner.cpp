@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "partition/partitioner.hpp"
+#include "recover/supervisor.hpp"
 #include "serve/snapshot.hpp"
 #include "util/rng.hpp"
 
@@ -98,6 +99,11 @@ std::string ScenarioResult::summary() const {
     out << " rexmit=" << retransmissions << " dups=" << duplicates_rejected;
   }
   if (churn_events != 0) out << " churn=" << churn_events;
+  if (partition_drops != 0) out << " cut_drops=" << partition_drops;
+  if (frames_quarantined != 0) out << " quarantined=" << frames_quarantined;
+  if (evictions != 0 || rejoins != 0) {
+    out << " evict=" << evictions << " rejoin=" << rejoins;
+  }
   return out.str();
 }
 
@@ -136,8 +142,9 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   eo.delivery_latency = s.delivery_latency;
   eo.latency_jitter = s.latency_jitter;
   // `reliable` turns on the full layer: retransmission implies the epoch
-  // duplicate filter and the suspicion-based failure detector.
-  eo.reliability.retransmit = s.reliable;
+  // duplicate filter and the suspicion-based failure detector. Recovery
+  // scenarios imply it: the supervisor's quorum reads the failure detector.
+  eo.reliability.retransmit = s.reliable || s.recovery;
   // Exact-mode worklist sweeps: bitwise-identical ranks, so every invariant
   // below applies verbatim whether this is on or off.
   eo.worklist = s.worklist;
@@ -166,7 +173,7 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   // (accepted epochs only increase, so applied Y values only grow) and the
   // theorem stays armed under any jitter.
   bool jitter_hazard = false;
-  if (!s.reliable) {
+  if (!s.reliable && !s.recovery) {
     jitter_hazard = s.latency_jitter > 0.0;
     for (const ScheduleOp& op : s.ops) {
       if (op.kind == OpKind::kSetJitter && op.value > 0.0) jitter_hazard = true;
@@ -186,6 +193,19 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   auto checker = std::make_unique<InvariantChecker>(
       *sim, reference, /*check_monotone=*/!jitter_hazard, /*check_bound=*/true,
       /*expect_status_per_step=*/eo.stability_epsilon > 0.0);
+
+  // Recovery mode (DESIGN.md §13): attach the eviction/rejoin supervisor.
+  // It is ticked at every sample and its ownership ledger is cross-checked
+  // against the engine below — a handoff that loses or duplicates a page on
+  // either side is caught within one sample interval.
+  recover::SupervisorOptions so;
+  so.break_rejoin_ledger = opts_.break_supervisor_ledger;
+  so.metrics = opts_.metrics;
+  so.tracer = opts_.tracer;
+  if (s.serve) so.serve_store = &serve_store;
+  auto supervisor =
+      s.recovery ? std::make_unique<recover::RecoverySupervisor>(*sim, so)
+                 : nullptr;
 
   ScenarioResult result;
   double offset = 0.0;  // global time = offset + sim->now() (graph rebuilds
@@ -244,6 +264,42 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
     }
   };
 
+  // Recovery-contract probes: the supervisor's ledger must equal the
+  // engine's ownership map at every sample (no page lost or duplicated by a
+  // handoff), and per-ranker recovery epochs — the fencing tokens — never
+  // regress.
+  std::vector<std::uint64_t> recover_epochs;
+  const auto recovery_probe = [&] {
+    if (supervisor == nullptr ||
+        result.violations.size() >= opts_.max_violations) {
+      return;
+    }
+    const double t = offset + sim->now();
+    const auto assignment = sim->current_assignment();
+    const auto ledger = supervisor->ledger();
+    for (std::size_t p = 0; p < assignment.size(); ++p) {
+      if (ledger[p] != assignment[p]) {
+        std::ostringstream detail;
+        detail << "page " << p << ": supervisor ledger says " << ledger[p]
+               << ", engine says " << assignment[p];
+        result.violations.push_back({"recover-ledger", t, detail.str()});
+        break;
+      }
+    }
+    if (recover_epochs.empty()) recover_epochs.assign(s.k, 0);
+    for (std::uint32_t r = 0; r < s.k; ++r) {
+      const std::uint64_t e = supervisor->recovery_epoch(r);
+      if (e < recover_epochs[r]) {
+        std::ostringstream detail;
+        detail << "ranker " << r << " recovery epoch went backwards: "
+               << recover_epochs[r] << " -> " << e;
+        result.violations.push_back({"recover-epoch", t, detail.str()});
+        break;
+      }
+      recover_epochs[r] = e;
+    }
+  };
+
   const auto advance_to = [&](double global_t) {
     while (offset + sim->now() + 1e-12 < global_t &&
            result.violations.size() < opts_.max_violations) {
@@ -252,8 +308,10 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
       const double interval = next - offset - sim->now();
       if (interval <= 0.0) break;  // fp guard: nothing left to simulate
       (void)sim->run(next - offset, interval);
+      if (supervisor != nullptr) supervisor->tick(offset + sim->now());
       checker->check_sample(result.violations);
       serve_probe();
+      recovery_probe();
       ++result.samples_checked;
       if (obs_samples != nullptr) ++*obs_samples;
       if (opts_.tracer != nullptr) {
@@ -312,6 +370,7 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
           // The handoff moves state exactly (full-precision checkpoint
           // round-trip + consistent X re-prime), so a monotone phase stays
           // monotone: no checker hook needed.
+          if (supervisor != nullptr) supervisor->resync(offset + sim->now());
         }
         break;
       case OpKind::kJoin:
@@ -319,7 +378,32 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
             sim->group(op.group).size() == 0 &&
             sim->group(op.group2).size() >= 2) {
           sim->join_group(op.group, op.group2);
+          if (supervisor != nullptr) supervisor->resync(offset + sim->now());
         }
+        break;
+      case OpKind::kPartition: {
+        std::uint64_t mask = op.seed;
+        if (mask == kCutBusiestGroup) {
+          // Resolve the sentinel to the group owning the most pages right
+          // now (lowest index ties) — the one cut guaranteed to sever live
+          // traffic, so suspicion and the evict→rejoin arc must follow.
+          std::uint32_t busiest = 0;
+          for (std::uint32_t g2 = 1; g2 < s.k && g2 < 64; ++g2) {
+            if (sim->group(g2).size() > sim->group(busiest).size()) {
+              busiest = g2;
+            }
+          }
+          mask = std::uint64_t{1} << busiest;
+        }
+        sim->set_partition(mask, std::clamp(op.value, 0.0, 1.0),
+                           std::clamp(op.value2, 0.0, 1.0));
+        break;
+      }
+      case OpKind::kHeal:
+        sim->heal_partition();
+        break;
+      case OpKind::kCorrupt:
+        sim->set_corruption(std::clamp(op.value, 0.0, 1.0));
         break;
       case OpKind::kSaveCheckpoint: {
         std::ostringstream out;
@@ -393,6 +477,16 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
         checker = std::make_unique<InvariantChecker>(
             *sim, reference, /*check_monotone=*/false, /*check_bound=*/false,
             /*expect_status_per_step=*/eo.stability_epsilon > 0.0);
+        if (supervisor != nullptr) {
+          // Fresh engine, fresh supervisor: the ledger re-roots on the new
+          // assignment and all rankers start healthy (the ctor also clears
+          // any shard-down marks left in the serve store). The eviction/
+          // rejoin tallies roll up into the result before replacement.
+          result.evictions += supervisor->evictions();
+          result.rejoins += supervisor->rejoins();
+          supervisor = std::make_unique<recover::RecoverySupervisor>(*sim, so);
+          recover_epochs.clear();  // epochs re-root with the new supervisor
+        }
         break;
       }
     }
@@ -409,6 +503,12 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   if (result.violations.size() < opts_.max_violations) {
     sim->set_delivery_probability(1.0);
     sim->set_ack_delivery_probability(1.0);
+    // Partitions and corruption are faults too: the tail heals the cut and
+    // stops flipping bytes. An evicted ranker rejoins during the tail (the
+    // supervisor keeps ticking and its probes now read clean), so recovery
+    // scenarios must converge with full membership restored.
+    sim->heal_partition();
+    sim->set_corruption(0.0);
     // Jitter reverts to the scenario's base value: it is configuration, not
     // a fault — and with `reliable` off a mid-run reorder burst has already
     // dis-armed monotonicity, while convergence tolerates jitter either way
@@ -448,6 +548,12 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
   result.retransmissions = sim->retransmissions();
   result.duplicates_rejected = sim->duplicates_rejected();
   result.churn_events = sim->churn_events();
+  result.partition_drops = sim->partition_drops();
+  result.frames_quarantined = sim->frames_quarantined();
+  if (supervisor != nullptr) {
+    result.evictions += supervisor->evictions();
+    result.rejoins += supervisor->rejoins();
+  }
   return result;
 }
 

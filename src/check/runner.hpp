@@ -46,6 +46,10 @@ struct RunnerOptions {
   /// Chaos-harness self-test: deliberately break the engine (the largest
   /// group never refreshes X) — the checker MUST flag the run.
   bool break_skip_refresh = false;
+  /// Recovery-harness self-test: the supervisor "forgets" its ledger update
+  /// on rejoin — the ledger cross-check MUST flag the run (recovery
+  /// scenarios only; a no-op otherwise).
+  bool break_supervisor_ledger = false;
   double alpha = 0.85;
   /// Optional observability sinks (DESIGN.md §11). Pure observation: a run
   /// with and without them produces bitwise-identical results. The runner
@@ -66,6 +70,10 @@ struct ScenarioResult {
   std::uint64_t retransmissions = 0;      ///< reliable mode only
   std::uint64_t duplicates_rejected = 0;  ///< stale slices the epoch filter ate
   std::uint64_t churn_events = 0;         ///< completed leave/join handoffs
+  std::uint64_t partition_drops = 0;      ///< messages eaten by an active cut
+  std::uint64_t frames_quarantined = 0;   ///< corrupt frames rejected at decode
+  std::uint64_t evictions = 0;            ///< supervisor-driven (recovery mode)
+  std::uint64_t rejoins = 0;              ///< supervisor-driven (recovery mode)
 
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
   /// One log line: "ok ..." or "FAIL <invariant> ...".

@@ -23,6 +23,9 @@ std::string_view op_kind_name(OpKind kind) noexcept {
     case OpKind::kJoin: return "join";
     case OpKind::kSetAckLoss: return "set_ack_loss";
     case OpKind::kSetJitter: return "set_jitter";
+    case OpKind::kPartition: return "partition";
+    case OpKind::kHeal: return "heal";
+    case OpKind::kCorrupt: return "corrupt";
   }
   return "?";
 }
@@ -33,7 +36,8 @@ bool parse_op_kind(std::string_view name, OpKind& out) {
   for (const OpKind kind :
        {OpKind::kCrash, OpKind::kPause, OpKind::kResume, OpKind::kSetLoss,
         OpKind::kSaveCheckpoint, OpKind::kRestoreCheckpoint, OpKind::kGraphUpdate,
-        OpKind::kLeave, OpKind::kJoin, OpKind::kSetAckLoss, OpKind::kSetJitter}) {
+        OpKind::kLeave, OpKind::kJoin, OpKind::kSetAckLoss, OpKind::kSetJitter,
+        OpKind::kPartition, OpKind::kHeal, OpKind::kCorrupt}) {
     if (name == op_kind_name(kind)) {
       out = kind;
       return true;
@@ -179,6 +183,53 @@ Scenario Scenario::from_seed(std::uint64_t seed) {
     s.ops.push_back(op);
   }
 
+  // --- Partition/recovery extension (appended draws) ------------------------
+  // Same append-only discipline as the reliability extension above: one
+  // further draw seeds a sub-RNG, so every base + reliability field keeps
+  // its historical value for every seed.
+  util::Rng ext2(rng.next());
+  s.recovery = ext2.chance(0.35);
+  if (s.recovery) s.reliable = true;  // the supervisor reads the failure detector
+  if (ext2.chance(0.5)) {
+    // One partition episode: a node-set cut with (possibly asymmetric,
+    // possibly hard) delivery probabilities, healed before the active
+    // window ends. The runner's tail also heals, so a scenario minimized
+    // down to a bare `partition` op is still well-defined.
+    ScheduleOp cut;
+    cut.kind = OpKind::kPartition;
+    cut.time = ext2.uniform(1.0, s.active_time * 0.6);
+    std::uint64_t mask = 0;
+    for (std::uint32_t g = 0; g < s.k && g < 64; ++g) {
+      if (ext2.chance(0.35)) mask |= std::uint64_t{1} << g;
+    }
+    // Side A must be a proper non-empty subset or the cut is vacuous.
+    if (mask == 0) mask = std::uint64_t{1} << ext2.below(s.k);
+    const std::uint64_t all = (std::uint64_t{1} << s.k) - 1;  // k <= 25
+    if (mask == all) mask &= ~(std::uint64_t{1} << ext2.below(s.k));
+    cut.seed = mask;
+    cut.value = ext2.chance(0.5) ? 0.0 : ext2.uniform(0.05, 0.4);
+    cut.value2 = ext2.chance(0.5) ? 0.0 : ext2.uniform(0.05, 0.4);
+    s.ops.push_back(cut);
+    ScheduleOp heal;
+    heal.kind = OpKind::kHeal;
+    heal.time = cut.time + ext2.uniform(3.0, (s.active_time - cut.time) * 0.8);
+    s.ops.push_back(heal);
+  }
+  if (ext2.chance(0.4)) {
+    ScheduleOp corrupt;
+    corrupt.kind = OpKind::kCorrupt;
+    corrupt.time = ext2.uniform(1.0, s.active_time * 0.7);
+    corrupt.value = ext2.uniform(0.05, 0.5);
+    s.ops.push_back(corrupt);
+    if (ext2.chance(0.6)) {
+      ScheduleOp off;  // end of the corruption burst
+      off.kind = OpKind::kCorrupt;
+      off.time = corrupt.time + ext2.uniform(2.0, 15.0);
+      off.value = 0.0;
+      s.ops.push_back(off);
+    }
+  }
+
   std::stable_sort(s.ops.begin(), s.ops.end(),
                    [](const ScheduleOp& a, const ScheduleOp& b) {
                      return a.time < b.time;
@@ -204,6 +255,7 @@ void Scenario::serialize(std::ostream& out) const {
   out << "reliable " << (reliable ? 1 : 0) << '\n';
   out << "worklist " << (worklist ? 1 : 0) << '\n';
   out << "serve " << (serve ? 1 : 0) << '\n';
+  out << "recovery " << (recovery ? 1 : 0) << '\n';
   out << "stability_epsilon " << stability_epsilon << '\n';
   out << "warm_start_scale " << warm_start_scale << '\n';
   out << "engine_seed " << engine_seed << '\n';
@@ -218,10 +270,15 @@ void Scenario::serialize(std::ostream& out) const {
       case OpKind::kJoin: out << ' ' << op.group << ' ' << op.group2; break;
       case OpKind::kSetLoss:
       case OpKind::kSetAckLoss:
-      case OpKind::kSetJitter: out << ' ' << op.value; break;
+      case OpKind::kSetJitter:
+      case OpKind::kCorrupt: out << ' ' << op.value; break;
       case OpKind::kGraphUpdate: out << ' ' << op.seed; break;
+      case OpKind::kPartition:
+        out << ' ' << op.seed << ' ' << op.value << ' ' << op.value2;
+        break;
       case OpKind::kSaveCheckpoint:
-      case OpKind::kRestoreCheckpoint: break;
+      case OpKind::kRestoreCheckpoint:
+      case OpKind::kHeal: break;
     }
     out << '\n';
   }
@@ -267,13 +324,20 @@ Scenario Scenario::parse(std::istream& in) {
         case OpKind::kSetLoss:
         case OpKind::kSetAckLoss:
         case OpKind::kSetJitter:
+        case OpKind::kCorrupt:
           if (!(fields >> op.value)) fail("op missing value");
           break;
         case OpKind::kGraphUpdate:
           if (!(fields >> op.seed)) fail("op missing seed");
           break;
+        case OpKind::kPartition:
+          if (!(fields >> op.seed >> op.value >> op.value2)) {
+            fail("op missing partition mask/probabilities");
+          }
+          break;
         case OpKind::kSaveCheckpoint:
-        case OpKind::kRestoreCheckpoint: break;
+        case OpKind::kRestoreCheckpoint:
+        case OpKind::kHeal: break;
       }
       s.ops.push_back(op);
       continue;
@@ -322,6 +386,10 @@ Scenario Scenario::parse(std::istream& in) {
       int flag = 0;
       if (!(fields >> flag)) fail("bad serve");
       s.serve = flag != 0;
+    } else if (key == "recovery") {
+      int flag = 0;
+      if (!(fields >> flag)) fail("bad recovery");
+      s.recovery = flag != 0;
     } else if (key == "stability_epsilon") {
       if (!(fields >> s.stability_epsilon)) fail("bad stability_epsilon");
     } else if (key == "warm_start_scale") {

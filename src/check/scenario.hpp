@@ -43,6 +43,13 @@ enum class OpKind {
   kSetAckLoss,         ///< set_ack_delivery_probability(value) — ack-only
                        ///< loss burst (reliable mode; no-op otherwise)
   kSetJitter,          ///< set_latency_jitter(value) — reorder burst edge
+  kPartition,          ///< set_partition(seed = side-A group bitmask,
+                       ///< value = A→B delivery p, value2 = B→A delivery p).
+                       ///< seed == kCutBusiestGroup resolves at injection
+                       ///< time to the group owning the most pages.
+  kHeal,               ///< heal_partition(): clear the active cut
+  kCorrupt,            ///< set_corruption(value): per-frame byte-flip
+                       ///< probability (0 = end of the corruption burst)
 };
 
 [[nodiscard]] std::string_view op_kind_name(OpKind kind) noexcept;
@@ -52,9 +59,22 @@ struct ScheduleOp {
   OpKind kind = OpKind::kCrash;
   std::uint32_t group = 0;    ///< crash/pause/resume/leave/join target
   std::uint32_t group2 = 0;   ///< kLeave: successor; kJoin: donor
-  double value = 0.0;         ///< kSetLoss/kSetAckLoss/kSetJitter: new value
-  std::uint64_t seed = 0;     ///< kGraphUpdate: mutation seed
+  double value = 0.0;         ///< kSetLoss/kSetAckLoss/kSetJitter/kCorrupt:
+                              ///< new value; kPartition: A→B delivery p
+  double value2 = 0.0;        ///< kPartition: B→A delivery p (asymmetric)
+  std::uint64_t seed = 0;     ///< kGraphUpdate: mutation seed;
+                              ///< kPartition: side-A group bitmask
 };
+
+/// kPartition sentinel mask: isolate whichever group owns the most pages
+/// when the op fires (lowest index on ties). A literal mask derived only
+/// from the seed can land on a group with no pages or no cut edges — a cut
+/// nothing ever crosses — which would let a --broken self-test scenario
+/// finish without the evict→rejoin arc its planted fault needs. Resolved in
+/// the runner from deterministic engine state, so replays are exact; never
+/// produced by the generator's literal-mask path (masks there are proper
+/// subsets of the low k bits, k <= 25).
+inline constexpr std::uint64_t kCutBusiestGroup = ~std::uint64_t{0};
 
 enum class PartitionKind { kHashUrl, kHashSite, kRandom };
 
@@ -95,6 +115,11 @@ struct Scenario {
   /// the warm start republishes. Attaching is pure observation, so every
   /// other invariant must hold unchanged with the flag on.
   bool serve = false;
+  /// Attach a recover::RecoverySupervisor: autonomous suspicion → eviction
+  /// → ownership handoff → rejoin, ticked at every sample, with its
+  /// ownership ledger cross-checked against the engine (DESIGN.md §13).
+  /// Implies `reliable` (the supervisor reads the failure detector).
+  bool recovery = false;
   double stability_epsilon = 0.0;
   /// 0 = cold start (the theorems' R0 = 0 premise). Otherwise the engine
   /// warm-starts from scale·R*, which is still a sub-fixed-point start

@@ -1,6 +1,7 @@
 #include "engine/checkpoint.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -23,9 +24,26 @@ void save_ranks(const graph::WebGraph& g, std::span<const double> ranks,
 
 void save_ranks_file(const graph::WebGraph& g, std::span<const double> ranks,
                      const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_ranks_file: cannot open " + path);
-  save_ranks(g, ranks, out);
+  // Write-then-rename so a crash mid-save can never leave a truncated file
+  // at `path`: readers see either the old checkpoint or the complete new
+  // one. rename(2) is atomic within a filesystem and the temp file lives
+  // next to the target, so it cannot cross a mount boundary.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("save_ranks_file: cannot open " + tmp);
+    save_ranks(g, ranks, out);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("save_ranks_file: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_ranks_file: cannot rename " + tmp + " to " +
+                             path);
+  }
 }
 
 LoadedRanks load_ranks(const graph::WebGraph& g, std::istream& in) {

@@ -156,6 +156,7 @@ DistributedRanking::DistributedRanking(const graph::WebGraph& g,
                     ? opts_.delivery_probability
                     : opts_.reliability.ack_delivery_probability,
                 opts_.seed ^ 0x9e3779b97f4a7c15ULL),
+      fault_plane_(opts_.seed ^ 0x94d049bb133111ebULL),
       jitter_rng_(opts_.seed ^ 0xd1b54a32d192ed03ULL),
       latency_jitter_(opts_.latency_jitter) {
   if (assignment.size() != g.num_pages()) {
@@ -216,6 +217,8 @@ void DistributedRanking::init_obs() {
   obs_.acks_delivered = &m->counter(names::kTransportAcksDelivered);
   obs_.duplicates_rejected = &m->counter(names::kTransportDuplicatesRejected);
   obs_.suspicions = &m->counter(names::kTransportSuspicions);
+  obs_.partition_drops = &m->counter(names::kTransportPartitionDrops);
+  obs_.frames_quarantined = &m->counter(names::kTransportFramesQuarantined);
   obs_.data_bytes = &m->gauge(names::kEngineDataBytes);
   obs_.retransmit_bytes = &m->gauge(names::kTransportRetransmitBytes);
   obs_.slice_records = &m->log2_histogram(names::kEngineSliceRecords);
@@ -541,7 +544,12 @@ void DistributedRanking::send_slice(std::uint32_t src, std::uint32_t dst,
   if (!reliable_) {
     // The paper's fire-and-forget channel (bit-compatible with the
     // pre-reliability engine: one loss draw per send, commit on delivery).
-    if (!loss_.delivered()) {
+    // The loss draw always comes first; the fault plane draws from its own
+    // RNG and only while a cut is active, so the loss stream never shifts.
+    const bool pass_loss = loss_.delivered();
+    const bool pass_cut = fault_plane_.deliver(src, dst);
+    if (!pass_cut && obs_.partition_drops != nullptr) ++*obs_.partition_drops;
+    if (!pass_loss || !pass_cut) {
       ++messages_lost_;
       if (obs_.messages_lost != nullptr) ++*obs_.messages_lost;
       return;
@@ -558,6 +566,7 @@ void DistributedRanking::send_slice(std::uint32_t src, std::uint32_t dst,
                              {}, static_cast<double>(slice.record_count));
     }
     if (delay <= 0.0) {
+      if (!frame_survives(src, dst, 0, slice)) return;
       if (obs_.deliveries != nullptr) ++*obs_.deliveries;
       inbox_[dst].emplace_back(src, std::move(slice));
     } else {
@@ -569,6 +578,7 @@ void DistributedRanking::send_slice(std::uint32_t src, std::uint32_t dst,
       const std::uint64_t gen = generation_;
       queue_.schedule_in(delay, [this, dst, src, shared, gen] {
         if (gen != generation_) return;
+        if (!frame_survives(src, dst, 0, *shared)) return;
         if (obs_.deliveries != nullptr) ++*obs_.deliveries;
         inbox_[dst].emplace_back(src, std::move(*shared));
       });
@@ -586,7 +596,10 @@ void DistributedRanking::send_slice(std::uint32_t src, std::uint32_t dst,
     pending_payload_[pair_key(src, dst)] = payload;
   }
 
-  const bool delivered = loss_.delivered();
+  const bool pass_loss = loss_.delivered();
+  const bool pass_cut = fault_plane_.deliver(src, dst);
+  if (!pass_cut && obs_.partition_drops != nullptr) ++*obs_.partition_drops;
+  const bool delivered = pass_loss && pass_cut;
   if (!delivered) {
     ++messages_lost_;
     if (obs_.messages_lost != nullptr) ++*obs_.messages_lost;
@@ -629,6 +642,11 @@ void DistributedRanking::deliver(std::uint32_t src, std::uint32_t dst,
   // ranker sleeps) and even when dst crashed meanwhile (a reboot does not
   // reset the channel).
   //
+  // Corruption defense first: a quarantined frame is garbage — the receiver
+  // cannot trust its addressing or epoch, so it is dropped before any
+  // protocol processing (no liveness evidence, no epoch accept, no ack;
+  // the sender's retransmit timer re-ships it).
+  if (!frame_survives(src, dst, epoch, slice)) return;
   // Receiving data from src is evidence src is alive: clear any suspicion
   // on the reverse pair and, if a retransmit was parked there, re-arm it.
   if (reliable_->peer_alive(dst, src)) {
@@ -646,7 +664,14 @@ void DistributedRanking::deliver(std::uint32_t src, std::uint32_t dst,
   // ack. Acks ride their own lossy channel.
   ++acks_sent_;
   if (obs_.acks_sent != nullptr) ++*obs_.acks_sent;
-  if (!ack_loss_.delivered()) return;
+  const bool ack_pass_loss = ack_loss_.delivered();
+  // The ack crosses the cut in the reverse direction (dst → src), so an
+  // asymmetric partition can pass data one way and starve the acks.
+  const bool ack_pass_cut = fault_plane_.deliver(dst, src);
+  if (!ack_pass_cut && obs_.partition_drops != nullptr) {
+    ++*obs_.partition_drops;
+  }
+  if (!ack_pass_loss || !ack_pass_cut) return;
   const transport::Epoch value = reliable_->accepted_epoch(src, dst);
   const double delay = opts_.reliability.ack_latency;
   auto apply_ack = [this, src, dst, value] {
@@ -669,6 +694,41 @@ void DistributedRanking::deliver(std::uint32_t src, std::uint32_t dst,
   } else {
     queue_.schedule_in(delay, apply_ack);
   }
+}
+
+bool DistributedRanking::frame_survives(std::uint32_t src, std::uint32_t dst,
+                                        transport::Epoch epoch, YSlice& slice) {
+  if (!fault_plane_.corruption_enabled()) return true;
+  // While corruption is live, every slice pays the encode → (maybe flip
+  // bytes) → decode round-trip, so the defense is exercised on clean frames
+  // too — a codec that mangled valid payloads would corrupt ranks and trip
+  // the finiteness/monotone invariants immediately.
+  const transport::FrameHeader header{src, dst, epoch, slice.record_count};
+  auto frame = transport::encode_frame(header, slice.entries);
+  const bool corrupted = fault_plane_.maybe_corrupt(frame);
+  transport::DecodedFrame decoded;
+  const auto verdict = transport::decode_frame(frame, decoded);
+  if (verdict != transport::FrameVerdict::kOk) {
+    ++frames_quarantined_;
+    if (obs_.frames_quarantined != nullptr) ++*obs_.frames_quarantined;
+    return false;
+  }
+  if (corrupted || decoded.header.src != src || decoded.header.dst != dst ||
+      decoded.header.epoch != epoch) {
+    // A corrupted frame passed the 64-bit checksum — collision odds are
+    // negligible, so this tripwire staying 0 is an invariant the chaos
+    // checker enforces ("zero applied corrupt frames").
+    ++corrupt_frames_applied_;
+  }
+  slice.record_count = decoded.header.record_count;
+  slice.entries = std::move(decoded.entries);
+  return true;
+}
+
+bool DistributedRanking::has_cut_edges(std::uint32_t src,
+                                       std::uint32_t dst) const {
+  const auto dests = groups_.at(src)->efferent_destinations();
+  return std::find(dests.begin(), dests.end(), dst) != dests.end();
 }
 
 void DistributedRanking::schedule_retransmit(std::uint32_t src, std::uint32_t dst,
@@ -721,7 +781,10 @@ void DistributedRanking::on_retransmit_timer(std::uint32_t src, std::uint32_t ds
     *obs_.retransmit_records += payload->record_count;
     *obs_.retransmit_bytes += slice_wire_bytes(payload->record_count);
   }
-  if (!loss_.delivered()) {
+  const bool pass_loss = loss_.delivered();
+  const bool pass_cut = fault_plane_.deliver(src, dst);
+  if (!pass_cut && obs_.partition_drops != nullptr) ++*obs_.partition_drops;
+  if (!pass_loss || !pass_cut) {
     ++messages_lost_;
     if (obs_.messages_lost != nullptr) ++*obs_.messages_lost;
   } else {
@@ -757,7 +820,16 @@ void DistributedRanking::run_step(std::uint32_t group) {
   // the convergence invariant must catch it.)
   auto& inbox = inbox_[group];
   if (group != opts_.fault_skip_refresh_group) {
-    for (auto& [source, slice] : inbox) pg.refresh_x(source, std::move(slice));
+    for (auto& [source, slice] : inbox) {
+      // Poisoned-slice guard (defense in depth behind the frame codec): a
+      // NaN/Inf/negative or misordered payload must never reach refresh_x,
+      // where it would propagate through every subsequent sweep.
+      if (!transport::entries_valid(slice.entries)) {
+        ++slices_rejected_;
+        continue;
+      }
+      pg.refresh_x(source, std::move(slice));
+    }
   }
   inbox.clear();
 

@@ -30,6 +30,8 @@
 #include "graph/web_graph.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/processes.hpp"
+#include "transport/fault_plane.hpp"
+#include "transport/frame.hpp"
 #include "transport/reliable.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
@@ -154,6 +156,63 @@ class DistributedRanking {
   /// bursts). Must be >= 0.
   void set_latency_jitter(double jitter);
   [[nodiscard]] double latency_jitter() const noexcept { return latency_jitter_; }
+
+  // --- Fault plane: partitions + frame corruption (DESIGN.md §13) ----------
+  /// Install a network cut: groups in `side_a_mask` form side A; messages
+  /// crossing A→B / B→A are delivered with the given probabilities (0 =
+  /// hard cut). One cut is active at a time; a new call replaces it. The
+  /// plane draws from its own RNG only while a cut is active, so runs that
+  /// never partition are bit-identical to the pre-fault-plane engine.
+  void set_partition(std::uint64_t side_a_mask, double deliver_ab,
+                     double deliver_ba) {
+    fault_plane_.set_partition(side_a_mask, deliver_ab, deliver_ba);
+  }
+  void heal_partition() { fault_plane_.heal(); }
+  [[nodiscard]] bool partition_active() const noexcept {
+    return fault_plane_.partitioned();
+  }
+  /// Per-frame byte-corruption probability. While > 0 every Y slice
+  /// round-trips through the checksummed frame codec at delivery; corrupted
+  /// frames are quarantined (counted, never applied, never acked).
+  void set_corruption(double probability) {
+    fault_plane_.set_corruption(probability);
+  }
+  /// Deterministic link probe (no RNG draw): false only while a hard
+  /// directed cut (delivery probability 0) separates src from dst. The
+  /// RecoverySupervisor's heal detector.
+  [[nodiscard]] bool probe_link(std::uint32_t src, std::uint32_t dst) const {
+    return fault_plane_.link_up(src, dst);
+  }
+  /// Whether the reliable layer currently suspects dst from src's
+  /// viewpoint (false in fire-and-forget mode).
+  [[nodiscard]] bool suspected(std::uint32_t src, std::uint32_t dst) const {
+    return reliable_ ? reliable_->suspected(src, dst) : false;
+  }
+  /// Whether src has cut edges into dst (i.e. sends it Y slices).
+  [[nodiscard]] bool has_cut_edges(std::uint32_t src, std::uint32_t dst) const;
+  /// Messages dropped by the active cut (also counted in messages_lost).
+  [[nodiscard]] std::uint64_t partition_drops() const noexcept {
+    return fault_plane_.partition_drops();
+  }
+  /// Frames the fault plane corrupted in flight.
+  [[nodiscard]] std::uint64_t frames_corrupted() const noexcept {
+    return fault_plane_.frames_corrupted();
+  }
+  /// Corrupted/garbage frames rejected by the codec at delivery.
+  [[nodiscard]] std::uint64_t frames_quarantined() const noexcept {
+    return frames_quarantined_;
+  }
+  /// Corrupted frames that survived validation and were applied — a
+  /// checksum collision, impossible in practice; the invariant checker
+  /// asserts this stays 0.
+  [[nodiscard]] std::uint64_t corrupt_frames_applied() const noexcept {
+    return corrupt_frames_applied_;
+  }
+  /// Slices rejected by the NaN/Inf/negative/order guard at refresh time
+  /// (defense in depth behind the codec; must stay 0 in simulation).
+  [[nodiscard]] std::uint64_t slices_rejected() const noexcept {
+    return slices_rejected_;
+  }
 
   /// Advance virtual time to t_end, recording a Sample every
   /// `sample_interval` time units (Fig. 6 / Fig. 7 series). May be called
@@ -285,6 +344,12 @@ class DistributedRanking {
   void on_retransmit_timer(std::uint32_t src, std::uint32_t dst,
                            transport::Epoch epoch);
   void apply_churn(std::span<const std::uint32_t> assignment);
+  /// Corruption round-trip at delivery: encode the slice as a wire frame,
+  /// let the fault plane maybe flip bytes, decode + validate. Returns false
+  /// (slice untouched) when the frame was quarantined. No-op pass-through
+  /// while corruption is disabled.
+  [[nodiscard]] bool frame_survives(std::uint32_t src, std::uint32_t dst,
+                                    transport::Epoch epoch, YSlice& slice);
 
   [[nodiscard]] static std::uint64_t pair_key(std::uint32_t src,
                                               std::uint32_t dst) noexcept {
@@ -305,6 +370,7 @@ class DistributedRanking {
   sim::WaitProcess waits_ P2P_EXTERNALLY_SYNCHRONIZED;
   sim::LossModel loss_ P2P_EXTERNALLY_SYNCHRONIZED;
   sim::LossModel ack_loss_ P2P_EXTERNALLY_SYNCHRONIZED;
+  transport::FaultPlane fault_plane_ P2P_EXTERNALLY_SYNCHRONIZED;
   util::Rng jitter_rng_ P2P_EXTERNALLY_SYNCHRONIZED;
   double latency_jitter_ = 0.0;
   std::optional<transport::ReliableExchange> reliable_ P2P_EXTERNALLY_SYNCHRONIZED;
@@ -331,6 +397,9 @@ class DistributedRanking {
   std::uint64_t acks_sent_ = 0;
   std::uint64_t acks_delivered_ = 0;
   std::uint64_t churn_events_ = 0;
+  std::uint64_t frames_quarantined_ = 0;
+  std::uint64_t corrupt_frames_applied_ = 0;
+  std::uint64_t slices_rejected_ = 0;
   /// Outer steps performed by group objects retired in churn rebuilds.
   std::uint64_t retired_outer_steps_ = 0;
   std::vector<std::uint64_t> records_per_group_;
@@ -375,6 +444,8 @@ class DistributedRanking {
     std::uint64_t* acks_delivered = nullptr;
     std::uint64_t* duplicates_rejected = nullptr;
     std::uint64_t* suspicions = nullptr;
+    std::uint64_t* partition_drops = nullptr;
+    std::uint64_t* frames_quarantined = nullptr;
     double* data_bytes = nullptr;
     double* retransmit_bytes = nullptr;
     util::Log2Histogram* slice_records = nullptr;

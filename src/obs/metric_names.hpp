@@ -52,6 +52,18 @@ inline constexpr std::string_view kTransportAcksDelivered =
 inline constexpr std::string_view kTransportDuplicatesRejected =
     "transport.duplicates_rejected";
 inline constexpr std::string_view kTransportSuspicions = "transport.suspicions";
+/// Messages dropped by an active partition cut (also in messages_lost).
+inline constexpr std::string_view kTransportPartitionDrops =
+    "transport.partition_drops";
+/// Corrupted/garbage frames rejected by the codec at delivery.
+inline constexpr std::string_view kTransportFramesQuarantined =
+    "transport.frames_quarantined";
+
+// --- recover: partition-tolerant self-healing (DESIGN.md §13) ------------
+inline constexpr std::string_view kRecoverEvictions = "recover.evictions";
+inline constexpr std::string_view kRecoverRejoins = "recover.rejoins";
+/// Ledger refreshes forced by scripted (non-supervisor) membership change.
+inline constexpr std::string_view kRecoverResyncs = "recover.resyncs";
 
 // --- exchange: one-shot overlay exchange simulations (§4.4) -------------
 inline constexpr std::string_view kExchangeDataMessages = "exchange.data_messages";
@@ -110,6 +122,16 @@ inline constexpr std::string_view kServeLatencyP99 = "serve.latency_p99";
 inline constexpr std::string_view kServeQps = "serve.qps";
 /// High-water mark of the service queue (gauge).
 inline constexpr std::string_view kServeMaxQueueDepth = "serve.max_queue_depth";
+/// Queries answered past the staleness bound and flagged as such.
+inline constexpr std::string_view kServeDegradedReads = "serve.degraded_reads";
+/// Queries that touched a shard marked unavailable by the supervisor.
+inline constexpr std::string_view kServeShardUnavailableReads =
+    "serve.shard_unavailable_reads";
+/// Reads past the staleness bound that were NOT flagged — the degraded-
+/// serving contract says this is impossible; the counter is the machine
+/// check (must stay 0, audited externally to the flagging path).
+inline constexpr std::string_view kServeStaleBoundViolations =
+    "serve.stale_bound_violations";
 
 // --- trace event names ---------------------------------------------------
 inline constexpr std::string_view kTraceStep = "engine.step";
@@ -123,5 +145,7 @@ inline constexpr std::string_view kTracePhase = "check.phase";
 inline constexpr std::string_view kTraceSnapshot = "serve.snapshot";
 /// One served query's issue→completion span (closed-loop load generator).
 inline constexpr std::string_view kTraceServeQuery = "serve.query";
+/// RecoverySupervisor state transition (eviction / rejoin / resync).
+inline constexpr std::string_view kTraceRecovery = "recover.transition";
 
 }  // namespace p2prank::obs::names

@@ -1,6 +1,7 @@
 #include "serve/snapshot.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <ostream>
 
@@ -301,11 +302,29 @@ std::shared_ptr<const RankSnapshot> SnapshotStore::acquire() const {
   return current_;
 }
 
+void SnapshotStore::set_shard_health(std::uint32_t shard, bool up) {
+  if (shard >= kMaxHealthShards) return;
+  const std::uint64_t bit = std::uint64_t{1} << (shard % 64);
+  auto& word = shard_down_bits_[shard / 64];
+  if (up) {
+    word.fetch_and(~bit, std::memory_order_release);
+  } else {
+    word.fetch_or(bit, std::memory_order_release);
+  }
+}
+
+bool SnapshotStore::shard_available(std::uint32_t shard) const {
+  if (shard >= kMaxHealthShards) return true;
+  const std::uint64_t bit = std::uint64_t{1} << (shard % 64);
+  return (shard_down_bits_[shard / 64].load(std::memory_order_acquire) & bit) ==
+         0;
+}
+
 // ---------------------------------------------------------------------------
 // RankServer
 
 std::shared_ptr<const RankSnapshot> RankServer::begin_query(
-    bool topk, bool& stale) const {
+    bool topk, double now, bool& stale, bool& beyond_bound) const {
   queries_.fetch_add(1, std::memory_order_relaxed);
   (topk ? topk_queries_ : point_queries_).fetch_add(1,
                                                     std::memory_order_relaxed);
@@ -319,36 +338,62 @@ std::shared_ptr<const RankSnapshot> RankServer::begin_query(
   }
   stale = store_.is_stale(*snap);
   if (stale) stale_reads_.fetch_add(1, std::memory_order_relaxed);
+  // NaN `now` makes the subtraction NaN and the comparison false, so callers
+  // without a clock never see degraded reads — no branch needed.
+  beyond_bound =
+      now - snap->publish_time() > staleness_bound_.load(std::memory_order_relaxed);
+  if (beyond_bound) degraded_reads_.fetch_add(1, std::memory_order_relaxed);
   return snap;
 }
 
-PointResult RankServer::rank(std::uint32_t page) const {
+PointResult RankServer::rank(std::uint32_t page, double now) const {
   PointResult r;
-  std::shared_ptr<const RankSnapshot> snap = begin_query(false, r.stale);
+  std::shared_ptr<const RankSnapshot> snap =
+      begin_query(false, now, r.stale, r.beyond_bound);
   if (snap == nullptr) return r;
   r.served = true;
   r.epoch = snap->epoch();
+  r.publish_time = snap->publish_time();
   r.rank = page < snap->num_pages() ? snap->rank(page) : 0.0;
+  if (page < snap->num_pages()) {
+    r.shard = snap->shard_of(page);
+    r.shard_down = !store_.shard_available(r.shard);
+    if (r.shard_down) note_shard_down();
+  }
   return r;
 }
 
-TopKResult RankServer::top_k(std::size_t k) const {
+TopKResult RankServer::top_k(std::size_t k, double now) const {
   TopKResult r;
-  std::shared_ptr<const RankSnapshot> snap = begin_query(true, r.stale);
+  std::shared_ptr<const RankSnapshot> snap =
+      begin_query(true, now, r.stale, r.beyond_bound);
   if (snap == nullptr) return r;
   r.served = true;
   r.epoch = snap->epoch();
+  r.publish_time = snap->publish_time();
   r.entries = snap->top_k(k);
+  for (std::uint32_t sh = 0; sh < snap->num_shards(); ++sh) {
+    if (!store_.shard_available(sh)) {
+      r.shard_down = true;  // some contributor's data is from an evicted shard
+      note_shard_down();
+      break;
+    }
+  }
   return r;
 }
 
-TopKResult RankServer::shard_top_k(std::uint32_t shard, std::size_t k) const {
+TopKResult RankServer::shard_top_k(std::uint32_t shard, std::size_t k,
+                                   double now) const {
   TopKResult r;
-  std::shared_ptr<const RankSnapshot> snap = begin_query(true, r.stale);
+  std::shared_ptr<const RankSnapshot> snap =
+      begin_query(true, now, r.stale, r.beyond_bound);
   if (snap == nullptr) return r;
   r.served = true;
   r.epoch = snap->epoch();
+  r.publish_time = snap->publish_time();
   if (shard < snap->num_shards()) r.entries = snap->shard_top_k(shard, k);
+  r.shard_down = !store_.shard_available(shard);
+  if (r.shard_down) note_shard_down();
   return r;
 }
 
@@ -362,6 +407,8 @@ void export_serve_metrics(const SnapshotStore& store, const RankServer& server,
   m.counter(obs::names::kServeTornReads) = server.torn_reads();
   m.counter(obs::names::kServeStaleReads) = server.stale_reads();
   m.counter(obs::names::kServeUnavailable) = server.unavailable();
+  m.counter(obs::names::kServeDegradedReads) = server.degraded_reads();
+  m.counter(obs::names::kServeShardUnavailableReads) = server.shard_down_reads();
   m.counter(obs::names::kServeSnapshotsPublished) = store.published();
   m.counter(obs::names::kServeSnapshotsInvalidated) = store.invalidations();
   m.counter(obs::names::kServeBufferReuses) = store.buffer_reuses();

@@ -19,9 +19,11 @@
 // vectors are, which the engine guarantees.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -164,6 +166,16 @@ class SnapshotStore final : public engine::RankSnapshotSink {
     return snap.epoch() <= stale_epoch_.load(std::memory_order_acquire);
   }
 
+  /// Degraded-serving shard health (DESIGN.md §13). The RecoverySupervisor
+  /// marks a shard down at eviction and up again at rejoin/resync; queries
+  /// touching a down shard still serve the last published data but carry an
+  /// explicit shard_down flag. Atomic bitmap, so the supervisor (simulation
+  /// thread) and query threads need no lock; shards >= kMaxHealthShards are
+  /// always reported up.
+  void set_shard_health(std::uint32_t shard, bool up);
+  [[nodiscard]] bool shard_available(std::uint32_t shard) const;
+  static constexpr std::uint32_t kMaxHealthShards = 256;
+
   [[nodiscard]] std::uint64_t latest_epoch() const {
     return latest_epoch_.load(std::memory_order_acquire);
   }
@@ -213,6 +225,8 @@ class SnapshotStore final : public engine::RankSnapshotSink {
 
   std::atomic<std::uint64_t> latest_epoch_{0};
   std::atomic<std::uint64_t> stale_epoch_{0};
+  /// One bit per shard, set = down (see set_shard_health).
+  std::array<std::atomic<std::uint64_t>, kMaxHealthShards / 64> shard_down_bits_{};
 
   std::uint64_t next_epoch_ P2P_EXTERNALLY_SYNCHRONIZED = 1;
   std::uint64_t published_ P2P_EXTERNALLY_SYNCHRONIZED = 0;
@@ -224,15 +238,26 @@ class SnapshotStore final : public engine::RankSnapshotSink {
 struct PointResult {
   bool served = false;  ///< false only before the first publish
   bool stale = false;   ///< snapshot predates the last invalidate()
+  /// Snapshot older than the staleness bound at query time (degraded read —
+  /// served anyway, explicitly flagged; see RankServer::set_staleness_bound).
+  bool beyond_bound = false;
+  /// The page's owning shard is marked unavailable (evicted ranker).
+  bool shard_down = false;
   double rank = 0.0;
   std::uint64_t epoch = 0;
+  double publish_time = 0.0;           ///< virtual time of the snapshot
+  std::uint32_t shard = UINT32_MAX;    ///< owning shard of the queried page
 };
 
 /// Top-K query result.
 struct TopKResult {
   bool served = false;
   bool stale = false;
+  bool beyond_bound = false;  ///< past the staleness bound (degraded read)
+  /// Global top-K: some contributing shard is down; shard query: that shard.
+  bool shard_down = false;
   std::uint64_t epoch = 0;
+  double publish_time = 0.0;
   std::vector<TopKEntry> entries;
 };
 
@@ -242,12 +267,31 @@ struct TopKResult {
 /// are read after the load is done).
 class RankServer {
  public:
+  /// Pass as `now` when the caller has no clock: staleness-bound checking is
+  /// skipped (NaN compares false against everything).
+  static constexpr double kNoQueryTime =
+      std::numeric_limits<double>::quiet_NaN();
+
   explicit RankServer(const SnapshotStore& store) : store_(store) {}
 
-  [[nodiscard]] PointResult rank(std::uint32_t page) const;
-  [[nodiscard]] TopKResult top_k(std::size_t k) const;
-  [[nodiscard]] TopKResult shard_top_k(std::uint32_t shard,
-                                       std::size_t k) const;
+  /// Bounded-staleness contract (DESIGN.md §13): with a finite bound set, a
+  /// query that passes its own virtual time `now` and finds the snapshot
+  /// older than `bound` is still answered — availability over freshness —
+  /// but flagged beyond_bound and tallied as a degraded read. The default
+  /// bound (infinity) and the default `now` (NaN) both disable the check.
+  void set_staleness_bound(double bound) {
+    staleness_bound_.store(bound, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double staleness_bound() const noexcept {
+    return staleness_bound_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] PointResult rank(std::uint32_t page,
+                                 double now = kNoQueryTime) const;
+  [[nodiscard]] TopKResult top_k(std::size_t k,
+                                 double now = kNoQueryTime) const;
+  [[nodiscard]] TopKResult shard_top_k(std::uint32_t shard, std::size_t k,
+                                       double now = kNoQueryTime) const;
 
   [[nodiscard]] std::uint64_t queries() const noexcept {
     return queries_.load(std::memory_order_relaxed);
@@ -270,19 +314,35 @@ class RankServer {
   [[nodiscard]] std::uint64_t unavailable() const noexcept {
     return unavailable_.load(std::memory_order_relaxed);
   }
+  /// Queries answered past the staleness bound and flagged beyond_bound.
+  [[nodiscard]] std::uint64_t degraded_reads() const noexcept {
+    return degraded_reads_.load(std::memory_order_relaxed);
+  }
+  /// Queries that touched a shard marked unavailable.
+  [[nodiscard]] std::uint64_t shard_down_reads() const noexcept {
+    return shard_down_reads_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Shared per-query bookkeeping; returns null when unavailable.
-  std::shared_ptr<const RankSnapshot> begin_query(bool topk,
-                                                  bool& stale) const;
+  std::shared_ptr<const RankSnapshot> begin_query(bool topk, double now,
+                                                  bool& stale,
+                                                  bool& beyond_bound) const;
+  void note_shard_down() const {
+    shard_down_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   const SnapshotStore& store_;
+  mutable std::atomic<double> staleness_bound_{
+      std::numeric_limits<double>::infinity()};
   mutable std::atomic<std::uint64_t> queries_{0};
   mutable std::atomic<std::uint64_t> point_queries_{0};
   mutable std::atomic<std::uint64_t> topk_queries_{0};
   mutable std::atomic<std::uint64_t> torn_reads_{0};
   mutable std::atomic<std::uint64_t> stale_reads_{0};
   mutable std::atomic<std::uint64_t> unavailable_{0};
+  mutable std::atomic<std::uint64_t> degraded_reads_{0};
+  mutable std::atomic<std::uint64_t> shard_down_reads_{0};
 };
 
 /// Set (not add) the serve.* counters in `m` from the store's and server's

@@ -1,0 +1,63 @@
+#include "transport/fault_plane.hpp"
+
+#include <algorithm>
+
+namespace p2prank::transport {
+
+void FaultPlane::set_partition(std::uint64_t side_a_mask, double deliver_ab,
+                               double deliver_ba) noexcept {
+  active_ = true;
+  side_a_mask_ = side_a_mask;
+  deliver_ab_ = std::clamp(deliver_ab, 0.0, 1.0);
+  deliver_ba_ = std::clamp(deliver_ba, 0.0, 1.0);
+}
+
+void FaultPlane::set_corruption(double probability) noexcept {
+  corrupt_probability_ = std::clamp(probability, 0.0, 1.0);
+}
+
+bool FaultPlane::deliver(std::uint32_t src, std::uint32_t dst) noexcept {
+  if (!active_) return true;
+  const bool src_a = side_a(src);
+  if (src_a == side_a(dst)) return true;  // same side: cut irrelevant
+  const double p = src_a ? deliver_ab_ : deliver_ba_;
+  // One draw per crossing send, even at p=0/p=1, so a scenario's stream
+  // does not shift when only the cut's probabilities differ.
+  const bool pass = rng_.chance(p);
+  if (!pass) ++partition_drops_;
+  return pass;
+}
+
+bool FaultPlane::link_up(std::uint32_t src, std::uint32_t dst) const noexcept {
+  if (!active_) return true;
+  const bool src_a = side_a(src);
+  if (src_a == side_a(dst)) return true;
+  return (src_a ? deliver_ab_ : deliver_ba_) > 0.0;
+}
+
+bool FaultPlane::maybe_corrupt(std::vector<std::uint8_t>& frame) noexcept {
+  if (corrupt_probability_ <= 0.0 || frame.empty()) return false;
+  if (!rng_.chance(corrupt_probability_)) return false;
+  const std::uint32_t flips = 1 + static_cast<std::uint32_t>(rng_.below(4));
+  // Flip distinct positions only: a repeated position with the same XOR
+  // mask would cancel itself and hand the codec a byte-identical frame —
+  // which then decodes fine and trips the corrupt-applied invariant as a
+  // phantom checksum collision (seen ~once per several thousand corrupted
+  // frames in long fuzz sweeps). A duplicate draw is skipped, not redrawn,
+  // so the flip count stays bounded and the RNG stream stays simple.
+  std::size_t taken[4];
+  std::uint32_t num_taken = 0;
+  for (std::uint32_t i = 0; i < flips; ++i) {
+    const std::size_t pos = rng_.below(frame.size());
+    bool dup = false;
+    for (std::uint32_t j = 0; j < num_taken; ++j) dup |= taken[j] == pos;
+    if (dup) continue;
+    taken[num_taken++] = pos;
+    // XOR with a nonzero byte so every flip really changes its byte.
+    frame[pos] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+  }
+  ++frames_corrupted_;
+  return true;
+}
+
+}  // namespace p2prank::transport

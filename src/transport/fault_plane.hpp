@@ -1,0 +1,86 @@
+// Per-directed-link fault model: partitions and frame corruption.
+//
+// LossModel (sim/processes.hpp) models symmetric, link-independent message
+// loss. This layer adds the failure modes a structured P2P overlay actually
+// sees (DESIGN.md §13):
+//
+//   * partitions as node-set cuts: one active cut at a time, side A given
+//     as a group bitmask, with *asymmetric* delivery probabilities for
+//     A→B and B→A traffic (0 = hard cut, small p = lossy one-way link);
+//   * heal events that clear the cut;
+//   * byte-level frame corruption with probability `corrupt` per frame,
+//     flipping 1–4 random bytes (the frame checksum must catch them all).
+//
+// Determinism contract: the plane owns a seeded RNG and draws from it ONLY
+// while a cut (or corruption) is active. Legacy scenarios never activate it,
+// so every pre-existing seed replays bit-identically; LossModel's
+// one-draw-per-send stream is never touched (callers must draw from the
+// loss model FIRST, then consult the plane).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace p2prank::transport {
+
+class FaultPlane {
+ public:
+  explicit FaultPlane(std::uint64_t seed) : rng_(seed) {}
+
+  /// Install a cut. Groups whose bit is set in `side_a_mask` form side A
+  /// (groups >= 64 always count as side B). `deliver_ab` / `deliver_ba`
+  /// are the delivery probabilities for messages crossing A→B / B→A.
+  void set_partition(std::uint64_t side_a_mask, double deliver_ab,
+                     double deliver_ba) noexcept;
+
+  /// Clear the active cut (corruption is independent and unaffected).
+  void heal() noexcept { active_ = false; }
+
+  [[nodiscard]] bool partitioned() const noexcept { return active_; }
+
+  /// Per-frame corruption probability; 0 disables.
+  void set_corruption(double probability) noexcept;
+
+  [[nodiscard]] bool corruption_enabled() const noexcept {
+    return corrupt_probability_ > 0.0;
+  }
+
+  /// One send src→dst: true if the message survives the cut. Draws from
+  /// the plane's RNG only when a cut is active and the link crosses it.
+  [[nodiscard]] bool deliver(std::uint32_t src, std::uint32_t dst) noexcept;
+
+  /// Deterministic link probe (no RNG draw): false only while a hard cut
+  /// (delivery probability 0 in that direction) separates src from dst.
+  /// The RecoverySupervisor uses this as its heal detector.
+  [[nodiscard]] bool link_up(std::uint32_t src,
+                             std::uint32_t dst) const noexcept;
+
+  /// Maybe flip 1–4 random bytes of `frame` in place. Returns true if the
+  /// frame was corrupted. Draws only while corruption is enabled.
+  [[nodiscard]] bool maybe_corrupt(std::vector<std::uint8_t>& frame) noexcept;
+
+  [[nodiscard]] std::uint64_t partition_drops() const noexcept {
+    return partition_drops_;
+  }
+  [[nodiscard]] std::uint64_t frames_corrupted() const noexcept {
+    return frames_corrupted_;
+  }
+
+ private:
+  [[nodiscard]] bool side_a(std::uint32_t group) const noexcept {
+    return group < 64 && (side_a_mask_ >> group & 1) != 0;
+  }
+
+  util::Rng rng_;
+  bool active_ = false;
+  std::uint64_t side_a_mask_ = 0;
+  double deliver_ab_ = 1.0;
+  double deliver_ba_ = 1.0;
+  double corrupt_probability_ = 0.0;
+  std::uint64_t partition_drops_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+};
+
+}  // namespace p2prank::transport

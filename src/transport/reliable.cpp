@@ -55,10 +55,17 @@ void ReliableExchange::reset_transient(PairState& st) {
 Epoch ReliableExchange::begin_send(std::uint32_t src, std::uint32_t dst) {
   PairState& st = state(src, dst);
   const Epoch epoch = st.next_epoch++;
-  if (st.pending == 0) ++pending_pairs_;
+  if (st.pending == 0) {
+    ++pending_pairs_;
+    // Healthy pair (nothing outstanding): start from a fresh backoff.
+    st.attempts = 0;
+    st.rto = opts_.rto_initial;
+  }
+  // A prior epoch is still unacked: keep the backed-off rto and strike
+  // count. Resetting here let every fresh send restart the timer at
+  // rto_initial, so a long partition produced an unbounded retransmit
+  // storm at the minimum interval and suspicion could never trip.
   st.pending = epoch;  // supersedes any older unacked epoch
-  st.attempts = 0;
-  st.rto = opts_.rto_initial;
   return epoch;
 }
 
@@ -73,7 +80,25 @@ ReliableExchange::TimerVerdict ReliableExchange::on_timer(std::uint32_t src,
                                                           std::uint32_t dst,
                                                           Epoch epoch) {
   PairState& st = state(src, dst);
-  if (st.pending == 0 || st.pending != epoch) return TimerVerdict::kSuperseded;
+  if (st.pending == 0) return TimerVerdict::kSuperseded;  // acked or reset
+  if (st.pending != epoch) {
+    // A newer send superseded this epoch while the pair is still unacked.
+    // If the superseded epoch itself was never acked, its expired timer is
+    // still a missed-ack strike for the pair: a sender whose loop interval
+    // undercuts the rto replaces the pending epoch before any timer can
+    // fire for it, and without counting these a hard partition never trips
+    // suspicion. The newer epoch's chain owns retransmission and backoff —
+    // this timer dies either way (no kRetransmit, no rto advance).
+    if (epoch <= st.acked || st.suspected) return TimerVerdict::kSuperseded;
+    ++st.attempts;
+    if (st.attempts >= opts_.suspicion_after) {
+      st.suspected = true;
+      ++suspected_pairs_;
+      ++suspicion_events_;
+      return TimerVerdict::kSuspectNow;
+    }
+    return TimerVerdict::kSuperseded;
+  }
   if (st.acked >= epoch) {
     // on_ack clears the pending epoch whenever acked >= pending, so a timer
     // can never find its epoch both pending and acked. If one does, the

@@ -28,12 +28,16 @@
 //    capped at rto_max) with multiplicative jitter so retransmissions from
 //    many pairs do not synchronize.
 //
-//  * Failure detection. suspicion_after consecutive unacked retransmit
-//    timers mark the peer suspected; further retransmits for the pair are
-//    parked (fresh sends still go out and double as probes). Any evidence
-//    of life — an ack, or data received *from* the peer — clears suspicion
-//    and resets the backoff, so a rebooted or un-partitioned peer resumes
-//    promptly. Data and ack traffic double as heartbeats: every ranker
+//  * Failure detection. suspicion_after expired timers without an
+//    intervening ack mark the peer suspected; further retransmits for the
+//    pair are parked (fresh sends still go out and double as probes). A
+//    timer whose epoch was superseded by a newer fresh send still counts a
+//    strike when that epoch was never acked — otherwise a sender whose loop
+//    interval undercuts the rto would supersede every pending epoch before
+//    its timer fired and a hard partition could never trip suspicion. Any
+//    evidence of life — an ack, or data received *from* the peer — clears
+//    suspicion and resets the backoff, so a rebooted or un-partitioned peer
+//    resumes promptly. Data and ack traffic double as heartbeats: every ranker
 //    loop step ships a Y slice to each efferent peer, so a healthy pair is
 //    never silent for longer than one step interval.
 #pragma once
@@ -84,7 +88,9 @@ class ReliableExchange {
 
   /// A retransmit timer armed for `epoch` fired. On kRetransmit the attempt
   /// counter and backoff advance; on kSuspectNow the pair is marked
-  /// suspected (counted in suspicion_events()).
+  /// suspected (counted in suspicion_events()). A superseded-but-unacked
+  /// epoch's timer counts a strike (possibly returning kSuspectNow) without
+  /// advancing the backoff — the newer epoch's timer chain owns that.
   [[nodiscard]] TimerVerdict on_timer(std::uint32_t src, std::uint32_t dst,
                                       Epoch epoch);
 

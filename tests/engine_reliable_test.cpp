@@ -303,13 +303,13 @@ TEST_F(ReliableFixture, ChurnArgumentErrors) {
 
 // --- Failure detection: a silent peer gets suspected, acks recover it ---
 //
-// Suspicion needs a pair that goes silent in BOTH directions: fresh sends
-// reset the attempt counter (a new epoch restarts the probe), and received
-// data clears suspicion via peer_alive (a talking peer is alive even if its
-// acks are lost). A one-directional cut (a chain split at the middle: only
-// group 0 sends to group 1) removes the reverse keep-alive; lose every ack
-// and pause the sender, and its pending epoch keeps timing out until the
-// failure detector trips — and stays tripped.
+// Suspicion needs a pair with no evidence of life: an ack resets the
+// attempt counter, and received data clears suspicion via peer_alive (a
+// talking peer is alive even if its acks are lost). A one-directional cut
+// (a chain split at the middle: only group 0 sends to group 1) removes the
+// reverse keep-alive; lose every ack and pause the sender, and its pending
+// epoch keeps timing out until the failure detector trips — and stays
+// tripped.
 TEST(ReliableSuspicion, SilentPeerGetsSuspectedAndAcksRecoverIt) {
   const graph::WebGraph g = test::chain(4);  // 0->1->2->3, one cut edge 1->2
   const std::vector<std::uint32_t> a = {0, 0, 1, 1};

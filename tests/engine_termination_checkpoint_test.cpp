@@ -1,6 +1,8 @@
 // Tests for distributed termination detection and rank checkpointing.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -190,6 +192,49 @@ TEST(Checkpoint, TruncatedCheckpointRejected) {
     EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(Checkpoint, AtomicSaveLeavesNoTempFileBehind) {
+  // save_ranks_file writes to `path + ".tmp"` and renames, so a reader can
+  // never observe a half-written checkpoint at `path`. After a successful
+  // save the temp file must be gone and the target complete.
+  const auto g = test::two_cycle();
+  const std::vector<double> ranks = {0.5, 0.75};
+  const std::string path = ::testing::TempDir() + "/p2prank_atomic.ckpt";
+  save_ranks_file(g, ranks, path);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file survived the rename";
+  const auto loaded = load_ranks_file(g, path);
+  EXPECT_EQ(loaded.matched, 2u);
+  EXPECT_DOUBLE_EQ(loaded.ranks[0], 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileOnDiskRejectedByLoader) {
+  // Regression for the crash-mid-write hole the atomic save closes: if a
+  // truncated file somehow lands at the checkpoint path anyway (pre-fix
+  // save, copy cut short), load_ranks_file must refuse it rather than
+  // warm-start half the crawl from zero.
+  const auto g = graph::generate_synthetic_web(graph::google2002_config(300, 5));
+  std::vector<double> ranks(g.num_pages(), 0.25);
+  std::stringstream buffer;
+  save_ranks(g, ranks, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  text.resize(text.find_last_of('\n') + 1);
+  const std::string path = ::testing::TempDir() + "/p2prank_truncated.ckpt";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+  try {
+    (void)load_ranks_file(g, path);
+    FAIL() << "truncated checkpoint file accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Checkpoint, CorruptValuesRejected) {

@@ -1,0 +1,113 @@
+// Tests for degraded serving (DESIGN.md §13): per-shard availability marks
+// and the bounded-staleness contract — queries over a partitioned shard or
+// past the staleness bound still answer (availability over freshness) but
+// carry explicit flags and are tallied, never silently served as fresh.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+
+namespace p2prank::serve {
+namespace {
+
+/// Four pages over two shards: pages 0,1 on shard 0; pages 2,3 on shard 1.
+struct Rig {
+  SnapshotStore store;
+  RankServer server{store};
+
+  Rig() {
+    const std::vector<double> ranks = {0.4, 0.3, 0.2, 0.1};
+    const std::vector<std::uint32_t> owner = {0, 0, 1, 1};
+    store.publish(/*time=*/5.0, ranks, owner, /*num_shards=*/2);
+  }
+};
+
+TEST(DegradedServing, StalenessBoundDisabledByDefault) {
+  Rig rig;
+  const auto r = rig.server.rank(0, /*now=*/1e9);
+  ASSERT_TRUE(r.served);
+  EXPECT_FALSE(r.beyond_bound) << "default bound is infinity";
+  EXPECT_DOUBLE_EQ(r.publish_time, 5.0);
+  EXPECT_EQ(rig.server.degraded_reads(), 0u);
+}
+
+TEST(DegradedServing, BeyondBoundFlaggedAndTallied) {
+  Rig rig;
+  rig.server.set_staleness_bound(10.0);
+  const auto fresh = rig.server.rank(0, /*now=*/14.0);  // age 9 <= 10
+  ASSERT_TRUE(fresh.served);
+  EXPECT_FALSE(fresh.beyond_bound);
+  const auto old = rig.server.rank(0, /*now=*/16.0);  // age 11 > 10
+  ASSERT_TRUE(old.served) << "availability over freshness: still answered";
+  EXPECT_TRUE(old.beyond_bound);
+  EXPECT_DOUBLE_EQ(old.rank, 0.4) << "degraded read serves the real data";
+  EXPECT_EQ(rig.server.degraded_reads(), 1u);
+
+  const auto top = rig.server.top_k(2, /*now=*/16.0);
+  ASSERT_TRUE(top.served);
+  EXPECT_TRUE(top.beyond_bound);
+  const auto shard = rig.server.shard_top_k(0, 2, /*now=*/16.0);
+  ASSERT_TRUE(shard.served);
+  EXPECT_TRUE(shard.beyond_bound);
+  EXPECT_EQ(rig.server.degraded_reads(), 3u);
+}
+
+TEST(DegradedServing, NoQueryTimeSkipsTheBoundCheck) {
+  Rig rig;
+  rig.server.set_staleness_bound(0.001);  // everything would be beyond it
+  const auto r = rig.server.rank(0);  // kNoQueryTime: caller has no clock
+  ASSERT_TRUE(r.served);
+  EXPECT_FALSE(r.beyond_bound);
+  EXPECT_EQ(rig.server.degraded_reads(), 0u);
+}
+
+TEST(DegradedServing, RepublishResetsTheAgeClock) {
+  Rig rig;
+  rig.server.set_staleness_bound(10.0);
+  EXPECT_TRUE(rig.server.rank(0, 20.0).beyond_bound);
+  const std::vector<double> ranks = {0.4, 0.3, 0.2, 0.1};
+  const std::vector<std::uint32_t> owner = {0, 0, 1, 1};
+  rig.store.publish(/*time=*/19.0, ranks, owner, 2);
+  EXPECT_FALSE(rig.server.rank(0, 20.0).beyond_bound);
+}
+
+TEST(DegradedServing, DownShardFlaggedOnEveryQueryShape) {
+  Rig rig;
+  ASSERT_TRUE(rig.store.shard_available(1));
+  rig.store.set_shard_health(1, false);
+  EXPECT_FALSE(rig.store.shard_available(1));
+  EXPECT_TRUE(rig.store.shard_available(0));
+
+  // Point query on the down shard: flagged; on the up shard: clean.
+  const auto down = rig.server.rank(2);
+  ASSERT_TRUE(down.served);
+  EXPECT_TRUE(down.shard_down);
+  EXPECT_EQ(down.shard, 1u);
+  EXPECT_DOUBLE_EQ(down.rank, 0.2) << "last published data still serves";
+  const auto up = rig.server.rank(0);
+  EXPECT_FALSE(up.shard_down);
+  EXPECT_EQ(up.shard, 0u);
+
+  // Global top-K merges a down shard's entries: flagged. Per-shard: only
+  // the down shard's query is.
+  EXPECT_TRUE(rig.server.top_k(4).shard_down);
+  EXPECT_FALSE(rig.server.shard_top_k(0, 2).shard_down);
+  EXPECT_TRUE(rig.server.shard_top_k(1, 2).shard_down);
+  EXPECT_GT(rig.server.shard_down_reads(), 0u);
+
+  // Rejoin marks it back up and the flags clear.
+  rig.store.set_shard_health(1, true);
+  EXPECT_FALSE(rig.server.rank(2).shard_down);
+  EXPECT_FALSE(rig.server.top_k(4).shard_down);
+}
+
+TEST(DegradedServing, ShardsBeyondBitmapWidthAlwaysUp) {
+  Rig rig;
+  rig.store.set_shard_health(SnapshotStore::kMaxHealthShards + 3, false);
+  EXPECT_TRUE(rig.store.shard_available(SnapshotStore::kMaxHealthShards + 3));
+}
+
+}  // namespace
+}  // namespace p2prank::serve

@@ -39,6 +39,19 @@
 // fails the run. --serve --determinism-check instead byte-compares the query
 // stream, final snapshot, and result checksum across a repeated run and pool
 // sizes {1,2}, exiting nonzero on any difference.
+//
+// --recovery measures the partition-tolerance layer (DESIGN.md §13): a
+// reliable-transport engine with a RecoverySupervisor and a SnapshotStore
+// attached runs a fixed schedule of hard-cut episodes (cut → evict → degraded
+// serving → heal → rejoin), with frame corruption live during each outage.
+// Per episode it records the eviction latency (cut → quorum eviction) and
+// rejoin latency (heal → readmission), and throughout it runs the
+// bounded-staleness EXTERNAL audit: every query recomputes the snapshot age
+// from publish_time and cross-checks the server's beyond_bound flag — any
+// mismatch is a stale-bound violation, and the contract (plus the exit code)
+// requires exactly zero. Appends to BENCH_recovery.json with schema
+// "p2prank-recovery-bench-v1"; torn reads, checksum-collision applications,
+// or a missed eviction/rejoin also fail the run.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -59,6 +72,7 @@
 #include "obs/trace.hpp"
 #include "obs/metric_names.hpp"
 #include "rank/link_matrix.hpp"
+#include "recover/supervisor.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/snapshot.hpp"
 #include "util/stats.hpp"
@@ -99,6 +113,9 @@ struct Options {
   bool determinism_check = false;
   std::uint32_t clients = 10000;
   double serve_duration = 200.0;  // virtual time of the closed-loop phase
+  // --recovery mode.
+  bool recovery = false;
+  std::uint32_t episodes = 4;
 };
 
 /// Best-of-`repetitions` timing of one sweep variant: each repetition runs
@@ -756,6 +773,251 @@ int run_serve_determinism_check(Options opts) {
   return ok ? 0 : 1;
 }
 
+// --- Recovery benchmark ------------------------------------------------------
+
+/// One hard-cut outage: the measured timestamps and whether both state
+/// transitions actually happened (a miss fails the whole run).
+struct RecoveryEpisode {
+  std::uint32_t victim = 0;
+  double cut_time = 0.0;
+  double evict_time = 0.0;
+  double heal_time = 0.0;
+  double rejoin_time = 0.0;
+  bool evicted = false;
+  bool rejoined = false;
+};
+
+std::string render_recovery_run(const Options& opts, std::size_t edges,
+                                double staleness_bound,
+                                const std::vector<RecoveryEpisode>& episodes,
+                                const engine::DistributedRanking& sim,
+                                const recover::RecoverySupervisor& sup,
+                                const serve::RankServer& server,
+                                std::uint64_t stale_bound_violations,
+                                const engine::ConvergenceResult& reconverge) {
+  double evict_sum = 0.0, evict_max = 0.0, rejoin_sum = 0.0, rejoin_max = 0.0;
+  for (const auto& e : episodes) {
+    const double ev = e.evict_time - e.cut_time;
+    const double rj = e.rejoin_time - e.heal_time;
+    evict_sum += ev;
+    evict_max = std::max(evict_max, ev);
+    rejoin_sum += rj;
+    rejoin_max = std::max(rejoin_max, rj);
+  }
+  const double n = episodes.empty() ? 1.0 : static_cast<double>(episodes.size());
+  std::ostringstream os;
+  os << "    {\n";
+  os << "      \"label\": \"" << json_escape(opts.label) << "\",\n";
+  os << "      \"pages\": " << opts.pages << ",\n";
+  os << "      \"edges\": " << edges << ",\n";
+  os << "      \"k\": " << opts.k << ",\n";
+  os << "      \"graph_seed\": " << opts.seed << ",\n";
+  os << "      \"staleness_bound\": " << json_number(staleness_bound) << ",\n";
+  os << "      \"episodes\": [\n";
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    const auto& e = episodes[i];
+    os << "        {\"victim\": " << e.victim << ", "
+       << "\"cut_time\": " << json_number(e.cut_time) << ", "
+       << "\"eviction_latency\": " << json_number(e.evict_time - e.cut_time)
+       << ", "
+       << "\"heal_time\": " << json_number(e.heal_time) << ", "
+       << "\"rejoin_latency\": " << json_number(e.rejoin_time - e.heal_time)
+       << "}" << (i + 1 < episodes.size() ? "," : "") << "\n";
+  }
+  os << "      ],\n";
+  os << "      \"eviction_latency_mean\": " << json_number(evict_sum / n)
+     << ",\n";
+  os << "      \"eviction_latency_max\": " << json_number(evict_max) << ",\n";
+  os << "      \"rejoin_latency_mean\": " << json_number(rejoin_sum / n)
+     << ",\n";
+  os << "      \"rejoin_latency_max\": " << json_number(rejoin_max) << ",\n";
+  os << "      \"evictions\": " << sup.evictions() << ",\n";
+  os << "      \"rejoins\": " << sup.rejoins() << ",\n";
+  os << "      \"queries\": " << server.queries() << ",\n";
+  os << "      \"degraded_reads\": " << server.degraded_reads() << ",\n";
+  os << "      \"shard_down_reads\": " << server.shard_down_reads() << ",\n";
+  os << "      \"stale_reads\": " << server.stale_reads() << ",\n";
+  os << "      \"unavailable\": " << server.unavailable() << ",\n";
+  os << "      \"torn_reads\": " << server.torn_reads() << ",\n";
+  os << "      \"stale_bound_violations\": " << stale_bound_violations << ",\n";
+  os << "      \"partition_drops\": " << sim.partition_drops() << ",\n";
+  os << "      \"frames_corrupted\": " << sim.frames_corrupted() << ",\n";
+  os << "      \"frames_quarantined\": " << sim.frames_quarantined() << ",\n";
+  os << "      \"retransmissions\": " << sim.retransmissions() << ",\n";
+  os << "      \"messages_sent\": " << sim.messages_sent() << ",\n";
+  os << "      \"reconverged\": " << (reconverge.reached ? "true" : "false")
+     << ",\n";
+  os << "      \"reconverge_time\": " << json_number(reconverge.time) << ",\n";
+  os << "      \"final_relative_error\": "
+     << json_number(reconverge.final_relative_error) << "\n";
+  os << "    }";
+  return os.str();
+}
+
+int run_recovery_bench(const Options& opts) {
+  const auto g = graph::generate_synthetic_web(
+      graph::google2002_config(opts.pages, opts.seed));
+  auto& pool = util::ThreadPool::shared();
+  // Round-robin partition, as in the other engine-level benches: this
+  // measures the recovery machinery, not partition quality. It also makes
+  // victim-owned probe pages trivial to name: page v belongs to ranker v.
+  std::vector<std::uint32_t> assignment(g.num_pages());
+  for (std::uint32_t p = 0; p < g.num_pages(); ++p) assignment[p] = p % opts.k;
+  const std::vector<double> reference =
+      engine::open_system_reference(g, opts.alpha, pool);
+
+  // Fast step cadence so detection latency reflects the supervisor's
+  // escalation (quorum + streak), not a leisurely exchange timer; a sparse
+  // publish cadence against a tighter staleness bound so BOTH branches of
+  // the external audit run constantly — queries alternate between fresh
+  // (age <= bound) and degraded (age > bound, flag required).
+  engine::EngineOptions eo;
+  eo.algorithm = engine::Algorithm::kDPR2;
+  eo.alpha = opts.alpha;
+  eo.t1 = 0.5;
+  eo.t2 = 1.0;
+  eo.seed = opts.seed ^ 0x4ec04e4ULL;
+  eo.reliability.retransmit = true;
+  serve::SnapshotStore store(/*top_k_capacity=*/16);
+  eo.snapshot_sink = &store;
+  eo.snapshot_interval = 4.0;
+  constexpr double kStaleBound = 2.0;
+  constexpr double kTick = 1.0;
+
+  engine::DistributedRanking sim(g, assignment, opts.k, eo, pool);
+  sim.set_reference(reference);
+  p2prank::obs::MetricsRegistry metrics;
+  recover::SupervisorOptions so;
+  so.metrics = &metrics;
+  so.serve_store = &store;
+  recover::RecoverySupervisor sup(sim, so);
+  serve::RankServer server(store);
+  server.set_staleness_bound(kStaleBound);
+
+  // The external staleness audit: recompute the snapshot's age from its own
+  // publish_time and demand the flag match, per query, on every query shape.
+  // This is deliberately OUTSIDE the flagging path (snapshot.cpp computes
+  // the same predicate from the same inputs; the audit catches either side
+  // drifting — e.g. a future cache that serves a stale flag with a fresh
+  // snapshot).
+  std::uint64_t stale_bound_violations = 0;
+  const auto check = [&](double now, bool served, bool beyond,
+                         double publish_time) {
+    if (!served) return;
+    const bool should = now - publish_time > kStaleBound;
+    if (should != beyond) ++stale_bound_violations;
+  };
+  const std::uint32_t probe_page = opts.k - 1;  // owned by the last ranker,
+                                                // never a victim below
+  const auto audit = [&](std::uint32_t victim) {
+    const double now = sim.now();
+    const auto pr = server.rank(probe_page, now);
+    check(now, pr.served, pr.beyond_bound, pr.publish_time);
+    const auto vr = server.rank(victim, now);  // page `victim` is shard-local
+    check(now, vr.served, vr.beyond_bound, vr.publish_time);
+    const auto tk = server.top_k(8, now);
+    check(now, tk.served, tk.beyond_bound, tk.publish_time);
+    const auto sk = server.shard_top_k(victim, 4, now);
+    check(now, sk.served, sk.beyond_bound, sk.publish_time);
+  };
+  const auto drive = [&](std::uint32_t victim, double until, auto done) {
+    while (sim.now() < until) {
+      (void)sim.run(sim.now() + kTick, kTick);
+      sup.tick(sim.now());
+      audit(victim);
+      if (done()) break;
+    }
+  };
+
+  std::vector<RecoveryEpisode> episodes;
+  bool ok = true;
+  constexpr double kEpisodeTimeout = 300.0;
+  constexpr double kDegradedDwell = 10.0;
+  for (std::uint32_t i = 0; i < opts.episodes; ++i) {
+    RecoveryEpisode e;
+    e.victim = i % (opts.k - 1);  // rotate, keep probe_page's ranker healthy
+    e.cut_time = sim.now();
+    sim.set_partition(std::uint64_t{1} << e.victim, 0.0, 0.0);
+    sim.set_corruption(0.25);  // every outage also stresses the codec
+    drive(e.victim, e.cut_time + kEpisodeTimeout, [&] {
+      return sup.state(e.victim) == recover::RankerState::kEvicted;
+    });
+    e.evicted = sup.state(e.victim) == recover::RankerState::kEvicted;
+    e.evict_time = sim.now();
+    // Dwell evicted: degraded serving against the down shard is the point.
+    drive(e.victim, sim.now() + kDegradedDwell, [] { return false; });
+    e.heal_time = sim.now();
+    sim.heal_partition();
+    sim.set_corruption(0.0);
+    drive(e.victim, e.heal_time + kEpisodeTimeout, [&] {
+      return sup.state(e.victim) == recover::RankerState::kHealthy;
+    });
+    e.rejoined = sup.state(e.victim) == recover::RankerState::kHealthy;
+    e.rejoin_time = sim.now();
+    if (!e.evicted || !e.rejoined) {
+      std::cerr << "bench_report: FAIL — episode " << i << " victim "
+                << e.victim << (e.evicted ? " never rejoined" : " never evicted")
+                << " within " << kEpisodeTimeout << " virtual time units\n";
+      ok = false;
+    }
+    episodes.push_back(e);
+    std::cout << "  episode " << i << ": victim " << e.victim
+              << "  evict latency " << e.evict_time - e.cut_time
+              << "  rejoin latency " << e.rejoin_time - e.heal_time << "\n";
+  }
+
+  // All members back: the handoffs must have conserved pages, so the run
+  // still reaches the reference fixed point.
+  const engine::ConvergenceResult reconverge =
+      sim.run_until_error(1e-6, sim.now() + 4000.0, 2.0);
+
+  serve::export_serve_metrics(store, server, metrics);
+  metrics.counter(p2prank::obs::names::kServeStaleBoundViolations) =
+      stale_bound_violations;
+
+  std::size_t edges = 0;
+  for (graph::PageId u = 0; u < g.num_pages(); ++u) edges += g.out_degree(u);
+  std::cout << "graph: " << opts.pages << " pages, " << edges << " edges; k="
+            << opts.k << "; " << episodes.size() << " episode(s)\n"
+            << "  evictions=" << sup.evictions() << " rejoins=" << sup.rejoins()
+            << " partition_drops=" << sim.partition_drops()
+            << " frames_quarantined=" << sim.frames_quarantined() << "\n"
+            << "  queries=" << server.queries() << " degraded="
+            << server.degraded_reads() << " shard_down="
+            << server.shard_down_reads() << " stale_bound_violations="
+            << stale_bound_violations << "\n"
+            << "  reconverged=" << (reconverge.reached ? "yes" : "NO")
+            << " at t=" << reconverge.time << " (err="
+            << reconverge.final_relative_error << ")\n";
+
+  write_report(opts.out, "p2prank-recovery-bench-v1",
+               render_recovery_run(opts, edges, kStaleBound, episodes, sim, sup,
+                                   server, stale_bound_violations, reconverge));
+  std::cout << "appended run \"" << opts.label << "\" to " << opts.out << "\n";
+
+  if (stale_bound_violations != 0) {
+    std::cerr << "bench_report: FAIL — " << stale_bound_violations
+              << " stale-bound violation(s); the degraded-serving contract "
+                 "requires zero\n";
+    ok = false;
+  }
+  if (server.torn_reads() != 0) {
+    std::cerr << "bench_report: FAIL — " << server.torn_reads()
+              << " torn-epoch read(s)\n";
+    ok = false;
+  }
+  if (sim.corrupt_frames_applied() != 0) {
+    std::cerr << "bench_report: FAIL — " << sim.corrupt_frames_applied()
+              << " corrupted frame(s) applied past the checksum\n";
+    ok = false;
+  }
+  if (!reconverge.reached) {
+    std::cerr << "bench_report: FAIL — post-recovery run did not reconverge\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
 // --- Kernel benchmark --------------------------------------------------------
 
 /// Times every sweep-kernel variant on `m` with the given pool. The two
@@ -985,6 +1247,11 @@ Options parse_args(int argc, char** argv) {
       opts.obs = true;
     } else if (arg == "--serve") {
       opts.serve = true;
+    } else if (arg == "--recovery") {
+      opts.recovery = true;
+    } else if (arg == "--episodes") {
+      opts.episodes =
+          static_cast<std::uint32_t>(std::stoul(need_value("--episodes")));
     } else if (arg == "--determinism-check") {
       opts.determinism_check = true;
     } else if (arg == "--clients") {
@@ -1009,17 +1276,20 @@ Options parse_args(int argc, char** argv) {
                    "[--reps R] [--label L] [--out FILE]\n"
                    "       bench_report --serve [--pages N] [--k K] [--seed S] "
                    "[--clients C] [--duration T] [--label L] [--out FILE]\n"
-                   "       bench_report --serve --determinism-check\n";
+                   "       bench_report --serve --determinism-check\n"
+                   "       bench_report --recovery [--pages N] [--k K] "
+                   "[--seed S] [--episodes E] [--label L] [--out FILE]\n";
       std::exit(0);
     } else {
       throw std::runtime_error("bench_report: unknown flag " + arg);
     }
   }
   if (static_cast<int>(opts.reliability) + static_cast<int>(opts.obs) +
-          static_cast<int>(opts.serve) >
+          static_cast<int>(opts.serve) + static_cast<int>(opts.recovery) >
       1) {
     throw std::runtime_error(
-        "bench_report: --reliability, --obs, and --serve are exclusive");
+        "bench_report: --reliability, --obs, --serve, and --recovery are "
+        "exclusive");
   }
   if (opts.determinism_check && !opts.serve) {
     throw std::runtime_error(
@@ -1029,10 +1299,18 @@ Options parse_args(int argc, char** argv) {
     opts.out = opts.reliability ? "BENCH_reliability.json"
                : opts.obs      ? "BENCH_obs.json"
                : opts.serve    ? "BENCH_serve.json"
+               : opts.recovery ? "BENCH_recovery.json"
                                : "BENCH_kernels.json";
   }
   if (opts.reliability && opts.pages == 50000) {
     opts.pages = 2000;  // convergence sweeps run a full engine: keep it small
+  }
+  if (opts.recovery && opts.pages == 50000) {
+    opts.pages = 1000;  // many full-engine episodes: keep each one quick
+  }
+  if (opts.recovery && opts.k < 3) {
+    throw std::runtime_error(
+        "bench_report: --recovery needs k >= 3 (an eviction quorum)");
   }
   // --serve keeps the full 50k-page default: the publish-overhead phase
   // must be measured at the scale where sweeps carry their real memory
@@ -1047,6 +1325,7 @@ int main(int argc, char** argv) {
     const Options opts = parse_args(argc, argv);
     if (opts.reliability) return run_reliability_bench(opts);
     if (opts.obs) return run_obs_bench(opts);
+    if (opts.recovery) return run_recovery_bench(opts);
     if (opts.serve) {
       return opts.determinism_check ? run_serve_determinism_check(opts)
                                     : run_serve_bench(opts);

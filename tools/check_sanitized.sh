@@ -52,6 +52,16 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/scenario_fuzz \
   --serve
 echo "TSan: chaos-scenario smoke corpus clean (--serve)"
 
+# Partition & recovery (DESIGN.md §13): forced cut/heal episodes with the
+# RecoverySupervisor evicting and rejoining rankers mid-run, plus frame
+# corruption round-tripping every slice through the codec. The supervisor
+# pokes the SnapshotStore's shard-health bitmap from the simulation thread
+# while nothing else may race it — TSan certifies that claim.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/scenario_fuzz \
+  --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-tsan --quiet \
+  --partition
+echo "TSan: chaos-scenario smoke corpus clean (--partition)"
+
 # Same corpus under ASan + UBSan (heap-use-after-free / overflow, plus
 # -fsanitize=float-divide-by-zero,float-cast-overflow — rank math divides
 # by degree sums and casts scores to counters, so silent inf/NaN or a
@@ -71,4 +81,10 @@ ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
   --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-asan --quiet \
   --serve
-echo "ASan: chaos-scenario smoke corpus clean (base + --reliable + --worklist + --serve)"
+# Eviction hands page buffers to a successor and rejoin splits them back —
+# churn rebuilds driven by the supervisor instead of the script. ASan holds
+# the same no-freed-payload guarantee through those handoffs.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
+  --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-asan --quiet \
+  --partition
+echo "ASan: chaos-scenario smoke corpus clean (base + --reliable + --worklist + --serve + --partition)"

@@ -8,6 +8,10 @@
 //   scenario_fuzz --seeds 100 --reliable # force the reliable exchange layer
 //   scenario_fuzz --seeds 100 --worklist # force worklist (frontier) sweeps
 //   scenario_fuzz --seeds 100 --serve    # attach the serving layer + probes
+//   scenario_fuzz --seeds 100 --partition# recovery mode + guaranteed cut
+//   scenario_fuzz --seeds 50 --partition --broken  # supervisor self-test:
+//                                        # the rejoin ledger fault must be
+//                                        # caught on every seed
 //
 // Each scenario expands a 64-bit seed into a fault schedule (crash / pause /
 // resume / loss bursts / checkpoint save+restore / graph update / ranker
@@ -16,6 +20,7 @@
 // invariants (see src/check/). On a violation the trace is minimized to a
 // minimal reproducing op list and written to --trace-dir as a replayable
 // file. Exit code: 0 all clean, 1 violations found, 2 usage error.
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -43,6 +48,7 @@ int usage(std::ostream& err) {
          "                     [--trace-dir DIR] [--broken] [--no-minimize]\n"
          "                     [--threads T] [--tail-time T] [--quiet]\n"
          "                     [--reliable] [--worklist] [--serve]\n"
+         "                     [--partition]\n"
          "  --reliable  force every scenario onto the reliable exchange\n"
          "              layer (epochs + retransmission + failure detection)\n"
          "  --worklist  force every scenario onto exact-mode worklist\n"
@@ -50,7 +56,12 @@ int usage(std::ostream& err) {
          "  --serve     attach a rank-serving snapshot store to every\n"
          "              scenario and probe the serving contract (snapshot\n"
          "              availability, epoch consistency/monotonicity,\n"
-         "              top-K vs brute force, restore invalidation)\n";
+         "              top-K vs brute force, restore invalidation)\n"
+         "  --partition force recovery mode (eviction/rejoin supervisor +\n"
+         "              ledger cross-check) and guarantee every scenario a\n"
+         "              partition episode and a corruption burst. With\n"
+         "              --broken the supervisor's rejoin ledger update is\n"
+         "              deliberately skipped and every run must FAIL.\n";
   return 2;
 }
 
@@ -63,6 +74,7 @@ std::string scenario_label(const Scenario& s) {
       << (s.reliable ? " reliable" : "")
       << (s.worklist ? " worklist" : "")
       << (s.serve ? " serve" : "")
+      << (s.recovery ? " recovery" : "")
       << (s.latency_jitter > 0.0 ? " jitter" : "");
   return out.str();
 }
@@ -87,6 +99,67 @@ void write_trace(const std::string& dir, const Scenario& minimized,
   log << "  trace written to " << path << '\n';
 }
 
+// --partition: force the scenario into recovery mode with a guaranteed
+// partition episode (and a corruption burst) when its own schedule lacks
+// them. In the --broken self-test the schedule is replaced outright by one
+// hard cut + heal, sized so the supervisor must evict during the cut and
+// rejoin after the heal on every seed — the skipped rejoin ledger update
+// then trips the runner's cross-check. Everything derives from the
+// scenario's own origin seed, so the forced episodes replay exactly.
+void force_partition_episode(Scenario& s, bool broken) {
+  using p2prank::check::OpKind;
+  using p2prank::check::ScheduleOp;
+  s.recovery = true;
+  s.reliable = true;
+  if (broken) {
+    // A clean stage for the guaranteed evict→rejoin arc: scripted churn
+    // could re-populate the evicted ranker (readmitting it without a
+    // rejoin), and a graph update would replace the supervisor mid-arc.
+    s.ops.clear();
+    if (s.active_time < 80.0) s.active_time = 80.0;
+  }
+  bool has_cut = false;
+  bool has_corrupt = false;
+  for (const ScheduleOp& op : s.ops) {
+    has_cut |= op.kind == OpKind::kPartition;
+    has_corrupt |= op.kind == OpKind::kCorrupt;
+  }
+  if (!has_cut) {
+    ScheduleOp cut;
+    cut.kind = OpKind::kPartition;
+    cut.time = broken ? 4.0 : s.active_time * 0.15;
+    // Isolate one group behind a hard outbound-ack wall; odd seeds keep a
+    // trickle inbound so the asymmetric-drop path is exercised too. The
+    // self-test needs its evict→rejoin arc on EVERY seed, so there the cut
+    // targets the busiest group (a seed-derived mask can land on a group no
+    // traffic crosses — no suspicion, no eviction, no fault to catch).
+    cut.seed = broken ? p2prank::check::kCutBusiestGroup
+                      : std::uint64_t{1} << (s.origin_seed % s.k);
+    cut.value = 0.0;
+    cut.value2 = (s.origin_seed % 2 == 1 && !broken) ? 0.15 : 0.0;
+    s.ops.push_back(cut);
+    ScheduleOp heal;
+    heal.kind = OpKind::kHeal;
+    heal.time = s.active_time * (broken ? 0.6 : 0.65);
+    s.ops.push_back(heal);
+  }
+  if (!has_corrupt && !broken) {
+    ScheduleOp on;
+    on.kind = OpKind::kCorrupt;
+    on.time = s.active_time * 0.3;
+    on.value = 0.25;
+    s.ops.push_back(on);
+    ScheduleOp off = on;
+    off.time = s.active_time * 0.5;
+    off.value = 0.0;
+    s.ops.push_back(off);
+  }
+  std::stable_sort(s.ops.begin(), s.ops.end(),
+                   [](const ScheduleOp& a, const ScheduleOp& b) {
+                     return a.time < b.time;
+                   });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,6 +176,7 @@ int main(int argc, char** argv) {
   bool force_reliable = false;
   bool force_worklist = false;
   bool force_serve = false;
+  bool force_partition = false;
   std::size_t threads = 2;
   p2prank::check::RunnerOptions ropts;
 
@@ -142,6 +216,8 @@ int main(int argc, char** argv) {
         force_worklist = true;
       } else if (a == "--serve") {
         force_serve = true;
+      } else if (a == "--partition") {
+        force_partition = true;
       } else if (a == "--quiet") {
         quiet = true;
       } else {
@@ -153,7 +229,11 @@ int main(int argc, char** argv) {
       return usage(std::cerr);
     }
   }
-  ropts.break_skip_refresh = broken;
+  // --broken alone breaks the engine (skip-refresh); with --partition it
+  // breaks the *supervisor* instead (rejoin ledger fault) — each self-test
+  // proves its own checker has teeth.
+  ropts.break_skip_refresh = broken && !force_partition;
+  ropts.break_supervisor_ledger = broken && force_partition;
 
   // Assemble the scenario list.
   std::vector<Scenario> scenarios;
@@ -197,6 +277,9 @@ int main(int argc, char** argv) {
   }
   if (force_serve) {
     for (Scenario& s : scenarios) s.serve = true;
+  }
+  if (force_partition) {
+    for (Scenario& s : scenarios) force_partition_episode(s, broken);
   }
 
   p2prank::util::ThreadPool pool(threads);
