@@ -275,13 +275,13 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
       return;
     }
     const double t = offset + sim->now();
-    const auto assignment = sim->current_assignment();
+    const auto live_assignment = sim->current_assignment();
     const auto ledger = supervisor->ledger();
-    for (std::size_t p = 0; p < assignment.size(); ++p) {
-      if (ledger[p] != assignment[p]) {
+    for (std::size_t p = 0; p < live_assignment.size(); ++p) {
+      if (ledger[p] != live_assignment[p]) {
         std::ostringstream detail;
         detail << "page " << p << ": supervisor ledger says " << ledger[p]
-               << ", engine says " << assignment[p];
+               << ", engine says " << live_assignment[p];
         result.violations.push_back({"recover-ledger", t, detail.str()});
         break;
       }

@@ -925,8 +925,9 @@ void DistributedRanking::publish_snapshot() {
   for (const auto& g : groups_) {
     snapshot_cuts_.push_back(GroupCut{g->members(), g->ranks()});
   }
-  opts_.snapshot_sink->publish_groups(queue_.now(), snapshot_cuts_,
-                                      graph_.num_pages(), ownership_version_);
+  opts_.snapshot_sink->publish_groups(
+      queue_.now(), snapshot_cuts_,
+      static_cast<std::uint32_t>(graph_.num_pages()), ownership_version_);
   next_snapshot_ = queue_.now() + opts_.snapshot_interval;
   if (opts_.tracer != nullptr) {
     opts_.tracer->instant(obs::names::kTraceSnapshot, queue_.now(), 0, {},

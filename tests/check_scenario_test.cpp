@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -63,6 +64,33 @@ TEST(Scenario, ScheduleOpsAreTimeOrderedAndInWindow) {
       EXPECT_LE(op.time, s.active_time) << "seed " << seed;
       prev = op.time;
     }
+  }
+}
+
+// Exhaustiveness matrix, leg three. tools/p2plint statically checks legs
+// one and two (every op dispatched, every op emittable by from_seed); this
+// closes the loop dynamically: every op kind must appear in the expanded
+// schedule of at least one corpus seed, so the tier-2 gate *runs* each op
+// rather than merely compiling its handler.
+TEST(Scenario, CorpusOpCoverage) {
+  constexpr OpKind kAll[] = {
+      OpKind::kCrash,          OpKind::kPause,
+      OpKind::kResume,         OpKind::kSetLoss,
+      OpKind::kSaveCheckpoint, OpKind::kRestoreCheckpoint,
+      OpKind::kGraphUpdate,    OpKind::kLeave,
+      OpKind::kJoin,           OpKind::kSetAckLoss,
+      OpKind::kSetJitter,      OpKind::kPartition,
+      OpKind::kHeal,           OpKind::kCorrupt};
+  std::set<OpKind> covered;
+  for (const std::uint64_t seed : corpus_seeds()) {
+    for (const ScheduleOp& op : Scenario::from_seed(seed).ops) {
+      covered.insert(op.kind);
+    }
+  }
+  for (const OpKind kind : kAll) {
+    EXPECT_TRUE(covered.count(kind) > 0)
+        << "no corpus seed emits " << op_kind_name(kind)
+        << ": add a seed to tests/corpus/scenario_seeds.txt";
   }
 }
 

@@ -1,0 +1,36 @@
+// The compliant versions: the pointer-order total is suppressed with a
+// reviewed reason, and the bucket-order path actually sorts the snapshot
+// before accumulating, which clears the taint — no pragma needed there.
+struct Node {
+  double weight = 0.0;
+};
+
+class WeightBookSafe {
+ public:
+  double pointer_order_total() const {
+    double acc = 0.0;
+    // p2plint: allow(float-determinism): feeds a human-readable log line
+    // only; never compared bitwise across runs.
+    for (const Node* n : active_) {
+      acc += n->weight;
+    }
+    return acc;
+  }
+
+  double bucket_order_total() const {
+    std::vector<double> ranked;
+    // p2plint: allow(no-unordered-iteration): snapshot is sorted below
+    // before any order-sensitive use.
+    for (const auto& kv : scores_) {
+      ranked.push_back(kv.second);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    double total = 0.0;
+    for (double s : ranked) total += s;
+    return total;
+  }
+
+ private:
+  std::set<const Node*> active_;
+  std::unordered_map<int, double> scores_;
+};

@@ -1,0 +1,36 @@
+// Same AB/BA shape as bad_lock_order.cpp, but the inverted acquisition is
+// suppressed with a reviewed reason, which removes that edge from the
+// acquisition graph and leaves it acyclic.
+namespace util {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) : m_(&m) {}
+
+ private:
+  Mutex* m_;
+};
+}  // namespace util
+
+class LedgerDemo {
+ public:
+  void refresh() {
+    util::MutexLock outer(order_mu_);
+    util::MutexLock inner(stats_mu_);
+    ++refreshes_;
+  }
+
+  void flush() {
+    util::MutexLock outer(stats_mu_);
+    // p2plint: allow(lock-order): flush() runs only during single-threaded
+    // shutdown after the pool has drained; reviewed 2026-08.
+    util::MutexLock inner(order_mu_);
+    ++flushes_;
+  }
+
+ private:
+  util::Mutex order_mu_;
+  util::Mutex stats_mu_;
+  long refreshes_ = 0;
+  long flushes_ = 0;
+};

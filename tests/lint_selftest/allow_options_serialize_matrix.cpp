@@ -1,0 +1,24 @@
+// Two legitimate shapes: a field that genuinely round-trips through both
+// codec halves, and a cache field waived in a comment inside both bodies
+// (comments count: the waiver is the registration).
+struct WireConfig {
+  int fanout = 4;
+  double damping = 0.85;
+  int cached_hash = 0;
+
+  std::string serialize() const {
+    // cached_hash: derived, recomputed on load; deliberately not written.
+    std::string out;
+    out += std::to_string(fanout);
+    out += std::to_string(damping);
+    return out;
+  }
+
+  static WireConfig parse(const std::string& text) {
+    // cached_hash: derived, recomputed on load; deliberately not read.
+    WireConfig c;
+    c.fanout = static_cast<int>(text.size());
+    c.damping = 0.5;
+    return c;
+  }
+};

@@ -1,0 +1,19 @@
+// Same generator gap as bad_scenario_op_matrix.cpp, waived with the
+// reviewed reason (an op kept dispatchable for hand-written replay traces
+// only).
+enum class OpKind : unsigned char {
+  kJoin,
+  kLeave,
+  // p2plint: allow(scenario-op-matrix): reachable from hand-written replay
+  // traces only by design; generator emission tracked separately.
+  kProbe,
+};
+
+std::vector<OpKind> from_seed(unsigned long seed) {
+  std::vector<OpKind> ops;
+  if (seed % 2 == 0) {
+    ops.push_back(OpKind::kJoin);
+  }
+  ops.push_back(OpKind::kLeave);
+  return ops;
+}

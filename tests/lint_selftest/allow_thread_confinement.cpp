@@ -1,0 +1,14 @@
+// Same capture shape as bad_thread_confinement.cpp, suppressed with the
+// reviewed argument for why the escape is safe here.
+struct RankTable {
+  void refresh() {
+    // p2plint: allow(thread-confinement): the publisher is quiesced for the
+    // whole refresh and grains index disjoint ranges; reviewed 2026-08.
+    pool_.parallel_for_grains(0, 64, 8, [&](int b, int e) {
+      for (int i = b; i < e; ++i) frontier_[i] += 1;
+    });
+  }
+
+  ThreadPool pool_;
+  std::vector<int> frontier_ P2P_EXTERNALLY_SYNCHRONIZED;
+};

@@ -1,0 +1,35 @@
+// Two order-dependent float accumulations the old regex lint could not
+// see: (a) a set keyed on pointers iterates in allocation-address order,
+// which varies run to run; (b) a vector filled from an unordered map
+// inherits bucket order, and the sort the suppression promises never
+// happens — the taint survives into the accumulation.
+struct Node {
+  double weight = 0.0;
+};
+
+class WeightBook {
+ public:
+  double pointer_order_total() const {
+    double acc = 0.0;
+    for (const Node* n : active_) {
+      acc += n->weight;
+    }
+    return acc;
+  }
+
+  double bucket_order_total() const {
+    std::vector<double> ranked;
+    // p2plint: allow(no-unordered-iteration): order is laundered into
+    // `ranked`, which is sorted before any order-sensitive use (it is not).
+    for (const auto& kv : scores_) {
+      ranked.push_back(kv.second);
+    }
+    double total = 0.0;
+    for (double s : ranked) total += s;
+    return total;
+  }
+
+ private:
+  std::set<const Node*> active_;
+  std::unordered_map<int, double> scores_;
+};

@@ -1,0 +1,35 @@
+// Planted AB/BA lock-order inversion: refresh() nests order_mu_ then
+// stats_mu_, while flush() nests stats_mu_ then order_mu_. Two threads
+// running these concurrently deadlock the day they race; the cycle in the
+// lock-acquisition graph is visible statically.
+namespace util {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) : m_(&m) {}
+
+ private:
+  Mutex* m_;
+};
+}  // namespace util
+
+class LedgerDemo {
+ public:
+  void refresh() {
+    util::MutexLock outer(order_mu_);
+    util::MutexLock inner(stats_mu_);
+    ++refreshes_;
+  }
+
+  void flush() {
+    util::MutexLock outer(stats_mu_);
+    util::MutexLock inner(order_mu_);
+    ++flushes_;
+  }
+
+ private:
+  util::Mutex order_mu_;
+  util::Mutex stats_mu_;
+  long refreshes_ = 0;
+  long flushes_ = 0;
+};

@@ -1,0 +1,11 @@
+// kOrphanedGauge is registered but no call site ever emits it: any
+// dashboard watching the name sees permanent silence and nobody notices.
+// The reference matrix closes the loop metric-name-registry opens.
+namespace obs::names {
+inline constexpr std::string_view kServeRankLookups = "serve.rank.lookups";
+inline constexpr std::string_view kOrphanedGauge = "serve.orphaned.gauge";
+}  // namespace obs::names
+
+void touch_lookups(Registry& reg) {
+  reg.bump(obs::names::kServeRankLookups);
+}

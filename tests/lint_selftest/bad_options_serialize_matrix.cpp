@@ -1,0 +1,23 @@
+// stale_limit is written by serialize() but never read back by parse():
+// a saved WireConfig silently loses the field on reload — serialize and
+// replay diverge. The round-trip matrix requires every member in both.
+struct WireConfig {
+  int fanout = 4;
+  double damping = 0.85;
+  int stale_limit = 3;
+
+  std::string serialize() const {
+    std::string out;
+    out += std::to_string(fanout);
+    out += std::to_string(damping);
+    out += std::to_string(stale_limit);
+    return out;
+  }
+
+  static WireConfig parse(const std::string& text) {
+    WireConfig c;
+    c.fanout = static_cast<int>(text.size());
+    c.damping = 0.5;
+    return c;
+  }
+};

@@ -1,0 +1,17 @@
+// kProbe is a fully dispatched chaos op that the scenario generator never
+// emits: no seed, sweep, or fuzz run can ever reach it, so its handling
+// code is untested dead weight. The emission matrix catches the rot.
+enum class OpKind : unsigned char {
+  kJoin,
+  kLeave,
+  kProbe,
+};
+
+std::vector<OpKind> from_seed(unsigned long seed) {
+  std::vector<OpKind> ops;
+  if (seed % 2 == 0) {
+    ops.push_back(OpKind::kJoin);
+  }
+  ops.push_back(OpKind::kLeave);
+  return ops;
+}

@@ -1,0 +1,15 @@
+// Planted thread-confinement escape: frontier_ is declared
+// P2P_EXTERNALLY_SYNCHRONIZED (confined to the simulation thread — that is
+// the entire justification for touching it without a lock), but refresh()
+// captures it by reference into a pool lambda, moving the access onto
+// worker threads where the confinement argument evaporates.
+struct RankTable {
+  void refresh() {
+    pool_.parallel_for_grains(0, 64, 8, [&](int b, int e) {
+      for (int i = b; i < e; ++i) frontier_[i] += 1;
+    });
+  }
+
+  ThreadPool pool_;
+  std::vector<int> frontier_ P2P_EXTERNALLY_SYNCHRONIZED;
+};

@@ -1,0 +1,21 @@
+// Frozen lint-corpus tree: codec handles every op (registry leg is
+// clean); the generator does not (matrix leg fires in ops.hpp).
+#include "check/ops.hpp"
+
+std::string_view op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSpin:
+      return "spin";
+    case OpKind::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+std::vector<OpKind> from_seed(unsigned long seed) {
+  std::vector<OpKind> ops;
+  for (unsigned long i = 0; i < seed % 4; ++i) {
+    ops.push_back(OpKind::kSpin);
+  }
+  return ops;
+}

@@ -1,0 +1,10 @@
+// Frozen lint-corpus tree: a mini op registry. Both ops are dispatched by
+// the codec in ops.cpp, but from_seed only ever emits kSpin — kDrop is
+// dead to every generated scenario.
+enum class OpKind {
+  kSpin,
+  kDrop,
+};
+
+std::string_view op_kind_name(OpKind kind);
+std::vector<OpKind> from_seed(unsigned long seed);

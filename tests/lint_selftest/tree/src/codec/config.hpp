@@ -1,0 +1,30 @@
+// Frozen lint-corpus tree: a round-trip codec that drops a field in
+// parse(), and a metric emitted under a raw string literal.
+namespace codec {
+
+struct Config {
+  int fanout = 4;
+  double damping = 0.85;
+  int stale_limit = 3;
+
+  std::string serialize() const {
+    std::string out;
+    out += std::to_string(fanout);
+    out += std::to_string(damping);
+    out += std::to_string(stale_limit);
+    return out;
+  }
+
+  static Config parse(const std::string& text) {
+    Config c;
+    c.fanout = static_cast<int>(text.size());
+    c.damping = 0.5;
+    return c;
+  }
+};
+
+inline void record_load(Registry& metrics) {
+  metrics.counter("codec.loads") += 1;
+}
+
+}  // namespace codec

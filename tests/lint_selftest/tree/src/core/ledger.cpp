@@ -1,0 +1,41 @@
+// Frozen lint-corpus tree: lock-order inversion routed through a helper
+// function, cross-header member-type resolution, and a suppressed
+// order-insensitive walk that must stay suppressed.
+#include "core/ledger.hpp"
+
+namespace core {
+
+void Ledger::locked_touch() {
+  util::MutexLock lock(stats_mu_);
+  ++ticks_;
+}
+
+void Ledger::tick() {
+  util::MutexLock lock(order_mu_);
+  locked_touch();
+}
+
+void Ledger::flush() {
+  util::MutexLock lock(stats_mu_);
+  util::MutexLock inner(order_mu_);
+  ++ticks_;
+}
+
+double Ledger::unstable_total() const {
+  double acc = 0.0;
+  for (const auto& kv : scores_) {
+    acc += kv.second;
+  }
+  return acc;
+}
+
+void Ledger::audit() {
+  // p2plint: allow(no-unordered-iteration): order-insensitive count; every
+  // entry contributes 1 regardless of visit order.
+  for (const auto& kv : scores_) {
+    ++ticks_;
+    (void)kv;
+  }
+}
+
+}  // namespace core

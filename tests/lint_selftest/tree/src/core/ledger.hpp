@@ -1,0 +1,36 @@
+// Frozen lint-corpus tree. This header declares members whose types the
+// .cpp side must resolve across the header boundary, plus one raw
+// std::mutex the mutex-annotations rule must flag.
+namespace util {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) : m_(&m) {}
+
+ private:
+  Mutex* m_;
+};
+}  // namespace util
+
+namespace core {
+
+class Ledger {
+ public:
+  void tick();
+  void flush();
+  void audit();
+  double unstable_total() const;
+
+ private:
+  // Acquires stats_mu_: the lock-order analysis must see the acquisition
+  // through this helper when tick() calls it while holding order_mu_.
+  void locked_touch();
+
+  util::Mutex order_mu_;
+  util::Mutex stats_mu_;
+  std::unordered_map<int, double> scores_;
+  std::mutex raw_mu_;
+  long ticks_ = 0;
+};
+
+}  // namespace core

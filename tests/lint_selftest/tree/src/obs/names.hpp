@@ -1,0 +1,5 @@
+// Frozen lint-corpus tree: one referenced name (board.cpp), one orphan.
+namespace obs::names {
+inline constexpr std::string_view kBoardRefreshes = "board.refreshes";
+inline constexpr std::string_view kBoardOrphan = "board.orphan";
+}  // namespace obs::names

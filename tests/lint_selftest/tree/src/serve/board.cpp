@@ -1,0 +1,29 @@
+// Frozen lint-corpus tree: the confinement escape, a pointer-order float
+// accumulation, and a wire writer missing its version literal — all
+// resolved against declarations in board.hpp.
+#include "serve/board.hpp"
+
+namespace serve {
+
+void Board::refresh() {
+  (void)obs::names::kBoardRefreshes;
+  pool_.parallel_for_grains(0, 64, 8, [&](int b, int e) {
+    for (int i = b; i < e; ++i) cells_[i] += 1.0;
+  });
+}
+
+double Board::tag_weight() const {
+  double acc = 0.0;
+  for (const char* t : tags_) {
+    acc += static_cast<double>(t[0]);
+  }
+  return acc;
+}
+
+void Board::write_cells(std::ostream& out) const {
+  for (double c : cells_) {
+    out << c << '\n';
+  }
+}
+
+}  // namespace serve

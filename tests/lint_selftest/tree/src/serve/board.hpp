@@ -1,0 +1,18 @@
+// Frozen lint-corpus tree: confined state whose escape happens in the
+// .cpp, and a pointer-keyed container whose iteration order is
+// allocation-dependent.
+namespace serve {
+
+class Board {
+ public:
+  void refresh();
+  double tag_weight() const;
+  void write_cells(std::ostream& out) const;
+
+ private:
+  ThreadPool pool_;
+  std::vector<double> cells_ P2P_EXTERNALLY_SYNCHRONIZED;
+  std::set<const char*> tags_;
+};
+
+}  // namespace serve

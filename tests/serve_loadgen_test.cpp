@@ -46,7 +46,9 @@ TEST(ServeZipf, ProbabilitiesSumToOneAndDecayMonotonically) {
   double sum = 0.0;
   for (std::uint64_t i = 0; i < zipf.n(); ++i) {
     sum += zipf.probability(i);
-    if (i > 0) EXPECT_LT(zipf.probability(i), zipf.probability(i - 1));
+    if (i > 0) {
+      EXPECT_LT(zipf.probability(i), zipf.probability(i - 1));
+    }
   }
   EXPECT_NEAR(sum, 1.0, 1e-12);
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate scan-build findings against a reviewed suppression list.
+
+scan-build writes one HTML report per finding, each carrying machine-
+readable comments (``<!-- BUGFILE ... -->``, ``<!-- BUGTYPE ... -->``,
+``<!-- BUGLINE ... -->``, ``<!-- BUGDESC ... -->``). This script walks the
+newest report directory, extracts those, and fails the wall on any finding
+not matched by tools/analyzer_suppressions.txt.
+
+Suppression file format — one reviewed waiver per line:
+
+    <file-substring> | <bugtype-substring> | <reason>
+
+Blank lines and '#' comments are ignored. The reason is mandatory: a
+waiver without one fails the gate the same way p2plint rejects a
+reasonless allow(). Unused waivers are reported (stale debt) but do not
+fail.
+
+usage: analyzer_filter.py REPORT_DIR SUPPRESSIONS_FILE
+exit:  0 clean/all-suppressed, 1 unsuppressed findings or reasonless
+       waivers, 2 usage error
+"""
+
+import re
+import sys
+from pathlib import Path
+
+_TAG_RE = re.compile(r"<!--\s*(BUGFILE|BUGTYPE|BUGLINE|BUGDESC)\s+(.*?)-->")
+
+
+def parse_report(path):
+    tags = {}
+    try:
+        text = path.read_text(errors="replace")
+    except OSError:
+        return None
+    for m in _TAG_RE.finditer(text):
+        tags[m.group(1)] = m.group(2).strip()
+    if "BUGFILE" not in tags and "BUGTYPE" not in tags:
+        return None
+    return {
+        "file": tags.get("BUGFILE", "?"),
+        "type": tags.get("BUGTYPE", "?"),
+        "line": tags.get("BUGLINE", "?"),
+        "desc": tags.get("BUGDESC", ""),
+        "report": str(path),
+    }
+
+
+def load_suppressions(path):
+    out, bad = [], 0
+    for i, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|")]
+        if len(parts) < 3 or not parts[2]:
+            print(f"{path}:{i}: suppression without a reason: {line}")
+            bad += 1
+            continue
+        out.append({"file": parts[0], "type": parts[1], "reason": parts[2],
+                    "line": i, "used": False})
+    return out, bad
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    report_root = Path(argv[1])
+    sup_path = Path(argv[2])
+    suppressions, bad = load_suppressions(sup_path) if sup_path.is_file() \
+        else ([], 0)
+
+    findings = []
+    if report_root.is_dir():
+        # scan-build nests date-stamped run directories; take every report
+        # under the newest run (older runs are previous wall invocations).
+        runs = sorted((d for d in report_root.iterdir() if d.is_dir()),
+                      key=lambda d: d.name)
+        scan = runs[-1:] if runs else [report_root]
+        for run in scan:
+            for rpt in sorted(run.glob("report-*.html")):
+                parsed = parse_report(rpt)
+                if parsed:
+                    findings.append(parsed)
+
+    unsuppressed = []
+    for f in findings:
+        hit = None
+        for s in suppressions:
+            if s["file"] in f["file"] and s["type"] in f["type"]:
+                hit = s
+                break
+        if hit:
+            hit["used"] = True
+            print(f"suppressed: {f['file']}:{f['line']} [{f['type']}] "
+                  f"({hit['reason']})")
+        else:
+            unsuppressed.append(f)
+
+    for f in unsuppressed:
+        print(f"FINDING: {f['file']}:{f['line']} [{f['type']}] {f['desc']}")
+        print(f"  report: {f['report']}")
+    for s in suppressions:
+        if not s["used"]:
+            print(f"note: unused suppression at {sup_path}:{s['line']} "
+                  f"({s['file']} | {s['type']}) — stale, consider removing")
+
+    total = len(findings)
+    if unsuppressed or bad:
+        print(f"analyzer gate: {len(unsuppressed)} unsuppressed finding(s) "
+              f"of {total}, {bad} reasonless waiver(s)")
+        return 1
+    print(f"analyzer gate: clean ({total} finding(s), all with reviewed "
+          "suppressions)" if total else "analyzer gate: clean (no findings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,17 @@
+"""p2plint_lib — the v2 analyzer behind tools/p2plint.
+
+A Python C++ lexer (lexer.py) feeds a lightweight declaration/statement
+parser (parser.py) that builds a per-file IR (model.py): classes with
+annotated members, enums, function bodies, lock-acquisition sites, pool
+lambdas, loops, and local declarations. Rules (rules/) consume the IR
+instead of per-line regexes, which removes the classic regex blind spots:
+member types resolved across the paired header, suppressions that only
+match in comments (never in string literals), and iteration hidden behind
+algorithms. An optional clang AST backend (clang_backend.py) cross-checks
+the declaration layer when clang++ is on PATH and always falls back to the
+built-in parser, so the wall never silently skips.
+
+Entry point: engine.main() (tools/p2plint is a thin shim).
+"""
+
+__version__ = "2.0"

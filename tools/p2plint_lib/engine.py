@@ -1,0 +1,331 @@
+"""p2plint engine: file loading, rule driving, and the CLI.
+
+Modes beyond plain linting:
+  --self-test DIR          per-rule fixture contract (bad_* fires exactly
+                           its rule, allow_* is clean)
+  --report-suppressions    every allow() pragma with file/line/reason;
+                           fails on reasonless suppressions (debt gate)
+  --broken                 non-vacuity probe: mutate the real tree in
+                           memory (add an unregistered op, an unserialized
+                           field, an orphan metric name, strip a version
+                           literal) and require the matrix rules to fire
+  --corpus-check DIR       lint a frozen mini-tree and diff the exact
+                           violation list against its expectations file
+
+Exit codes: 0 clean, 1 violations / failed check, 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+from . import clang_backend
+from .model import CXX_SUFFIXES, Context, SourceFile
+from .parser import parse_file
+from .rules import RULES
+
+
+def load_files(root, paths, scope_override=None):
+    files = []
+    for p in paths:
+        p = (root / p) if not p.is_absolute() else p
+        candidates = sorted(p.rglob("*")) if p.is_dir() else [p]
+        for c in candidates:
+            if c.suffix not in CXX_SUFFIXES or not c.is_file():
+                continue
+            try:
+                rel = c.relative_to(root).as_posix()
+            except ValueError:
+                rel = c.as_posix()
+            scoped = scope_override + c.name if scope_override else rel
+            f = SourceFile(rel, scoped, c.read_text(errors="replace"))
+            f.real_path = c
+            try:
+                parse_file(f)
+            except Exception as e:  # parser contract is "never throw" —
+                # if it does, lint with the partial model but say so loudly.
+                print(f"p2plint: warning: parser error in {rel}: {e}",
+                      file=sys.stderr)
+            files.append(f)
+    return files
+
+
+def run_backend(files, root, backend):
+    """Returns a notice string for the user (or "")."""
+    if backend == "builtin":
+        return ""
+    clang = clang_backend.clang_path()
+    if clang is None:
+        if backend == "clang":
+            raise SystemExit(
+                "p2plint: --backend clang requested but clang++ is not on "
+                "PATH")
+        return ("note: clang++ not on PATH — builtin parser only (full rule "
+                "coverage; the clang backend is a hardening cross-check)")
+    hardened = 0
+    for f in files:
+        real = getattr(f, "real_path", None)
+        if real is not None and clang_backend.augment_file(
+                f, root, real, clang):
+            hardened += 1
+    return f"clang backend cross-checked {hardened} file(s)"
+
+
+def lint(files):
+    ctx = Context(files)
+    violations = []
+    for name, fn, scope, kind in RULES:
+        if kind == "file":
+            for f in files:
+                if scope and not f.scoped_path.startswith(scope):
+                    continue
+                violations.extend(fn(f, ctx))
+        else:
+            violations.extend(fn(ctx, scope))
+    out = []
+    for v in violations:
+        f = ctx.by_path.get(v.path)
+        if f is not None and f.allowed(v.line, v.rule):
+            continue
+        out.append(v)
+    return out
+
+
+def self_test(fixture_dir):
+    """Per-rule fixtures: bad_<slug>.cpp must trigger exactly its rule,
+    allow_<slug>.cpp must be clean (proving the escape hatch works)."""
+    fixture_dir = Path(fixture_dir)
+    failures = 0
+    for rule, _, _, _ in RULES:
+        slug = rule.replace("-", "_")
+        for kind in ("bad", "allow"):
+            path = fixture_dir / f"{kind}_{slug}.cpp"
+            if not path.is_file():
+                print(f"FAIL {rule}: missing fixture {path.name}")
+                failures += 1
+                continue
+            # Each fixture lints alone, pretending to live under src/ so
+            # path-scoped rules apply.
+            path = path.resolve()
+            files = load_files(path.parent, [path], scope_override="src/")
+            got = lint(files)
+            rules_hit = {v.rule for v in got}
+            if kind == "bad":
+                ok = rules_hit == {rule}
+                detail = (f"hit {sorted(rules_hit) or 'nothing'}, want "
+                          f"exactly ['{rule}']")
+            else:
+                ok = not got
+                detail = "clean" if ok else "; ".join(str(v) for v in got)
+            status = "ok  " if ok else "FAIL"
+            print(f"{status} {rule}: {path.name} ({detail})")
+            failures += 0 if ok else 1
+    if failures:
+        print(f"p2plint self-test: {failures} failure(s)")
+        return 1
+    print(f"p2plint self-test: all {2 * len(RULES)} fixtures behave")
+    return 0
+
+
+def report_suppressions(files):
+    """Suppression-debt gate: every allow() is a reviewable declaration —
+    list them all; a suppression without a reason fails the gate."""
+    sup = sorted((s for f in files for s in f.suppressions),
+                 key=lambda s: (s.path, s.line))
+    debt = 0
+    for s in sup:
+        if s.reason:
+            print(f"{s.path}:{s.line}: allow({s.rule}): {s.reason}")
+        else:
+            print(f"{s.path}:{s.line}: allow({s.rule}): <NO REASON GIVEN>")
+            debt += 1
+    print(f"p2plint: {len(sup)} suppression(s), {debt} without a reason")
+    if debt:
+        print("p2plint: reasonless suppressions are debt — append "
+              "': why it is safe' to each allow()")
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# --broken: prove the matrix rules are non-vacuous against the real tree.
+
+def _insert_after_open_brace(anchor):
+    def transform(text, payload):
+        i = text.find(anchor)
+        if i < 0:
+            return None
+        j = text.find("{", i)
+        if j < 0:
+            return None
+        return text[:j + 1] + payload + text[j + 1:]
+    return transform
+
+
+_VERSION_LIT_RE = re.compile(r'("[^"\n]*?)\bv\d+\b([^"\n]*")')
+
+_BROKEN_PROBES = [
+    # (expected rules, description, file predicate, transform, payload)
+    (["scenario-op-registry", "scenario-op-matrix"],
+     "unregistered+unemitted OpKind enumerator",
+     lambda f: "enum class OpKind" in f.text,
+     _insert_after_open_brace("enum class OpKind"),
+     "\n  kP2plintBrokenProbe,"),
+    (["engine-options-registry"],
+     "EngineOptions field missing from validated()",
+     lambda f: "struct EngineOptions" in f.text,
+     _insert_after_open_brace("struct EngineOptions"),
+     "\n  int p2plint_broken_probe_ = 0;"),
+    (["options-serialize-matrix"],
+     "Scenario field missing from serialize()/parse()",
+     lambda f: "struct Scenario" in f.text and "serialize" in f.text,
+     _insert_after_open_brace("struct Scenario"),
+     "\n  int p2plint_broken_probe_ = 0;"),
+    # Anchor on an UNINDENTED constant so the payload lands at file scope
+    # (namespace body in metric_names.hpp), never inside a function whose
+    # indented local `constexpr std::string_view` would shadow the anchor.
+    (["metric-names-referenced"],
+     "registered metric name nothing references",
+     lambda f: re.search(r"\ninline constexpr std::string_view k\w", f.text),
+     lambda text, payload: re.sub(
+         r"(\ninline constexpr std::string_view k)", payload + r"\1",
+         text, count=1),
+     "\ninline constexpr std::string_view kP2plintBrokenProbe = "
+     "\"p2p.broken.probe\";"),
+    (["wire-format-version"],
+     "wire writer whose version literal was stripped",
+     lambda f: _VERSION_LIT_RE.search(f.text) is not None
+     and "std::ostream&" in f.text.replace(" ", "")
+     and re.search(r"\b(serialize|save_\w+|write_\w+)\s*\(", f.text),
+     lambda text, payload: _VERSION_LIT_RE.sub(r"\1vX\2", text),
+     ""),
+]
+
+
+def broken_check(root, paths):
+    """Mutate the real tree in memory, one defect per probe, and require
+    the matching rule(s) to fire. A probe that stays silent means the
+    matrix went vacuous (anchor drifted, rule broke) — fail loudly."""
+    base = load_files(root, paths)
+    failures = 0
+    for rules_expected, desc, pred, transform, payload in _BROKEN_PROBES:
+        target = next((f for f in base if pred(f)), None)
+        if target is None:
+            print(f"FAIL broken-probe [{desc}]: no file in the tree matches "
+                  "the probe anchor")
+            failures += 1
+            continue
+        mutated_text = transform(target.text, payload)
+        if mutated_text is None or mutated_text == target.text:
+            print(f"FAIL broken-probe [{desc}]: mutation did not apply "
+                  f"in {target.path}")
+            failures += 1
+            continue
+        mutated = SourceFile(target.path, target.scoped_path, mutated_text)
+        try:
+            parse_file(mutated)
+        except Exception as e:
+            print(f"FAIL broken-probe [{desc}]: parser error: {e}")
+            failures += 1
+            continue
+        trial = [mutated if f is target else f for f in base]
+        fired = {v.rule for v in lint(trial)}
+        missing = [r for r in rules_expected if r not in fired]
+        if missing:
+            print(f"FAIL broken-probe [{desc}] in {target.path}: expected "
+                  f"{rules_expected} to fire, missing {missing} "
+                  f"(fired: {sorted(fired) or 'nothing'})")
+            failures += 1
+        else:
+            print(f"ok   broken-probe [{desc}] in {target.path}: "
+                  f"{rules_expected} fired")
+    if failures:
+        print(f"p2plint --broken: {failures} vacuous matrix rule(s)")
+        return 1
+    print(f"p2plint --broken: all {len(_BROKEN_PROBES)} probes caught")
+    return 0
+
+
+def corpus_check(tree_dir):
+    """Frozen mini-tree regression: lint tree/src and require the exact
+    expected violation list (tree/expected_violations.txt). Any diff — a
+    new false positive, a lost true positive, a drifted line number — is a
+    parser/rule regression."""
+    tree = Path(tree_dir).resolve()
+    expected_file = tree / "expected_violations.txt"
+    if not expected_file.is_file():
+        print(f"p2plint --corpus-check: missing {expected_file}")
+        return 2
+    files = load_files(tree, [Path("src")])
+    got = sorted((str(v) for v in lint(files)))
+    want = [ln for ln in expected_file.read_text().splitlines()
+            if ln.strip() and not ln.lstrip().startswith("#")]
+    if got == want:
+        print(f"p2plint --corpus-check: {len(got)} expected violation(s), "
+              "exact match")
+        return 0
+    for ln in got:
+        if ln not in want:
+            print(f"UNEXPECTED: {ln}")
+    for ln in want:
+        if ln not in got:
+            print(f"MISSING:    {ln}")
+    print("p2plint --corpus-check: violation list drifted from "
+          f"{expected_file.name}")
+    return 1
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="p2plint", add_help=True)
+    ap.add_argument("paths", nargs="*", default=None)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: script's parent)")
+    ap.add_argument("--self-test", metavar="DIR", default=None)
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--report-suppressions", action="store_true")
+    ap.add_argument("--broken", action="store_true",
+                    help="non-vacuity probe over the real tree")
+    ap.add_argument("--corpus-check", metavar="DIR", default=None)
+    ap.add_argument("--backend", choices=("auto", "builtin", "clang"),
+                    default="auto")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, fn, scope, kind in RULES:
+            doc = " ".join((fn.__doc__ or "").split())
+            tag = scope or "all files"
+            if kind == "global":
+                tag += ", cross-file"
+            print(f"{rule} [{tag}]\n    {doc}")
+        return 0
+    if args.self_test:
+        return self_test(args.self_test)
+    if args.corpus_check:
+        return corpus_check(args.corpus_check)
+
+    default_root = Path(__file__).resolve().parent.parent.parent
+    root = Path(args.root) if args.root else default_root
+    paths = [Path(p) for p in (args.paths or ["src", "tools"])]
+
+    if args.broken:
+        return broken_check(root, paths)
+
+    files = load_files(root, paths)
+    if not files:
+        print("p2plint: no C++ sources found", file=sys.stderr)
+        return 2
+    if args.report_suppressions:
+        return report_suppressions(files)
+    notice = run_backend(files, root, args.backend)
+    if notice:
+        print(f"p2plint: {notice}", file=sys.stderr)
+    violations = lint(files)
+    for v in sorted(violations, key=lambda v: (v.path, v.line)):
+        print(v)
+    if violations:
+        print(f"p2plint: {len(violations)} violation(s) in "
+              f"{len(files)} files")
+        return 1
+    print(f"p2plint: clean ({len(files)} files, {len(RULES)} rules)")
+    return 0

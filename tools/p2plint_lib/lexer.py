@@ -1,0 +1,189 @@
+"""C++ token stream for the built-in parser.
+
+Tokenizes a translation unit into identifiers, numbers, string/char
+literals, and punctuation, with 1-based line numbers. Comments are
+collected separately (they carry suppression pragmas and never shadow
+code), and preprocessor lines are skipped as whole units (respecting
+backslash continuations) so a macro body never masquerades as a
+declaration. Raw strings, encoding prefixes, digit separators, and escaped
+quotes are handled — a pattern inside a string literal can never be
+mistaken for code, which was the old regex lint's blind spot.
+"""
+
+from dataclasses import dataclass
+
+ID = "id"
+NUM = "num"
+STR = "str"
+CHR = "chr"
+PUNCT = "punct"
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self):
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+@dataclass
+class Comment:
+    line: int  # first line of the comment
+    end_line: int
+    text: str  # contents without the // or /* */ delimiters
+
+
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = ("::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+           "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=")
+_STR_PREFIXES = {"L", "u8", "u", "U", "R", "LR", "uR", "u8R", "UR"}
+
+
+def tokenize(text):
+    """Return (tokens, comments). Never raises on malformed input — the
+    lexer is a lint front-end, not a compiler, so it degrades to skipping
+    the character it cannot classify."""
+    tokens, comments = [], []
+    i, n, line = 0, len(text), 1
+
+    def take_line_comment(start):
+        nonlocal i
+        j = text.find("\n", start)
+        j = n if j < 0 else j
+        comments.append(Comment(line, line, text[start + 2:j]))
+        i = j
+
+    def take_block_comment(start):
+        nonlocal i, line
+        first = line
+        j = text.find("*/", start + 2)
+        j = n if j < 0 else j + 2
+        body = text[start + 2:max(start + 2, j - 2)]
+        end = first + body.count("\n")
+        comments.append(Comment(first, end, body))
+        line = end
+        i = j
+
+    def take_string(start, quote):
+        nonlocal i, line
+        j = start + 1
+        while j < n:
+            c = text[j]
+            if c == "\\" and j + 1 < n:
+                j += 2
+                continue
+            if c == "\n":
+                line += 1  # unterminated; tolerate
+                j += 1
+                continue
+            if c == quote:
+                j += 1
+                break
+            j += 1
+        tokens.append(Token(STR if quote == '"' else CHR,
+                            text[start:j], tokens_line))
+        i = j
+
+    def take_raw_string(start):
+        # start points at the opening '"' of R"delim( ... )delim"
+        nonlocal i, line
+        j = text.find("(", start)
+        if j < 0:
+            i = start + 1
+            return
+        delim = text[start + 1:j]
+        close = ")" + delim + '"'
+        k = text.find(close, j + 1)
+        k = n if k < 0 else k + len(close)
+        lit = text[start:k]
+        tokens.append(Token(STR, lit, tokens_line))
+        line += lit.count("\n")
+        i = k
+
+    while i < n:
+        c = text[i]
+        tokens_line = line
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#":
+            # Preprocessor directive: only when it starts the line (modulo
+            # whitespace). Consume through continuations.
+            ls = text.rfind("\n", 0, i) + 1
+            if text[ls:i].strip() == "":
+                while i < n:
+                    j = text.find("\n", i)
+                    if j < 0:
+                        i = n
+                        break
+                    if text[j - 1] == "\\" if j > 0 else False:
+                        line += 1
+                        i = j + 1
+                        continue
+                    line += 1
+                    i = j + 1
+                    break
+                continue
+            i += 1
+            tokens.append(Token(PUNCT, "#", tokens_line))
+            continue
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                take_line_comment(i)
+                continue
+            if text[i + 1] == "*":
+                take_block_comment(i)
+                continue
+        if c == '"':
+            take_string(i, '"')
+            continue
+        if c == "'":
+            take_string(i, "'")
+            continue
+        if c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word in _STR_PREFIXES and j < n and text[j] == '"':
+                if word.endswith("R"):
+                    take_raw_string(j)
+                else:
+                    take_string(j, '"')
+                continue
+            tokens.append(Token(ID, word, tokens_line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n:
+                d = text[j]
+                if d.isalnum() or d in "._":
+                    j += 1
+                elif d == "'" and j + 1 < n and text[j + 1].isalnum():
+                    j += 1  # digit separator
+                elif d in "+-" and text[j - 1] in "eEpP":
+                    j += 1  # exponent sign
+                else:
+                    break
+            tokens.append(Token(NUM, text[i:j], tokens_line))
+            i = j
+            continue
+        three, two = text[i:i + 3], text[i:i + 2]
+        if three in _PUNCT3:
+            tokens.append(Token(PUNCT, three, tokens_line))
+            i += 3
+        elif two in _PUNCT2:
+            tokens.append(Token(PUNCT, two, tokens_line))
+            i += 2
+        else:
+            tokens.append(Token(PUNCT, c, tokens_line))
+            i += 1
+    return tokens, comments

@@ -1,0 +1,172 @@
+"""IR and source-file model shared by the parser and the rules."""
+
+import re
+from dataclasses import dataclass, field
+
+from . import lexer
+
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".h", ".cxx", ".hxx"}
+
+# A suppression is a *comment* pragma; it can never match inside a string
+# literal because allows are collected from the comment stream only.
+ALLOW_RE = re.compile(r"p2plint:\s*allow\(([a-z0-9-]+)\)(:\s*(\S[^\n]*))?")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppression:
+    path: str
+    line: int  # line the pragma appears on
+    rule: str
+    reason: str  # "" when the author omitted one (a debt the lint rejects)
+
+
+@dataclass
+class Member:
+    name: str
+    type_text: str
+    line: int
+    annotations: set = field(default_factory=set)  # P2P_* macro names
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    kind: str  # "class" | "struct"
+    line: int
+    members: list = field(default_factory=list)   # [Member]
+    methods: list = field(default_factory=list)   # [(name, line)] declared in-body
+    body: tuple = (0, 0)  # token index range of the braces (open, close)
+
+
+@dataclass
+class EnumDecl:
+    name: str
+    scoped: bool
+    line: int
+    enumerators: list = field(default_factory=list)  # [(name, line)]
+
+
+@dataclass
+class FunctionDecl:
+    name: str
+    cls: str  # owning class name ("" for free functions)
+    line: int
+    body: tuple  # token index range (open brace, close brace)
+    params_text: str
+    calls: set = field(default_factory=set)  # bare callee names in the body
+
+
+@dataclass
+class LockSite:
+    mutex: str  # normalized lock expression, e.g. "wake_mutex_"
+    line: int
+    tok: int  # token index of the declaration
+    scope_end: int  # token index of the '}' closing the holding block
+    func: FunctionDecl = None
+
+
+@dataclass
+class PoolLambda:
+    call: str  # parallel_for / parallel_for_grains / ... / submit
+    capture: str  # capture list text, e.g. "&" or "this, &x"
+    body: tuple  # token index range of the lambda body braces
+    line: int
+    func: FunctionDecl = None
+
+
+@dataclass
+class RangeFor:
+    var_text: str  # declaration before the ':'
+    expr: str  # normalized range expression, e.g. "m" or "it->second"
+    body: tuple  # token index range (may be a single statement: (i, j))
+    line: int
+    func: FunctionDecl = None
+
+
+@dataclass
+class IterFor:
+    name: str  # X in `for (auto it = X.begin(); ...)`
+    line: int
+    func: FunctionDecl = None
+
+
+@dataclass
+class VarDecl:
+    name: str
+    type_text: str
+    line: int
+    scope: str  # "file" | "local" | "member"
+    cls: str = ""
+
+
+@dataclass
+class FileModel:
+    classes: list = field(default_factory=list)
+    enums: list = field(default_factory=list)
+    functions: list = field(default_factory=list)
+    locks: list = field(default_factory=list)
+    pool_lambdas: list = field(default_factory=list)
+    range_fors: list = field(default_factory=list)
+    iter_fors: list = field(default_factory=list)
+    var_decls: list = field(default_factory=list)
+    backend: str = "builtin"
+
+
+class SourceFile:
+    """One translation unit: raw text, token stream, comments, suppression
+    map, and (after parsing) the declaration/statement IR."""
+
+    def __init__(self, path, scoped_path, text):
+        self.path = path                # printable path
+        self.scoped_path = scoped_path  # path used for rule scoping
+        self.text = text
+        self.lines = text.splitlines()
+        self.tokens, self.comments = lexer.tokenize(text)
+        self.suppressions = []  # [Suppression]
+        self.allows = self._collect_allows()
+        self.model = FileModel()
+
+    def allowed(self, line_no, rule):
+        return rule in self.allows.get(line_no, ())
+
+    def token_text(self, lo, hi):
+        return " ".join(t.text for t in self.tokens[lo:hi])
+
+    def _collect_allows(self):
+        """Map line number -> set of suppressed rules. A pragma suppresses
+        every line its comment spans plus the next line holding a token (so
+        a block comment above the offending statement works)."""
+        allows = {}
+        token_lines = sorted({t.line for t in self.tokens})
+        for c in self.comments:
+            for m in ALLOW_RE.finditer(c.text):
+                rule, reason = m.group(1), (m.group(3) or "").strip()
+                self.suppressions.append(
+                    Suppression(self.path, c.line, rule, reason))
+                for ln in range(c.line, c.end_line + 1):
+                    allows.setdefault(ln, set()).add(rule)
+                nxt = next((ln for ln in token_lines if ln > c.end_line), None)
+                if nxt is not None:
+                    allows.setdefault(nxt, set()).add(rule)
+        return allows
+
+
+class Context:
+    def __init__(self, files):
+        self.files = files
+        self.by_path = {f.path: f for f in files}
+
+    def header_partner(self, f):
+        """Files sharing f's stem (the paired header of a .cpp and vice
+        versa) — member types are declared there."""
+        stem = f.path.rsplit(".", 1)[0]
+        return [g for g in self.files
+                if g is not f and g.path.rsplit(".", 1)[0] == stem]

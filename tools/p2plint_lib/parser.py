@@ -1,0 +1,680 @@
+"""Lightweight C++ declaration/statement parser.
+
+Builds the FileModel IR from the token stream: classes with annotated
+members and declared methods, scoped enums, function definitions with
+body extents, lock-acquisition sites with their holding scope, lambdas
+handed to the thread pool, range/iterator for-loops, and variable
+declarations at file/class/local scope.
+
+This is not a compiler front-end — it is a single-pass bracket-matching
+scanner with enough C++ shape knowledge for the rules to reason about
+declarations and statements instead of text. It must never throw on real
+code: anything it cannot classify it skips. The corpus test
+(tests/lint_selftest/tree/) freezes its behaviour so silent parser
+regressions fail loudly.
+"""
+
+from .lexer import ID, NUM, PUNCT, STR
+from .model import (ClassDecl, EnumDecl, FileModel, FunctionDecl, IterFor,
+                    LockSite, Member, PoolLambda, RangeFor, VarDecl)
+
+KEYWORDS = {
+    "alignas", "alignof", "auto", "bool", "break", "case", "catch", "char",
+    "class", "const", "consteval", "constexpr", "constinit", "continue",
+    "decltype", "default", "delete", "do", "double", "else", "enum",
+    "explicit", "extern", "false", "final", "float", "for", "friend", "goto",
+    "if", "inline", "int", "long", "mutable", "namespace", "new", "noexcept",
+    "nullptr", "operator", "override", "private", "protected", "public",
+    "register", "requires", "return", "short", "signed", "sizeof", "static",
+    "static_assert", "struct", "switch", "template", "this", "throw", "true",
+    "try", "typedef", "typename", "union", "unsigned", "using", "virtual",
+    "void", "volatile", "while",
+}
+
+TYPE_INTRO = {"const", "constexpr", "static", "mutable", "inline", "volatile",
+              "unsigned", "signed", "typename", "thread_local", "register",
+              "constinit", "extern"}
+
+LOCK_TYPES = {"MutexLock", "lock_guard", "unique_lock", "scoped_lock"}
+POOL_CALLS = {"parallel_for", "parallel_for_grains",
+              "parallel_for_grains_subset", "submit"}
+
+FUNCTION_TAIL = {"const", "noexcept", "override", "final", "mutable",
+                 "->", "&", "&&", "try", "requires"}
+
+# Keywords that can open a declaration statement (`double acc = 0.0;`).
+STMT_TYPE_KEYWORDS = {"bool", "char", "double", "float", "int", "long",
+                      "short", "unsigned", "signed", "const", "constexpr",
+                      "static"}
+
+
+def _is_macroish(text):
+    return text.isupper() and ("_" in text or len(text) > 3)
+
+
+class Parser:
+    def __init__(self, f):
+        self.f = f
+        self.toks = f.tokens
+        self.n = len(self.toks)
+        self.model = f.model = FileModel()
+        self.match = {}
+        self._match_brackets()
+        self._braces = sorted((o, c) for o, c in self.match.items()
+                              if self.toks[o].text == "{")
+
+    def parse(self):
+        self._scan_decls(0, self.n, cls=None)
+        return self.model
+
+    # -- bracket matching --------------------------------------------------
+
+    def _match_brackets(self):
+        stacks = {"(": [], "[": [], "{": []}
+        closer = {")": "(", "]": "[", "}": "{"}
+        for i, t in enumerate(self.toks):
+            if t.kind != PUNCT:
+                continue
+            if t.text in stacks:
+                stacks[t.text].append(i)
+            elif t.text in closer:
+                st = stacks[closer[t.text]]
+                if st:
+                    self.match[st.pop()] = i
+
+    def _skip_angles(self, i):
+        """Index past the '>' matching the '<' at i, or None if the '<' is
+        a comparison (heuristic: hits a statement boundary first)."""
+        depth, j = 1, i + 1
+        while j < self.n and j < i + 400:
+            text = self.toks[j].text
+            if text == "<":
+                depth += 1
+            elif text == ">":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            elif text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j + 1
+            elif text in (";", "{", "}") or self.toks[j].kind == STR:
+                return None
+            elif text in ("&&", "||", "<=", ">="):
+                return None
+            elif text == "(":
+                j = self.match.get(j, j)
+            j += 1
+        return None
+
+    def _enclosing_scope_end(self, i):
+        """Token index of the '}' closing the innermost block containing i."""
+        best = self.n
+        for o, c in self._braces:
+            if o < i < c and c < best:
+                best = c
+        return best
+
+    # -- declaration scanner ----------------------------------------------
+
+    def _scan_decls(self, lo, hi, cls):
+        i = lo
+        while i < hi:
+            t = self.toks[i]
+            text = t.text
+            if text == "namespace":
+                j = i + 1
+                while j < hi and self.toks[j].text not in ("{", ";", "="):
+                    j += 1
+                if j < hi and self.toks[j].text == "{":
+                    close = self.match.get(j, hi)
+                    self._scan_decls(j + 1, close, cls)
+                    i = close + 1
+                else:
+                    i = self._skip_past(j, ";")
+                continue
+            if text == "template":
+                if i + 1 < hi and self.toks[i + 1].text == "<":
+                    end = self._skip_angles(i + 1)
+                    i = end if end else i + 2
+                else:
+                    i += 1
+                continue
+            if text == "enum":
+                i = self._parse_enum(i, hi)
+                continue
+            if text in ("class", "struct", "union"):
+                i = self._parse_class(i, hi, cls)
+                continue
+            if text in ("using", "typedef", "friend", "static_assert"):
+                i = self._skip_past(i, ";")
+                continue
+            if text in ("public", "private", "protected") and \
+                    i + 1 < hi and self.toks[i + 1].text == ":":
+                i += 2
+                continue
+            if text == "extern" and i + 1 < hi and self.toks[i + 1].kind == STR:
+                if i + 2 < hi and self.toks[i + 2].text == "{":
+                    close = self.match.get(i + 2, hi)
+                    self._scan_decls(i + 3, close, cls)
+                    i = close + 1
+                else:
+                    i += 2
+                continue
+            if text == ";" or t.kind != ID and text not in ("~", "["):
+                i += 1
+                continue
+            i = self._parse_declaration(i, hi, cls)
+
+    def _skip_past(self, i, stop):
+        while i < self.n and self.toks[i].text != stop:
+            if self.toks[i].text in ("(", "[", "{"):
+                i = self.match.get(i, i)
+            i += 1
+        return i + 1
+
+    def _parse_enum(self, i, hi):
+        j = i + 1
+        scoped = j < hi and self.toks[j].text in ("class", "struct")
+        if scoped:
+            j += 1
+        name = ""
+        if j < hi and self.toks[j].kind == ID:
+            name = self.toks[j].text
+            j += 1
+        while j < hi and self.toks[j].text not in ("{", ";"):
+            j += 1
+        if j >= hi or self.toks[j].text == ";":
+            return j + 1
+        close = self.match.get(j, hi)
+        decl = EnumDecl(name, scoped, self.toks[i].line)
+        k = j + 1
+        expect_name = True
+        while k < close:
+            tk = self.toks[k]
+            if tk.text in ("(", "[", "{"):
+                k = self.match.get(k, k) + 1
+                continue
+            if tk.text == ",":
+                expect_name = True
+                k += 1
+                continue
+            if expect_name and tk.kind == ID:
+                decl.enumerators.append((tk.text, tk.line))
+                expect_name = False
+            k += 1
+        self.model.enums.append(decl)
+        return self._skip_past(close, ";")
+
+    def _parse_class(self, i, hi, outer_cls):
+        kind = self.toks[i].text
+        j = i + 1
+        name = ""
+        # Skip attribute macros between the keyword and the name, e.g.
+        # `class P2P_CAPABILITY("mutex") Mutex {`.
+        while j < hi:
+            tj = self.toks[j]
+            if tj.kind == ID and _is_macroish(tj.text):
+                j += 1
+                if j < hi and self.toks[j].text == "(":
+                    j = self.match.get(j, j) + 1
+                continue
+            if tj.text == "[" and j + 1 < hi and self.toks[j + 1].text == "[":
+                j = self.match.get(j, j) + 1
+                continue
+            break
+        if j < hi and self.toks[j].kind == ID:
+            name = self.toks[j].text
+            j += 1
+        # Base clause / final, then '{' or ';' (forward declaration).
+        while j < hi and self.toks[j].text not in ("{", ";", "("):
+            j += 1
+        if j >= hi or self.toks[j].text != "{":
+            # Forward declaration, or `struct X;`-like use inside a decl:
+            # let the declaration parser deal with it from here.
+            return j + 1 if j < hi and self.toks[j].text == ";" else i + 1
+        close = self.match.get(j, hi)
+        decl = ClassDecl(name or "<anon>", kind, self.toks[i].line,
+                         body=(j, close))
+        self.model.classes.append(decl)
+        self._class_stack = getattr(self, "_class_stack", [])
+        self._class_stack.append(decl)
+        self._scan_decls(j + 1, close, decl)
+        self._class_stack.pop()
+        return self._skip_past(close, ";")
+
+    # -- declarations: functions, members, variables ------------------------
+
+    def _parse_declaration(self, i, hi, cls):
+        """Parse one declaration starting at token i. Returns the index to
+        continue scanning from."""
+        j = i
+        body_open = None
+        end = hi
+        while j < hi:
+            text = self.toks[j].text
+            if text in ("(", "["):
+                j = self.match.get(j, j) + 1
+                continue
+            if text == "<":
+                past = self._skip_angles(j)
+                j = past if past else j + 1
+                continue
+            if text == ";":
+                end = j
+                break
+            if text == "}":
+                # Unbalanced (we ran off the enclosing scope): bail out.
+                return j
+            if text == "{":
+                if self._looks_like_function_body(i, j):
+                    body_open = j
+                    end = self.match.get(j, hi)
+                    break
+                # Brace initializer — skip and keep looking for the ';'.
+                j = self.match.get(j, j) + 1
+                continue
+            j += 1
+        if body_open is not None:
+            fn = self._record_function(i, body_open, end, cls)
+            if fn is not None:
+                self._parse_statements(fn)
+            return end + 1
+        # No body: a member / method declaration (class scope) or a
+        # variable / free declaration (file scope).
+        if cls is not None:
+            self._record_class_member(i, end, cls)
+        else:
+            self._record_var_decl(i, end, scope="file", cls="")
+        return end + 1
+
+    def _looks_like_function_body(self, lo, brace):
+        """True when the '{' at `brace` opens a function body: the last
+        paren group before it is a parameter list followed only by
+        qualifier tokens (const/noexcept/->ret/...)."""
+        last_close = None
+        j = lo
+        while j < brace:
+            if self.toks[j].text == "(":
+                close = self.match.get(j)
+                if close is not None and close < brace:
+                    last_close = close
+                    j = close + 1
+                    continue
+            j += 1
+        if last_close is None:
+            return False
+        k = last_close + 1
+        while k < brace:
+            t = self.toks[k]
+            if t.text in FUNCTION_TAIL or t.kind == ID or t.text == "::":
+                if t.text == "(":
+                    return False
+                k += 1
+                continue
+            if t.text == "(":  # noexcept(...) / macro(...)
+                k = self.match.get(k, k) + 1
+                continue
+            if t.text == "=":  # `= 0`? pure virtual has no body; `= delete` no body
+                return False
+            if t.text in ("*", "&", "&&", "<", ">", ",", "[", "]", ":"):
+                k += 1
+                continue
+            return False
+        return True
+
+    def _function_name_at(self, lo, brace_or_end):
+        """Find (name_token_index, param_open_index) of the function whose
+        declarator lies in [lo, brace_or_end)."""
+        j = lo
+        while j < brace_or_end:
+            t = self.toks[j]
+            if t.text == "(" :
+                prev = self.toks[j - 1] if j > lo else None
+                if prev is not None and prev.kind == ID and \
+                        prev.text not in KEYWORDS and not _is_macroish(prev.text):
+                    return j - 1, j
+                if prev is not None and prev.text == "operator":
+                    return j - 1, j
+                j = self.match.get(j, j) + 1
+                continue
+            if t.text == "operator":
+                # operator<sym>(: name is the operator itself.
+                k = j + 1
+                while k < brace_or_end and self.toks[k].text != "(":
+                    k += 1
+                if k < brace_or_end:
+                    return j, k
+            if t.text == "<":
+                past = self._skip_angles(j)
+                j = past if past else j + 1
+                continue
+            j += 1
+        return None, None
+
+    def _record_function(self, lo, body_open, body_close, cls):
+        name_idx, popen = self._function_name_at(lo, body_open)
+        if name_idx is None:
+            return None
+        name_tok = self.toks[name_idx]
+        name = name_tok.text
+        if name == "operator":
+            name = "operator" + (self.toks[name_idx + 1].text
+                                 if name_idx + 1 < popen else "")
+        owner = cls.name if cls is not None else ""
+        # Out-of-line definition `Class::name(...)`: qualifier wins.
+        if name_idx >= 2 and self.toks[name_idx - 1].text == "::" and \
+                self.toks[name_idx - 2].kind == ID:
+            owner = self.toks[name_idx - 2].text
+        pclose = self.match.get(popen, popen)
+        fn = FunctionDecl(name, owner, name_tok.line, (body_open, body_close),
+                          self.f.token_text(popen + 1, pclose))
+        self.model.functions.append(fn)
+        if cls is not None:
+            cls.methods.append((name, name_tok.line))
+        return fn
+
+    def _record_class_member(self, lo, end, cls):
+        toks = self.toks[lo:end]
+        if not toks:
+            return
+        # Method declaration? A top-level paren group preceded by a plain
+        # identifier (annotation macros stripped below don't count).
+        name_idx, popen = self._function_name_at(lo, end)
+        annotations = set()
+        kept = []  # (token, orig_index)
+        j = lo
+        while j < end:
+            t = self.toks[j]
+            if t.kind == ID and t.text.startswith("P2P_"):
+                annotations.add(t.text)
+                if j + 1 < end and self.toks[j + 1].text == "(":
+                    j = self.match.get(j + 1, j + 1) + 1
+                else:
+                    j += 1
+                continue
+            kept.append((t, j))
+            j += 1
+        if name_idx is not None and not _is_macroish(self.toks[name_idx].text):
+            cls.methods.append((self.toks[name_idx].text,
+                                self.toks[name_idx].line))
+            return
+        # Member variable: strip default init (`= ...` / trailing `{...}`),
+        # bitfield width, and array extents; the name is the last plain
+        # identifier at angle depth 0.
+        depth = 0
+        cut = len(kept)
+        for k, (t, _) in enumerate(kept):
+            if depth == 0 and t.text in ("=", ":") and k > 0:
+                cut = k
+                break
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">" and depth > 0:
+                depth -= 1
+            elif t.text == ">>" and depth > 0:
+                depth = max(0, depth - 2)
+            elif t.text == "{" and k > 0:
+                cut = k
+                break
+        kept = kept[:cut]
+        while kept and kept[-1][0].text in ("]",):
+            # strip `[N]` extents
+            k = len(kept) - 1
+            depth = 0
+            while k >= 0:
+                if kept[k][0].text == "]":
+                    depth += 1
+                elif kept[k][0].text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k -= 1
+            kept = kept[:max(k, 0)]
+        name_tok = None
+        depth = 0
+        for t, _ in kept:
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth = max(0, depth - 1)
+            elif t.text == ">>":
+                depth = max(0, depth - 2)
+            elif depth == 0 and t.kind == ID and t.text not in KEYWORDS:
+                name_tok = t
+        if name_tok is None or len(kept) < 2:
+            return
+        type_text = " ".join(t.text for t, _ in kept
+                             if t is not name_tok and t.text not in
+                             ("static", "mutable", "constexpr", "inline"))
+        cls.members.append(Member(name_tok.text, type_text, name_tok.line,
+                                  annotations))
+        self.model.var_decls.append(VarDecl(name_tok.text, type_text,
+                                            name_tok.line, "member", cls.name))
+
+    def _record_var_decl(self, lo, end, scope, cls):
+        """Best-effort `type name` extraction for the declaration table."""
+        j = lo
+        while j < end and self.toks[j].text in TYPE_INTRO:
+            j += 1
+        start = j
+        # Type: id(::id)* (<...>)? followed by */&/&& then a name.
+        if j >= end or self.toks[j].kind != ID:
+            return
+        if self.toks[j].text in KEYWORDS and self.toks[j].text not in (
+                "auto", "bool", "char", "double", "float", "int", "long",
+                "short", "unsigned", "signed", "void"):
+            return
+        j += 1
+        while j < end:
+            text = self.toks[j].text
+            if text == "::" and j + 1 < end and self.toks[j + 1].kind == ID:
+                j += 2
+                continue
+            if text == "<":
+                past = self._skip_angles(j)
+                if past is None or past > end:
+                    return
+                j = past
+                continue
+            if text in ("*", "&", "&&", "const"):
+                j += 1
+                continue
+            if self.toks[j].kind == ID and text in ("unsigned", "signed",
+                                                    "long", "short", "int",
+                                                    "char", "double", "float"):
+                j += 1
+                continue
+            break
+        if j >= end or self.toks[j].kind != ID or j == start or \
+                self.toks[j].text in KEYWORDS:
+            return
+        name_tok = self.toks[j]
+        nxt = self.toks[j + 1].text if j + 1 < end else ";"
+        if nxt not in ("=", ";", "(", "{", "[", ","):
+            return
+        type_text = self.f.token_text(start, j)
+        self.model.var_decls.append(
+            VarDecl(name_tok.text, type_text, name_tok.line, scope, cls))
+
+    # -- statement layer ----------------------------------------------------
+
+    def _parse_statements(self, fn):
+        lo, hi = fn.body
+        i = lo + 1
+        stmt_start = True
+        while i < hi:
+            t = self.toks[i]
+            text = t.text
+            if text == "for" and i + 1 < hi and self.toks[i + 1].text == "(":
+                self._parse_for(i, fn)
+                i += 2
+                stmt_start = False
+                continue
+            if t.kind == ID and text in LOCK_TYPES:
+                i = self._parse_lock_site(i, hi, fn)
+                stmt_start = False
+                continue
+            if t.kind == ID and text in POOL_CALLS and \
+                    i + 1 < hi and self.toks[i + 1].text == "(":
+                self._parse_pool_call(i, fn)
+                i += 2
+                stmt_start = False
+                continue
+            if t.kind == ID and text not in KEYWORDS and \
+                    i + 1 < hi and self.toks[i + 1].text == "(" and \
+                    (i == lo + 1 or self.toks[i - 1].text != "::" or True):
+                fn.calls.add(text)
+            if stmt_start and t.kind == ID and (
+                    text not in KEYWORDS or text in STMT_TYPE_KEYWORDS):
+                end = i
+                depth = 0
+                while end < hi:
+                    et = self.toks[end].text
+                    if et in ("(", "[", "{"):
+                        end = self.match.get(end, end)
+                    elif et == ";":
+                        break
+                    end += 1
+                self._record_var_decl(i, end, "local", fn.cls)
+            elif stmt_start and text == "auto":
+                end = i
+                while end < hi and self.toks[end].text != ";":
+                    if self.toks[end].text in ("(", "[", "{"):
+                        end = self.match.get(end, end)
+                    end += 1
+                self._record_var_decl(i, end, "local", fn.cls)
+            stmt_start = text in (";", "{", "}", ")", ":") or text == "else"
+            i += 1
+
+    def _parse_for(self, i, fn):
+        popen = i + 1
+        pclose = self.match.get(popen)
+        if pclose is None:
+            return
+        # Top-level ':' inside the parens → range-for.
+        colon = None
+        j = popen + 1
+        while j < pclose:
+            text = self.toks[j].text
+            if text in ("(", "[", "{"):
+                j = self.match.get(j, j) + 1
+                continue
+            if text == ":":
+                colon = j
+                break
+            if text == ";":
+                break
+            j += 1
+        body_start = pclose + 1
+        if body_start < self.n and self.toks[body_start].text == "{":
+            body = (body_start, self.match.get(body_start, body_start))
+        else:
+            end = body_start
+            while end < self.n and self.toks[end].text != ";":
+                if self.toks[end].text in ("(", "[", "{"):
+                    end = self.match.get(end, end)
+                end += 1
+            body = (body_start - 1, end)  # single statement range
+        if colon is not None:
+            var_text = self.f.token_text(popen + 1, colon)
+            expr = "".join(t.text for t in self.toks[colon + 1:pclose])
+            self.model.range_fors.append(
+                RangeFor(var_text, expr, body, self.toks[i].line, fn))
+            return
+        # Iterator walk: for (auto it = X.begin(); ...
+        j = popen + 1
+        while j < pclose:
+            if self.toks[j].text == "=":
+                k = j + 1
+                if k + 2 < pclose and self.toks[k].kind == ID and \
+                        self.toks[k + 1].text == "." and \
+                        self.toks[k + 2].text in ("begin", "cbegin"):
+                    self.model.iter_fors.append(
+                        IterFor(self.toks[k].text, self.toks[i].line, fn))
+                break
+            j += 1
+
+    def _parse_lock_site(self, i, hi, fn):
+        """`[util::|std::] MutexLock name(expr);` (or lock_guard etc.,
+        with optional template args). Returns index to continue from."""
+        j = i + 1
+        if j < hi and self.toks[j].text == "<":
+            past = self._skip_angles(j)
+            j = past if past else j + 1
+        if j >= hi or self.toks[j].kind != ID:
+            return i + 1
+        j += 1  # past the variable name
+        if j >= hi or self.toks[j].text not in ("(", "{"):
+            return i + 1
+        pclose = self.match.get(j)
+        if pclose is None:
+            return i + 1
+        scope_end = self._enclosing_scope_end(i)
+        # scoped_lock may take several mutexes: split top-level commas.
+        args, depth, start = [], 0, j + 1
+        for k in range(j + 1, pclose):
+            text = self.toks[k].text
+            if text in ("(", "[", "{"):
+                depth += 1
+            elif text in (")", "]", "}"):
+                depth -= 1
+            elif text == "," and depth == 0:
+                args.append((start, k))
+                start = k + 1
+        if start < pclose:
+            args.append((start, pclose))
+        for (a, b) in args:
+            toks = self.toks[a:b]
+            while len(toks) >= 2 and toks[0].text == "this" and \
+                    toks[1].text == "->":
+                toks = toks[2:]
+            expr = "".join(t.text for t in toks)
+            if expr:
+                self.model.locks.append(
+                    LockSite(expr, self.toks[i].line, i, scope_end, fn))
+        return pclose + 1
+
+    def _parse_pool_call(self, i, fn):
+        popen = i + 1
+        pclose = self.match.get(popen)
+        if pclose is None:
+            return
+        call = self.toks[i].text
+        j = popen + 1
+        while j < pclose:
+            text = self.toks[j].text
+            if text == "[" and self.toks[j - 1].text in ("(", ",", "=",
+                                                         "return"):
+                bclose = self.match.get(j)
+                if bclose is None:
+                    j += 1
+                    continue
+                capture = self.f.token_text(j + 1, bclose)
+                k = bclose + 1
+                if k < pclose and self.toks[k].text == "(":
+                    k = self.match.get(k, k) + 1
+                while k < pclose and self.toks[k].text in ("mutable",
+                                                           "noexcept", "->"):
+                    if self.toks[k].text == "->":
+                        while k < pclose and self.toks[k].text != "{":
+                            k += 1
+                        break
+                    k += 1
+                while k < pclose and self.toks[k].text != "{":
+                    k += 1
+                if k < pclose:
+                    lclose = self.match.get(k, k)
+                    self.model.pool_lambdas.append(
+                        PoolLambda(call, capture, (k, lclose),
+                                   self.toks[j].line, fn))
+                    j = lclose + 1
+                    continue
+            elif text in ("(", "{"):
+                j = self.match.get(j, j) + 1
+                continue
+            j += 1
+
+
+def parse_file(f):
+    return Parser(f).parse()

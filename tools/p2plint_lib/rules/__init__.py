@@ -1,0 +1,43 @@
+"""Rule registry.
+
+Two rule kinds:
+  "file"   — fn(f, ctx) called once per in-scope file; violations are
+             allow-filtered by the engine against the file they land in.
+  "global" — fn(ctx, scope) called once per lint run; the rule walks the
+             whole context itself (cross-file graphs need every site
+             before any verdict). Violations are still allow-filtered by
+             the engine, and rules that build graphs additionally drop
+             suppressed *sites* before edges form (a suppressed lock
+             acquisition must not create an edge some other file then
+             trips over).
+"""
+
+from .concurrency import (rule_lock_order, rule_mutex_annotations,
+                          rule_thread_confinement)
+from .determinism import (rule_float_determinism, rule_no_unordered_iteration,
+                          rule_no_wallclock_rng)
+from .registries import (rule_engine_options_registry,
+                         rule_metric_name_registry,
+                         rule_metric_names_referenced,
+                         rule_options_serialize_matrix,
+                         rule_scenario_op_matrix, rule_scenario_op_registry,
+                         rule_wire_format_version)
+
+# (name, fn, scope, kind)
+RULES = [
+    ("no-wallclock-rng", rule_no_wallclock_rng, "src/", "file"),
+    ("no-unordered-iteration", rule_no_unordered_iteration, "src/", "file"),
+    ("float-determinism", rule_float_determinism, "src/", "file"),
+    ("scenario-op-registry", rule_scenario_op_registry, "", "file"),
+    ("scenario-op-matrix", rule_scenario_op_matrix, "", "file"),
+    ("engine-options-registry", rule_engine_options_registry, "", "file"),
+    ("options-serialize-matrix", rule_options_serialize_matrix, "", "file"),
+    ("wire-format-version", rule_wire_format_version, "src/", "file"),
+    ("mutex-annotations", rule_mutex_annotations, "src/", "file"),
+    ("metric-name-registry", rule_metric_name_registry, "src/", "file"),
+    ("metric-names-referenced", rule_metric_names_referenced, "src/", "global"),
+    ("lock-order", rule_lock_order, "src/", "global"),
+    ("thread-confinement", rule_thread_confinement, "src/", "global"),
+]
+
+RULE_NAMES = [name for name, _, _, _ in RULES]

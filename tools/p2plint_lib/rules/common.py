@@ -1,0 +1,78 @@
+"""Shared helpers for rule implementations."""
+
+import re
+
+from ..lexer import ID, STR
+
+
+def ids(f):
+    """Set of identifier token texts in the file (cached)."""
+    cached = getattr(f.model, "_id_set", None)
+    if cached is None:
+        cached = {t.text for t in f.tokens if t.kind == ID}
+        f.model._id_set = cached
+    return cached
+
+
+def enum_refs(f, enum_name):
+    """Set of `Enum::kX` enumerator names referenced anywhere in the file
+    (cached per enum name)."""
+    cache = getattr(f.model, "_enum_refs", None)
+    if cache is None:
+        cache = f.model._enum_refs = {}
+    if enum_name not in cache:
+        refs = set()
+        toks = f.tokens
+        for i in range(len(toks) - 2):
+            if toks[i].kind == ID and toks[i].text == enum_name and \
+                    toks[i + 1].text == "::" and toks[i + 2].kind == ID:
+                refs.add(toks[i + 2].text)
+        cache[enum_name] = refs
+    return cache[enum_name]
+
+
+def enum_refs_in_range(f, enum_name, lo, hi):
+    refs = set()
+    toks = f.tokens
+    for i in range(lo, min(hi, len(toks)) - 2):
+        if toks[i].kind == ID and toks[i].text == enum_name and \
+                toks[i + 1].text == "::" and toks[i + 2].kind == ID:
+            refs.add(toks[i + 2].text)
+    return refs
+
+
+def string_tokens(f):
+    return [t for t in f.tokens if t.kind == STR]
+
+
+def body_id_set(f, fn):
+    lo, hi = fn.body
+    return {t.text for t in f.tokens[lo:hi + 1] if t.kind == ID}
+
+
+def function_raw_text(f, fn):
+    """Raw source lines of a function *including comments* — registries
+    accept a comment as an explicit waiver."""
+    first = fn.line
+    last = f.tokens[fn.body[1]].line if fn.body[1] < len(f.tokens) else first
+    return "\n".join(f.lines[max(0, first - 1):last])
+
+
+_WORD_CACHE = {}
+
+
+def word_re(name):
+    pat = _WORD_CACHE.get(name)
+    if pat is None:
+        pat = _WORD_CACHE[name] = re.compile(r"\b" + re.escape(name) + r"\b")
+    return pat
+
+
+def type_head(type_text):
+    """First meaningful type token: `std :: unordered_map < ... >` →
+    `unordered_map`."""
+    for tok in type_text.split():
+        if tok in ("const", "std", "::", "volatile", "typename"):
+            continue
+        return tok
+    return ""

@@ -1,0 +1,224 @@
+"""Concurrency rules: annotated mutexes, static lock-order analysis, and
+thread-confinement checking for pool lambdas."""
+
+import re
+
+from ..lexer import ID
+from ..model import Violation
+
+_RAW_SYNC_RE = re.compile(
+    r"\bstd :: (mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable|condition_variable_any)\b")
+
+
+def rule_mutex_annotations(f, ctx):
+    """Raw std::mutex / std::condition_variable members are invisible to
+    clang's thread-safety analysis (libstdc++ declares no capabilities).
+    Use util::Mutex / util::CondVar from util/thread_annotations.hpp and
+    annotate the guarded members with P2P_GUARDED_BY. Declaration-table
+    based, so multi-line declarations and typedef chains through `std ::`
+    spelling variants are all caught."""
+    out = []
+    for d in f.model.var_decls:
+        m = _RAW_SYNC_RE.search(d.type_text)
+        if m:
+            out.append(Violation(
+                f.path, d.line, "mutex-annotations",
+                f"raw std::{m.group(1)}: use util::Mutex / util::CondVar "
+                "(util/thread_annotations.hpp) so -Wthread-safety can check "
+                "the locking discipline, and P2P_GUARDED_BY the state"))
+    return out
+
+
+def _qualified_lock(site):
+    """Lock identity: `Class::member_` for a bare member-looking name so
+    the same mutex reached from several methods unifies; anything more
+    structured (obj.mu_, arr[i].m) keeps its expression text."""
+    expr = site.mutex
+    cls = site.func.cls if site.func is not None else ""
+    if cls and re.fullmatch(r"\w+", expr):
+        return f"{cls}::{expr}"
+    return expr
+
+
+def _collect_lock_model(ctx, scope):
+    """Per-function direct lock sets, call positions, and raw sites."""
+    sites = []  # (file, site, qualified_name)
+    funcs = {}  # (cls, name) -> [FunctionDecl]; name -> [...] fallback
+    for f in ctx.files:
+        if scope and not f.scoped_path.startswith(scope):
+            continue
+        for fn in f.model.functions:
+            funcs.setdefault((fn.cls, fn.name), []).append((f, fn))
+            funcs.setdefault(fn.name, []).append((f, fn))
+        for s in f.model.locks:
+            if f.allowed(s.line, "lock-order"):
+                continue
+            sites.append((f, s, _qualified_lock(s)))
+    return sites, funcs
+
+
+def _function_closure(sites, funcs):
+    """Locks acquired anywhere inside each function, including through
+    helper calls (fixpoint over the name-resolved call graph)."""
+    direct = {}  # id(FunctionDecl) -> set of lock names
+    fn_of = {}
+    for _f, s, name in sites:
+        if s.func is None:
+            continue
+        direct.setdefault(id(s.func), set()).add(name)
+        fn_of[id(s.func)] = s.func
+    closure = {k: set(v) for k, v in direct.items()}
+    all_fns = []
+    for key, lst in funcs.items():
+        if isinstance(key, tuple):
+            for f, fn in lst:
+                all_fns.append((f, fn))
+    for _ in range(3):  # bounded fixpoint: call chains deeper than 3 are rare
+        changed = False
+        for f, fn in all_fns:
+            acc = closure.setdefault(id(fn), set())
+            for callee in fn.calls:
+                for key in ((fn.cls, callee), callee):
+                    for cf, cfn in funcs.get(key, []):
+                        got = closure.get(id(cfn))
+                        if got and not got <= acc:
+                            acc |= got
+                            changed = True
+                    if funcs.get(key):
+                        break
+        if not changed:
+            break
+    return closure
+
+
+def rule_lock_order(ctx, scope="src/"):
+    """Static lock-order analysis: build the lock-acquisition graph from
+    util::MutexLock (and lock_guard/unique_lock/scoped_lock) sites —
+    including acquisitions reached through helper functions — and fail on
+    any cycle. Two code paths that nest the same two mutexes in opposite
+    orders deadlock the day they race; the cycle is visible statically long
+    before TSan can catch a lucky interleaving."""
+    sites, funcs = _collect_lock_model(ctx, scope)
+    closure = _function_closure(sites, funcs)
+    known_fn_names = {k for k in funcs if isinstance(k, str)}
+
+    edges = {}  # lock_a -> {lock_b: (file, line)}
+    for f, s, held in sites:
+        # Later acquisitions textually inside the holding scope.
+        for g, s2, other in sites:
+            if g is f and s2.func is s.func and \
+                    s.tok < s2.tok <= s.scope_end and other != held:
+                edges.setdefault(held, {}).setdefault(other, (f, s2.line))
+        # Calls to lock-acquiring helpers inside the holding scope.
+        toks = f.tokens
+        j = s.tok + 1
+        while j < min(s.scope_end, len(toks) - 1):
+            t = toks[j]
+            if t.kind == ID and t.text in known_fn_names and \
+                    toks[j + 1].text == "(":
+                for key in ((s.func.cls if s.func else "", t.text), t.text):
+                    resolved = funcs.get(key, [])
+                    if resolved:
+                        for _cf, cfn in resolved:
+                            for other in closure.get(id(cfn), ()):
+                                if other != held:
+                                    edges.setdefault(held, {}).setdefault(
+                                        other, (f, t.line))
+                        break
+            j += 1
+        # Direct re-acquisition of a lock already held: self-deadlock.
+        for g, s2, other in sites:
+            if g is f and s2.func is s.func and \
+                    s.tok < s2.tok <= s.scope_end and other == held:
+                edges.setdefault(held, {}).setdefault(
+                    held + " (re-entry)", (f, s2.line))
+
+    # Cycle detection: report every edge that lies on some cycle.
+    out = []
+    reported = set()
+    for start in sorted(edges):
+        path = []
+
+        def dfs(node, trail):
+            if node in trail:
+                cyc = trail[trail.index(node):] + [node]
+                for a, b in zip(cyc, cyc[1:]):
+                    site = edges.get(a, {}).get(b)
+                    if site is None:
+                        continue
+                    key = (a, b)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    fobj, line = site
+                    out.append(Violation(
+                        fobj.path, line, "lock-order",
+                        f"lock-order cycle: acquiring '{b}' while holding "
+                        f"'{a}' closes the cycle "
+                        f"[{' -> '.join(cyc)}] — fix the nesting order or "
+                        "suppress with a reason if the objects can never "
+                        "alias"))
+                return
+            if len(trail) > 24:
+                return
+            for nxt in sorted(edges.get(node, {})):
+                dfs(nxt.replace(" (re-entry)", ""), trail + [node])
+
+        dfs(start, path)
+    # Self-deadlocks (A -> A re-entry edges).
+    for a, targets in sorted(edges.items()):
+        for b, (fobj, line) in sorted(targets.items()):
+            if b == a + " (re-entry)" and (a, b) not in reported:
+                reported.add((a, b))
+                out.append(Violation(
+                    fobj.path, line, "lock-order",
+                    f"'{a}' re-acquired while already held in the same "
+                    "scope: self-deadlock (std::mutex is not recursive)"))
+    return out
+
+
+def _confined_members(ctx):
+    """class name -> set of members annotated P2P_EXTERNALLY_SYNCHRONIZED
+    (simulation-thread-confined / publisher-confined state)."""
+    confined = {}
+    for f in ctx.files:
+        for c in f.model.classes:
+            for m in c.members:
+                if "P2P_EXTERNALLY_SYNCHRONIZED" in m.annotations:
+                    confined.setdefault(c.name, set()).add(m.name)
+    return confined
+
+
+def rule_thread_confinement(ctx, scope="src/"):
+    """Thread-confinement checking: members marked
+    P2P_EXTERNALLY_SYNCHRONIZED are mutated without locks because their
+    owner is confined to the simulation thread (or to the publisher).
+    Capturing such a member into a lambda handed to
+    ThreadPool::parallel_for* / submit moves it onto pool workers, where
+    the confinement argument (and the annotation's whole justification)
+    evaporates. The member list resolves across files, so a lambda in the
+    .cpp sees annotations from the paired header."""
+    confined = _confined_members(ctx)
+    out = []
+    for f in ctx.files:
+        if scope and not f.scoped_path.startswith(scope):
+            continue
+        for pl in f.model.pool_lambdas:
+            cls = pl.func.cls if pl.func is not None else ""
+            members = confined.get(cls)
+            if not members:
+                continue
+            lo, hi = pl.body
+            used = sorted({t.text for t in f.tokens[lo:hi + 1]
+                           if t.kind == ID and t.text in members})
+            if used:
+                out.append(Violation(
+                    f.path, pl.line, "thread-confinement",
+                    f"lambda passed to ThreadPool::{pl.call} captures "
+                    f"confined member(s) {', '.join(used)} of {cls}: "
+                    "P2P_EXTERNALLY_SYNCHRONIZED declares simulation-thread "
+                    "confinement, which pool workers break — pass the data "
+                    "through locals/spans, or annotate the real "
+                    "synchronization"))
+    return out

@@ -1,0 +1,262 @@
+"""Determinism rules: wall-clock/ambient randomness, unordered iteration,
+and floating-point accumulation over nondeterministic orders."""
+
+import re
+
+from ..lexer import ID
+from ..model import Violation
+from .common import type_head
+
+_BANNED_IDS = {
+    "random_device": "std::random_device",
+    "srand": "srand",
+    "system_clock": "wall-clock std::chrono clock",
+    "high_resolution_clock": "wall-clock std::chrono clock",
+    "steady_clock": "wall-clock std::chrono clock",
+    "gettimeofday": "wall-clock syscall",
+    "clock_gettime": "wall-clock syscall",
+    "localtime": "wall-clock syscall",
+    "gmtime": "wall-clock syscall",
+}
+
+
+def rule_no_wallclock_rng(f, ctx):
+    """Simulation code must use virtual time and seeded util::Rng only: no
+    std::random_device / rand / wall-clock reads. Token-level, so a banned
+    name inside a string literal or comment never fires (a regex blind spot
+    of the v1 lint)."""
+    out = []
+    toks = f.tokens
+    for i, t in enumerate(toks):
+        if t.kind != ID:
+            continue
+        what = _BANNED_IDS.get(t.text)
+        if what is None and t.text == "rand":
+            # std::rand or a bare call; `rand` as a substring of another
+            # identifier can't happen at token level.
+            prev = toks[i - 1].text if i > 0 else ""
+            if prev == "::" or (i + 1 < len(toks) and toks[i + 1].text == "("):
+                what = "std::rand"
+        if what is None and t.text == "time" and i + 2 < len(toks) and \
+                toks[i + 1].text == "(" and \
+                toks[i + 2].text in ("NULL", "nullptr", "0"):
+            what = "time()"
+        if what is not None:
+            out.append(Violation(
+                f.path, t.line, "no-wallclock-rng",
+                f"{what}: simulation code draws randomness from seeded "
+                "util::Rng and time from the event queue only "
+                "(reproducibility from a single 64-bit seed)"))
+    return out
+
+
+_UNORD_RE = re.compile(r"\bunordered_(map|set|multimap|multiset)\b")
+
+
+def unordered_names(f):
+    """(direct, containing): names whose declared type is an unordered
+    container (`direct` iterates nondeterministically) or holds one behind
+    another container (`containing`, e.g. vector<unordered_map<...>> —
+    subscripting yields an unordered object). Resolved from the declaration
+    table, so member types land here whether declared in this file or (via
+    the rule's header merge) in the paired header."""
+    direct, containing = set(), set()
+    for d in f.model.var_decls:
+        if not _UNORD_RE.search(d.type_text):
+            continue
+        if type_head(d.type_text).startswith("unordered_"):
+            direct.add(d.name)
+        else:
+            containing.add(d.name)
+    return direct, containing
+
+
+def propagate_aliases(f, direct, containing):
+    """`auto& x = M[...]` where M holds unordered values, `auto& x = U`,
+    and `auto it = U.find(...)` (the iterator's ->second may itself be a
+    container)."""
+    toks = f.tokens
+    n = len(toks)
+    for _ in range(2):
+        for i in range(n - 3):
+            if toks[i].text != "auto":
+                continue
+            j = i + 1
+            if j < n and toks[j].text in ("&", "*", "&&"):
+                j += 1
+            if j + 2 >= n or toks[j].kind != ID or toks[j + 1].text != "=":
+                continue
+            alias, src = toks[j].text, toks[j + 2].text
+            k = j + 3
+            kind = toks[k].text if k < n else ""
+            if kind == "[" and src in containing:
+                direct.add(alias)
+            elif kind == ";" and src in direct:
+                direct.add(alias)
+            elif kind == "." and k + 1 < n and toks[k + 1].text == "find" \
+                    and src in direct:
+                containing.add(alias)
+
+
+_ALGOS = {"accumulate", "for_each", "reduce", "transform_reduce"}
+
+
+def rule_no_unordered_iteration(f, ctx):
+    """No iteration over unordered containers: bucket order is not part of
+    any contract, and floating-point accumulation over it is the classic
+    silent nondeterminism. Iterate a sorted snapshot instead. Covers
+    range-for, iterator walks, and begin() handed to <algorithm> loops;
+    member types resolve across the paired header."""
+    direct, containing = unordered_names(f)
+    if f.path.endswith((".cpp", ".cc", ".cxx")):
+        for g in ctx.header_partner(f):
+            hd, hc = unordered_names(g)
+            direct |= hd
+            containing |= hc
+    propagate_aliases(f, direct, containing)
+    if not direct and not containing:
+        return []
+    out = []
+    for rf in f.model.range_fors:
+        name = rf.expr
+        hit = name in direct or (
+            name.endswith("->second") and name[:-len("->second")] in containing)
+        if hit:
+            out.append(Violation(
+                f.path, rf.line, "no-unordered-iteration",
+                f"iteration over unordered container '{name}': bucket order "
+                "is nondeterministic — iterate a sorted snapshot, or justify "
+                "with a p2plint allow comment"))
+    for it in f.model.iter_fors:
+        if it.name in direct:
+            out.append(Violation(
+                f.path, it.line, "no-unordered-iteration",
+                f"iterator walk over unordered container '{it.name}': bucket "
+                "order is nondeterministic — iterate a sorted snapshot, or "
+                "justify with a p2plint allow comment"))
+    # Iteration hidden behind an algorithm: accumulate(U.begin(), ...).
+    toks = f.tokens
+    for i in range(len(toks) - 4):
+        if toks[i].kind == ID and toks[i].text in _ALGOS and \
+                toks[i + 1].text == "(":
+            j = i + 2
+            depth = 1
+            while j + 2 < len(toks) and depth > 0:
+                if toks[j].text == "(":
+                    depth += 1
+                elif toks[j].text == ")":
+                    depth -= 1
+                elif toks[j].kind == ID and toks[j].text in direct and \
+                        toks[j + 1].text == "." and \
+                        toks[j + 2].text in ("begin", "cbegin"):
+                    out.append(Violation(
+                        f.path, toks[j].line, "no-unordered-iteration",
+                        f"'{toks[i].text}' walks unordered container "
+                        f"'{toks[j].text}': the algorithm visits buckets in "
+                        "hash order — iterate a sorted snapshot instead"))
+                    break
+                j += 1
+    return out
+
+
+_PTR_ORDERED_RE = re.compile(
+    r"\b(set|map|multiset|multimap|priority_queue)\s*<[^,<>]*\*")
+_FLOAT_HEADS = {"double", "float"}
+
+
+def _float_names(f):
+    names = set()
+    for d in f.model.var_decls:
+        if type_head(d.type_text) in _FLOAT_HEADS:
+            names.add(d.name)
+    return names
+
+
+def _body_token_range(rf):
+    return rf.body
+
+
+def rule_float_determinism(f, ctx):
+    """Floating-point accumulation whose loop order derives from an
+    unordered container or a pointer comparison: the sum's rounding depends
+    on iteration order, so logically identical states produce bitwise-
+    different totals (the bug class PR 4 fixed in run_indirect_exchange).
+    Dataflow the old regex lint could not see: a vector *filled from* an
+    unordered container inherits bucket order until it is sorted, and a
+    set/map keyed on pointers iterates in allocation-address order."""
+    direct, _containing = unordered_names(f)
+    if f.path.endswith((".cpp", ".cc", ".cxx")):
+        for g in ctx.header_partner(f):
+            hd, _ = unordered_names(g)
+            direct |= hd
+    floats = _float_names(f)
+    if f.path.endswith((".cpp", ".cc", ".cxx")):
+        for g in ctx.header_partner(f):
+            floats |= _float_names(g)
+    toks = f.tokens
+    n = len(toks)
+
+    # Pointer-ordered containers: set/map/priority_queue keyed on a pointer.
+    ptr_ordered = {d.name for d in f.model.var_decls
+                   if _PTR_ORDERED_RE.search(d.type_text)}
+    for g in (ctx.header_partner(f) if f.path.endswith((".cpp", ".cc", ".cxx"))
+              else []):
+        ptr_ordered |= {d.name for d in g.model.var_decls
+                        if _PTR_ORDERED_RE.search(d.type_text)}
+
+    # Bucket-order taint: `for (... : U) v.push_back(...)` leaves v in hash
+    # order; a later sort(v...) clears the taint.
+    tainted = {}  # name -> taint source description
+    for rf in f.model.range_fors:
+        if rf.expr not in direct:
+            continue
+        lo, hi = _body_token_range(rf)
+        for i in range(lo, min(hi, n) - 2):
+            if toks[i].kind == ID and toks[i + 1].text == "." and \
+                    toks[i + 2].text in ("push_back", "emplace_back"):
+                tainted.setdefault(
+                    toks[i].text,
+                    f"filled from unordered '{rf.expr}' at line {rf.line}")
+    if tainted:
+        for i in range(n - 2):
+            if toks[i].kind == ID and toks[i].text in ("sort", "stable_sort") \
+                    and toks[i + 1].text == "(":
+                j = i + 2
+                depth = 1
+                while j < n and depth > 0:
+                    if toks[j].text == "(":
+                        depth += 1
+                    elif toks[j].text == ")":
+                        depth -= 1
+                    elif toks[j].kind == ID:
+                        tainted.pop(toks[j].text, None)
+                    j += 1
+
+    out = []
+    for rf in f.model.range_fors:
+        source = None
+        if rf.expr in ptr_ordered:
+            source = "iterates in pointer-comparison (allocation-address) order"
+        elif rf.expr in tainted:
+            source = f"is bucket-ordered ({tainted[rf.expr]}; never sorted)"
+        if source is None:
+            continue
+        lo, hi = _body_token_range(rf)
+        for i in range(lo, min(hi, n) - 1):
+            t = toks[i]
+            acc = None
+            if t.kind == ID and toks[i + 1].text == "+=":
+                acc = t.text
+            elif t.kind == ID and toks[i + 1].text == "=" and \
+                    i + 3 < n and toks[i + 2].text == t.text and \
+                    toks[i + 3].text == "+":
+                acc = t.text
+            if acc is not None and acc in floats:
+                out.append(Violation(
+                    f.path, rf.line, "float-determinism",
+                    f"floating-point accumulation into '{acc}' over "
+                    f"'{rf.expr}', which {source}: the rounding of the sum "
+                    "depends on iteration order — accumulate over a "
+                    "deterministic (sorted-by-value) order instead"))
+                break
+    return out
