@@ -45,7 +45,8 @@ std::uint32_t largest_group(std::span<const std::uint32_t> assignment,
 /// A small random crawl churn: add links, remove existing links, add
 /// external links. Deterministic from `seed`; removals are deduplicated so
 /// the batch never removes the same link instance twice.
-graph::WebGraph apply_random_update(const graph::WebGraph& g, std::uint64_t seed) {
+std::vector<graph::LinkUpdate> random_updates(const graph::WebGraph& g,
+                                              std::uint64_t seed) {
   util::Rng rng(util::mix64(seed ^ 0x6b79a1d30c52f8e7ULL));
   const auto n = static_cast<std::uint64_t>(g.num_pages());
   std::vector<graph::LinkUpdate> updates;
@@ -79,7 +80,7 @@ graph::WebGraph apply_random_update(const graph::WebGraph& g, std::uint64_t seed
   if (updates.empty()) {
     updates.push_back(graph::LinkUpdate::add_external(g.url(0)));
   }
-  return graph::apply_updates(g, updates);
+  return updates;
 }
 
 }  // namespace
@@ -454,13 +455,27 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
       }
       case OpKind::kGraphUpdate: {
         const auto ranks = sim->global_ranks();
-        graph::WebGraph updated = apply_random_update(g, op.seed);
-        std::vector<double> carried = engine::carry_ranks(g, ranks, updated);
+        auto delta = graph::apply_updates_delta(g, random_updates(g, op.seed));
+        auto new_assignment = partitioner->partition(delta.graph, s.k);
+        // Incremental fast path (DESIGN.md §14): a link-only splice on an
+        // exact-mode worklist scenario with unchanged ownership carries the
+        // frontier across the swap instead of re-sweeping densely. Bitwise-
+        // identical to the cold path, which --full-graph-rebuild forces.
+        const bool incremental = !opts_.full_graph_rebuild && s.worklist &&
+                                 delta.incremental &&
+                                 new_assignment == assignment;
+        engine::DistributedRanking::WorklistCarrySet carry;
+        if (incremental) carry = sim->export_worklist_carry();
+        // PageIds are preserved across a splice, so the rank vector carries
+        // verbatim; only a page-adding rebuild needs carry_ranks' remap.
+        std::vector<double> carried =
+            delta.incremental ? std::vector<double>(ranks.begin(), ranks.end())
+                              : engine::carry_ranks(g, ranks, delta.graph);
         offset += sim->now();
         checker.reset();  // references sim
         sim.reset();      // references g
-        g = std::move(updated);
-        assignment = partitioner->partition(g, s.k);
+        g = std::move(delta.graph);
+        assignment = std::move(new_assignment);
         reference = engine::open_system_reference(g, opts_.alpha, pool_);
         if (opts_.break_skip_refresh) {
           eo.fault_skip_refresh_group = largest_group(assignment, s.k);
@@ -468,7 +483,12 @@ ScenarioResult ScenarioRunner::run(const Scenario& s) {
         sim = std::make_unique<engine::DistributedRanking>(g, assignment, s.k,
                                                            eo, pool_);
         sim->set_reference(reference);
-        sim->warm_start(carried);
+        if (incremental) {
+          sim->warm_start_incremental(carried, std::move(carry),
+                                      delta.in_changed, delta.degree_changed);
+        } else {
+          sim->warm_start(carried);
+        }
         state_consistent = false;
         checkpoint_consistent = false;
         // The monotone/bound premises are gone (the paper's Section 4.3

@@ -50,6 +50,12 @@ struct RunnerOptions {
   /// on rejoin — the ledger cross-check MUST flag the run (recovery
   /// scenarios only; a no-op otherwise).
   bool break_supervisor_ledger = false;
+  /// Force every kGraphUpdate through the cold rebuild-then-warm-start path
+  /// even when the delta qualifies for the incremental frontier carry
+  /// (link-only, worklist scenario, assignment unchanged). The determinism
+  /// gates diff runs with this on and off: at ε = 0 the two paths must
+  /// produce bitwise-identical results.
+  bool full_graph_rebuild = false;
   double alpha = 0.85;
   /// Optional observability sinks (DESIGN.md §11). Pure observation: a run
   /// with and without them produces bitwise-identical results. The runner

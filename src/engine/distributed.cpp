@@ -333,6 +333,75 @@ void DistributedRanking::warm_start(std::span<const double> global_ranks) {
   publish_snapshot();
 }
 
+DistributedRanking::WorklistCarrySet DistributedRanking::export_worklist_carry()
+    const {
+  WorklistCarrySet carry;
+  carry.groups.reserve(groups_.size());
+  for (const auto& grp : groups_) {
+    carry.groups.push_back(grp->export_worklist_carry());
+  }
+  return carry;
+}
+
+void DistributedRanking::warm_start_incremental(
+    std::span<const double> global_ranks, WorklistCarrySet carry,
+    std::span<const graph::PageId> changed_rows,
+    std::span<const graph::PageId> changed_sources) {
+  if (global_ranks.size() != graph_.num_pages()) {
+    throw std::invalid_argument(
+        "DistributedRanking: warm_start_incremental size mismatch");
+  }
+  // A carry from an engine with a different group count cannot be aligned;
+  // treat every group as fallback (degrades to warm_start semantics).
+  const bool carry_usable = carry.groups.size() == groups_.size();
+
+  // Bucket the delta's global page ids into per-group local row indices.
+  const auto assignment = current_assignment();
+  std::vector<std::vector<std::uint32_t>> rows_local(groups_.size());
+  std::vector<std::vector<std::uint32_t>> sources_local(groups_.size());
+  const auto bucket = [&](std::span<const graph::PageId> pages,
+                          std::vector<std::vector<std::uint32_t>>& out) {
+    for (const graph::PageId p : pages) {
+      const std::uint32_t gi = assignment.at(p);
+      const auto members = groups_[gi]->members();
+      const auto it = std::lower_bound(members.begin(), members.end(), p);
+      assert(it != members.end() && *it == p);
+      out[gi].push_back(static_cast<std::uint32_t>(it - members.begin()));
+    }
+  };
+  bucket(changed_rows, rows_local);
+  bucket(changed_sources, sources_local);
+
+  // Install ranks + frontier everywhere *before* re-priming X, so
+  // refresh_x's forcing-dirty marks land on primed state.
+  std::vector<double> local;
+  for (std::uint32_t i = 0; i < groups_.size(); ++i) {
+    const auto members = groups_[i]->members();
+    local.clear();
+    local.reserve(members.size());
+    for (const graph::PageId p : members) local.push_back(global_ranks[p]);
+    if (carry_usable) {
+      groups_[i]->install_worklist_carry(local, std::move(carry.groups[i]),
+                                         rows_local[i], sources_local[i]);
+    } else {
+      groups_[i]->set_ranks(local);
+    }
+  }
+  // X re-prime: identical to warm_start (state transfer, not channel sends;
+  // the deliberately broken ranker stays broken).
+  for (std::uint32_t src = 0; src < groups_.size(); ++src) {
+    for (const std::uint32_t dest : groups_[src]->efferent_destinations()) {
+      if (dest == opts_.fault_skip_refresh_group) continue;
+      groups_[dest]->refresh_x(src, groups_[src]->compute_y(dest));
+    }
+  }
+  // Conservative frontier repair: every received X row recomputes next
+  // sweep, covering entries the delta-based marks cannot see (bitwise-0.0
+  // slice values superseding a nonzero pre-swap X).
+  for (auto& grp : groups_) grp->mark_all_received_dirty();
+  publish_snapshot();
+}
+
 void DistributedRanking::pause_group(std::uint32_t group) {
   paused_.at(group) = 1;
 }

@@ -63,6 +63,35 @@ class DistributedRanking {
   /// hold (exactly the paper's Section 4.3 caveat), but convergence does.
   void warm_start(std::span<const double> global_ranks);
 
+  /// Every group's exported worklist frontier, indexed by group. Captured
+  /// on the engine being retired, installed into its successor by
+  /// warm_start_incremental.
+  struct WorklistCarrySet {
+    std::vector<PageGroup::WorklistCarry> groups;
+  };
+
+  /// Snapshot all groups' worklist frontiers for an incremental graph swap.
+  /// Groups without an exportable frontier contribute invalid entries (the
+  /// successor falls back to a dense warm start for those groups only).
+  [[nodiscard]] WorklistCarrySet export_worklist_carry() const;
+
+  /// warm_start for a *link-only* graph splice (graph::apply_updates_delta
+  /// with incremental == true): seeds ranks like warm_start, but also
+  /// installs the predecessor engine's worklist frontiers so converged rows
+  /// stay skipped instead of the whole web re-sweeping densely.
+  /// `changed_rows` / `changed_sources` are the delta's in_changed /
+  /// degree_changed page lists; they re-seed exactly the affected frontier
+  /// rows. Precondition: identical membership and assignment as the engine
+  /// that exported `carry` (the chaos runner guards this); with a mismatched
+  /// carry every group falls back to the dense path, so the call degrades to
+  /// plain warm_start. At worklist ε = 0 the resulting rank trajectory is
+  /// bitwise-identical to rebuild-then-warm_start (DESIGN.md §14, locked by
+  /// test).
+  void warm_start_incremental(std::span<const double> global_ranks,
+                              WorklistCarrySet carry,
+                              std::span<const graph::PageId> changed_rows,
+                              std::span<const graph::PageId> changed_sources);
+
   /// Suspend a ranker: it stops looping until resume_group (the paper's
   /// "sleep for some time, suspend itself as its wish, or even shutdown").
   /// Its last Y values stay in force at its peers. Defined edge cases:

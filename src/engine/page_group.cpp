@@ -166,6 +166,78 @@ void PageGroup::scale_received(std::uint32_t source_group, double factor) {
   }
 }
 
+PageGroup::WorklistCarry PageGroup::export_worklist_carry() const {
+  WorklistCarry carry;
+  if (!worklist_enabled_ || !wl_state_.primed) return carry;
+  // The differ bitmap is a statement about this exact buffer pair; if the
+  // state talks about some other pair the frontier is not exportable.
+  const bool pair_ok =
+      (wl_state_.pair_a == ranks_.data() && wl_state_.pair_b == scratch_.data()) ||
+      (wl_state_.pair_a == scratch_.data() && wl_state_.pair_b == ranks_.data());
+  if (!pair_ok) return carry;
+  carry.valid = true;
+  carry.contrib = wl_state_.contrib;
+  carry.differ = wl_state_.differ;
+  return carry;
+}
+
+bool PageGroup::install_worklist_carry(
+    std::span<const double> ranks, WorklistCarry carry,
+    std::span<const std::uint32_t> changed_rows_local,
+    std::span<const std::uint32_t> changed_sources_local) {
+  const std::size_t dim = members_.size();
+  const std::size_t words = (dim + 63) / 64;
+  // The frontier argument (DESIGN.md §14) needs exact mode: with ε > 0 the
+  // carried contribs embed sub-epsilon drift relative to a fresh prime, so
+  // the bitwise contract with rebuild-then-warm-start would not hold.
+  if (!worklist_enabled_ || wl_opts_.epsilon != 0.0 || !carry.valid ||
+      carry.contrib.size() != dim || carry.differ.size() != words) {
+    set_ranks(ranks);
+    return false;
+  }
+  ranks_.assign(ranks.begin(), ranks.end());
+  scratch_.assign(ranks.begin(), ranks.end());
+  wl_state_.contrib = std::move(carry.contrib);
+  wl_state_.differ = std::move(carry.differ);
+  // Pre-size every derived bitmap exactly as the kernel's own prime does,
+  // so the next sweep's sizing check keeps the installed frontier.
+  wl_state_.dirty.assign(words, 0);
+  wl_state_.src_active.assign(words, 0);
+  wl_state_.forcing_dirty.assign(words, 0);
+  wl_state_.grain_edges.assign(
+      util::ThreadPool::num_grains(dim, matrix_.sweep_grain()), 0);
+  wl_state_.active_grains.clear();
+  wl_state_.primed = true;
+  wl_state_.sweeps_since_dense = 0;
+  wl_state_.pair_a = ranks_.data();
+  wl_state_.pair_b = scratch_.data();
+  // Sources whose 1/d(u) weight changed: their propagated contribution is
+  // stale, so the next sweep's rescan phase must revisit them.
+  for (const std::uint32_t row : changed_sources_local) {
+    assert(row < dim);
+    wl_state_.differ[row >> 6] |= std::uint64_t{1} << (row & 63);
+  }
+  // Rows whose in-neighborhood changed recompute against the new matrix.
+  for (const std::uint32_t row : changed_rows_local) {
+    assert(row < dim);
+    wl_state_.mark_forcing_dirty(row);
+  }
+  return true;
+}
+
+void PageGroup::mark_all_received_dirty() {
+  if (!worklist_enabled_) return;
+  // p2plint: allow(no-unordered-iteration): setting forcing-dirty bits is
+  // idempotent and commutative, so visit order cannot affect state.
+  for (const auto& [source, entries] : received_) {
+    (void)source;
+    for (const auto& [local, value] : entries) {
+      (void)value;
+      wl_state_.mark_forcing_dirty(local);
+    }
+  }
+}
+
 std::size_t PageGroup::solve_to_convergence(double epsilon,
                                             std::size_t max_iterations,
                                             util::ThreadPool& pool) {

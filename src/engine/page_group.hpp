@@ -98,6 +98,43 @@ class PageGroup {
     return wl_state_;
   }
 
+  /// Portable slice of the worklist frontier: the per-source propagated
+  /// contributions and the differ bitmap as of the last completed sweep.
+  /// Together with the rank vector this is everything a successor group
+  /// (same membership, updated links) needs to resume sparse sweeps without
+  /// a dense re-prime (DESIGN.md §14).
+  struct WorklistCarry {
+    bool valid = false;
+    std::vector<double> contrib;
+    std::vector<std::uint64_t> differ;
+  };
+
+  /// Snapshot the frontier for an incremental graph swap. Returns an
+  /// invalid carry when the group is not running a primed worklist on the
+  /// current buffer pair (callers then fall back to a dense warm start).
+  [[nodiscard]] WorklistCarry export_worklist_carry() const;
+
+  /// Adopt rank state plus a predecessor's frontier after a link-only graph
+  /// splice. `changed_sources_local` are local rows whose out-degree (and
+  /// hence contribution weight) changed — they get differ bits so the next
+  /// sweep re-propagates them; `changed_rows_local` are local rows whose
+  /// in-neighborhood changed — they get forcing-dirty bits so they
+  /// recompute. Falls back to set_ranks() (dense re-prime) and returns
+  /// false when the carry does not fit this group or the worklist is not in
+  /// exact mode; returns true when the frontier was installed. Call before
+  /// any X re-priming so refresh_x() can record its own dirty rows.
+  bool install_worklist_carry(std::span<const double> ranks, WorklistCarry carry,
+                              std::span<const std::uint32_t> changed_rows_local,
+                              std::span<const std::uint32_t> changed_sources_local);
+
+  /// Force every row with any received X entry to recompute next sweep.
+  /// After an incremental swap the fresh group's received_ map is re-primed
+  /// from full Y slices; entries that land at bitwise 0.0 produce no
+  /// refresh_x() delta yet may still supersede a nonzero pre-swap X, so the
+  /// conservative mark keeps the frontier sound (recomputing a consistent
+  /// row is bitwise-idempotent).
+  void mark_all_received_dirty();
+
   /// DPR1 body: solve R = A·R + βE + X to `epsilon`, warm-started from the
   /// current R. Returns inner iterations used.
   std::size_t solve_to_convergence(double epsilon, std::size_t max_iterations,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -19,7 +20,15 @@ PageId GraphBuilder::add_page(std::string_view url, std::string_view site) {
 
 PageId GraphBuilder::intern(std::string_view url, std::string_view site) {
   const auto it = url_to_page_.find(std::string(url));
-  if (it != url_to_page_.end()) return it->second;
+  if (it != url_to_page_.end()) {
+    if (site_names_[page_sites_[it->second]] != site) {
+      throw std::invalid_argument("GraphBuilder: page '" + std::string(url) +
+                                  "' re-added with conflicting site '" +
+                                  std::string(site) + "' (was '" +
+                                  site_names_[page_sites_[it->second]] + "')");
+    }
+    return it->second;
+  }
   if (urls_.size() >= static_cast<std::size_t>(kInvalidPage)) {
     throw std::length_error("GraphBuilder: page id space exhausted");
   }
@@ -57,7 +66,17 @@ void GraphBuilder::add_link_to_url(PageId from, std::string_view to_url) {
 
 void GraphBuilder::add_external_link(PageId from, std::uint32_t count) {
   assert(from < urls_.size());
+  if (count > std::numeric_limits<std::uint32_t>::max() - external_out_[from]) {
+    throw std::overflow_error("GraphBuilder: external out-degree overflow at '" +
+                              urls_[from] + "'");
+  }
   external_out_[from] += count;
+}
+
+std::optional<PageId> GraphBuilder::find(std::string_view url) const {
+  const auto it = url_to_page_.find(std::string(url));
+  if (it == url_to_page_.end()) return std::nullopt;
+  return it->second;
 }
 
 WebGraph GraphBuilder::build(bool dedup_links) && {
@@ -67,25 +86,32 @@ WebGraph GraphBuilder::build(bool dedup_links) && {
     if (it != url_to_page_.end()) {
       links_.emplace_back(from, it->second);
     } else {
+      // Deferred externals bypass add_external_link, so repeat its guard.
+      if (external_out_[from] == std::numeric_limits<std::uint32_t>::max()) {
+        throw std::overflow_error(
+            "GraphBuilder: external out-degree overflow at '" + urls_[from] + "'");
+      }
       ++external_out_[from];
     }
   }
   unresolved_links_.clear();
 
+  // Canonical form (web_graph.hpp): rows sorted by (from, to) regardless of
+  // dedup, so splice/streaming paths can reproduce these arrays bitwise.
+  std::sort(links_.begin(), links_.end());
   if (dedup_links) {
-    std::sort(links_.begin(), links_.end());
     links_.erase(std::unique(links_.begin(), links_.end()), links_.end());
   }
 
   const std::size_t n = urls_.size();
   WebGraph g;
-  g.urls_ = std::move(urls_);
-  g.sites_ = std::move(page_sites_);
-  g.site_names_ = std::move(site_names_);
+  g.table_ = WebGraph::make_table(std::move(urls_), std::move(site_names_),
+                                  std::move(page_sites_));
   g.external_out_ = std::move(external_out_);
   for (const auto e : g.external_out_) g.total_external_ += e;
 
-  // Out CSR via counting sort on source.
+  // Out CSR: links_ is sorted by source already, so a counting scatter
+  // preserves per-row target order.
   g.out_offsets_.assign(n + 1, 0);
   for (const auto& [from, to] : links_) {
     (void)to;
@@ -100,7 +126,8 @@ WebGraph GraphBuilder::build(bool dedup_links) && {
     }
   }
 
-  // In CSR via counting sort on target.
+  // In CSR via counting sort on target; scanning links_ in (from, to) order
+  // leaves each in-row's sources ascending.
   g.in_offsets_.assign(n + 1, 0);
   for (const auto& [from, to] : links_) {
     (void)from;
@@ -116,21 +143,6 @@ WebGraph GraphBuilder::build(bool dedup_links) && {
   }
   links_.clear();
   links_.shrink_to_fit();
-
-  // Site -> pages CSR.
-  const std::size_t num_sites = g.site_names_.size();
-  g.site_offsets_.assign(num_sites + 1, 0);
-  for (const SiteId s : g.sites_) ++g.site_offsets_[s + 1];
-  for (std::size_t i = 0; i < num_sites; ++i) g.site_offsets_[i + 1] += g.site_offsets_[i];
-  g.site_pages_.resize(n);
-  {
-    std::vector<std::uint64_t> cursor(g.site_offsets_.begin(), g.site_offsets_.end() - 1);
-    for (PageId p = 0; p < n; ++p) g.site_pages_[cursor[g.sites_[p]]++] = p;
-  }
-
-  // URL index over the now-stable string storage.
-  g.url_index_.reserve(n);
-  for (PageId p = 0; p < n; ++p) g.url_index_.emplace(g.urls_[p], p);
 
   return g;
 }

@@ -5,9 +5,14 @@
 // The builder therefore interns pages eagerly and defers link resolution to
 // build(): a link whose target URL was never interned as a page becomes an
 // *external* link (its rank will leak out of the open system).
+//
+// build() emits the canonical CSR form documented in web_graph.hpp: out-link
+// rows sorted by target, in-link rows derived from them. For graphs too
+// large to buffer every edge in links_, see StreamingGraphBuilder.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,7 +26,10 @@ class GraphBuilder {
  public:
   /// Intern a page by URL; the site is derived with site_of(). Returns the
   /// existing id if the URL was already interned (idempotent — crawlers
-  /// revisit pages).
+  /// revisit pages). Throws std::invalid_argument if the URL was previously
+  /// interned under a *different* site: the two records describe
+  /// irreconcilable page identities and silently keeping either one would
+  /// corrupt site-granularity partitioning.
   PageId add_page(std::string_view url);
 
   /// Intern a page with an explicit site label (synthetic generators).
@@ -35,7 +43,14 @@ class GraphBuilder {
   void add_link_to_url(PageId from, std::string_view to_url);
 
   /// Link to a target known to be uncrawled; only the count is kept.
+  /// Throws std::overflow_error if the page's external tally would exceed
+  /// the uint32 range (mirrors intern()'s PageId-exhaustion guard).
   void add_external_link(PageId from, std::uint32_t count = 1);
+
+  /// Id of an already-interned URL, if any. Lets loaders distinguish "page
+  /// already declared" from "new page" without triggering intern()'s
+  /// conflict check.
+  [[nodiscard]] std::optional<PageId> find(std::string_view url) const;
 
   [[nodiscard]] std::size_t num_pages() const noexcept { return urls_.size(); }
 

@@ -1,11 +1,16 @@
 #include "graph/graph_updates.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <stdexcept>
+#include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "graph/graph_builder.hpp"
+#include "graph/url.hpp"
 
 namespace p2prank::graph {
 
@@ -25,7 +30,255 @@ LinkUpdate LinkUpdate::remove_external(std::string from) {
   return {Kind::kRemoveExternal, std::move(from), {}};
 }
 
+namespace {
+
+/// Net effect of an update batch, keyed for sorted-merge splicing.
+struct CompiledDelta {
+  /// (from, to) -> net multiplicity change; zero-net entries are dropped.
+  std::map<std::pair<PageId, PageId>, long long> links;
+  /// from -> net external-count change; zero-net entries are dropped.
+  std::map<PageId, long long> externals;
+  /// Appended after existing pages, in first-mention order.
+  std::vector<std::string> new_pages;
+};
+
+/// Replay the batch in order, tracking effective counts so the sequential
+/// error semantics match the rebuild oracle exactly: a removal is legal iff
+/// base count plus the net delta accumulated *so far* is positive.
+CompiledDelta compile_updates(const WebGraph& g,
+                              std::span<const LinkUpdate> updates) {
+  CompiledDelta d;
+  std::unordered_map<std::string, PageId> new_index;
+  const auto n_old = static_cast<PageId>(g.num_pages());
+
+  auto resolve = [&](const std::string& url) -> PageId {
+    if (const auto found = g.find(url)) return *found;
+    const auto it = new_index.find(url);
+    if (it != new_index.end()) return it->second;
+    throw std::invalid_argument("apply_updates: unknown page '" + url + "'");
+  };
+  auto base_link_count = [&](PageId u, PageId v) -> long long {
+    const auto row = g.out_links(u);
+    const auto [lo, hi] = std::equal_range(row.begin(), row.end(), v);
+    return hi - lo;
+  };
+  auto base_external = [&](PageId u) -> long long {
+    return g.external_out_degree(u);
+  };
+
+  for (const auto& up : updates) {
+    switch (up.kind) {
+      case LinkUpdate::Kind::kAddPage: {
+        if (!g.find(up.from_url) && !new_index.contains(up.from_url)) {
+          if (n_old + d.new_pages.size() >= static_cast<std::size_t>(kInvalidPage)) {
+            throw std::length_error("apply_updates: page id space exhausted");
+          }
+          new_index.emplace(up.from_url,
+                            static_cast<PageId>(n_old + d.new_pages.size()));
+          d.new_pages.push_back(up.from_url);
+        }
+        break;
+      }
+      case LinkUpdate::Kind::kAddLink: {
+        const PageId u = resolve(up.from_url);
+        const PageId v = resolve(up.to_url);
+        ++d.links[{u, v}];
+        break;
+      }
+      case LinkUpdate::Kind::kRemoveLink: {
+        const PageId u = resolve(up.from_url);
+        const PageId v = resolve(up.to_url);
+        const auto it = d.links.find({u, v});
+        const long long net = it != d.links.end() ? it->second : 0;
+        if (base_link_count(u, v) + net <= 0) {
+          throw std::invalid_argument("apply_updates: link not present: " +
+                                      up.from_url + " -> " + up.to_url);
+        }
+        --d.links[{u, v}];
+        break;
+      }
+      case LinkUpdate::Kind::kAddExternal: {
+        const PageId u = resolve(up.from_url);
+        const auto it = d.externals.find(u);
+        const long long net = it != d.externals.end() ? it->second : 0;
+        if (base_external(u) + net >=
+            std::numeric_limits<std::uint32_t>::max()) {
+          throw std::overflow_error(
+              "apply_updates: external out-degree overflow at " + up.from_url);
+        }
+        ++d.externals[u];
+        break;
+      }
+      case LinkUpdate::Kind::kRemoveExternal: {
+        const PageId u = resolve(up.from_url);
+        const auto it = d.externals.find(u);
+        const long long net = it != d.externals.end() ? it->second : 0;
+        if (base_external(u) + net <= 0) {
+          throw std::invalid_argument("apply_updates: no external link at " +
+                                      up.from_url);
+        }
+        --d.externals[u];
+        break;
+      }
+    }
+  }
+
+  std::erase_if(d.links, [](const auto& kv) { return kv.second == 0; });
+  std::erase_if(d.externals, [](const auto& kv) { return kv.second == 0; });
+  return d;
+}
+
+}  // namespace
+
+/// Splices a compiled delta against an existing graph's CSR arrays. Friend
+/// of WebGraph; untouched rows copy verbatim, so the output is canonical
+/// (web_graph.hpp) whenever the input is.
+class GraphSplicer {
+ public:
+  static WebGraph splice(const WebGraph& g, CompiledDelta&& d) {
+    const std::size_t n_old = g.num_pages();
+    const std::size_t n_new = n_old + d.new_pages.size();
+    WebGraph out;
+
+    // Externals: copy, patch, re-total. compile_updates() bounds every
+    // effective count to [0, UINT32_MAX].
+    out.external_out_.assign(n_new, 0);
+    std::copy(g.external_out_.begin(), g.external_out_.end(),
+              out.external_out_.begin());
+    for (const auto& [u, net] : d.externals) {
+      out.external_out_[u] =
+          static_cast<std::uint32_t>(out.external_out_[u] + net);
+    }
+    for (const auto e : out.external_out_) out.total_external_ += e;
+
+    // Out-CSR keyed (from, to) — the delta map's native order.
+    {
+      std::vector<std::tuple<PageId, PageId, long long>> delta;
+      delta.reserve(d.links.size());
+      for (const auto& [edge, net] : d.links) {
+        delta.emplace_back(edge.first, edge.second, net);
+      }
+      splice_axis(
+          n_new, [&g](PageId u) { return g.out_links(u); }, delta,
+          g.num_links(), out.out_offsets_, out.out_targets_);
+    }
+
+    // In-CSR: regroup by (to, from); the re-sort restores ascending-source
+    // rows, matching the canonical derivation from sorted out-rows.
+    {
+      std::vector<std::tuple<PageId, PageId, long long>> delta;
+      delta.reserve(d.links.size());
+      for (const auto& [edge, net] : d.links) {
+        delta.emplace_back(edge.second, edge.first, net);
+      }
+      std::sort(delta.begin(), delta.end());
+      splice_axis(
+          n_new, [&g](PageId v) { return g.in_links(v); }, delta,
+          g.num_links(), out.in_offsets_, out.in_sources_);
+    }
+
+    if (d.new_pages.empty()) {
+      // Link-only delta: the page-identity state is unchanged — share it.
+      out.table_ = g.table_;
+    } else {
+      std::vector<std::string> urls;
+      urls.reserve(n_new);
+      std::vector<std::string> site_names;
+      std::vector<SiteId> sites;
+      sites.reserve(n_new);
+      std::unordered_map<std::string, SiteId> site_index;
+      if (g.table_ != nullptr) {
+        urls = g.table_->urls;
+        site_names = g.table_->site_names;
+        sites = g.table_->sites;
+        for (SiteId s = 0; s < site_names.size(); ++s) {
+          site_index.emplace(site_names[s], s);
+        }
+      }
+      for (auto& url : d.new_pages) {
+        const std::string site(site_of(url));
+        const auto [it, inserted] =
+            site_index.emplace(site, static_cast<SiteId>(site_names.size()));
+        if (inserted) site_names.push_back(site);
+        sites.push_back(it->second);
+        urls.push_back(std::move(url));
+      }
+      out.table_ = WebGraph::make_table(std::move(urls), std::move(site_names),
+                                        std::move(sites));
+    }
+    return out;
+  }
+
+ private:
+  /// Merge sorted per-row deltas into one CSR axis. `delta` is sorted by
+  /// (row, id); a row with no delta entries copies verbatim from `base_row`.
+  template <typename BaseRow>
+  static void splice_axis(
+      std::size_t n_new, const BaseRow& base_row,
+      const std::vector<std::tuple<PageId, PageId, long long>>& delta,
+      std::size_t base_total, std::vector<std::uint64_t>& offsets,
+      std::vector<PageId>& elems) {
+    offsets.assign(n_new + 1, 0);
+    elems.reserve(base_total + delta.size());
+    std::size_t di = 0;
+    for (PageId row = 0; row < n_new; ++row) {
+      const auto base = base_row(row);
+      if (di >= delta.size() || std::get<0>(delta[di]) != row) {
+        elems.insert(elems.end(), base.begin(), base.end());
+      } else {
+        std::size_t i = 0;
+        for (; di < delta.size() && std::get<0>(delta[di]) == row; ++di) {
+          const PageId id = std::get<1>(delta[di]);
+          const long long net = std::get<2>(delta[di]);
+          while (i < base.size() && base[i] < id) elems.push_back(base[i++]);
+          long long count = net;
+          while (i < base.size() && base[i] == id) {
+            ++count;
+            ++i;
+          }
+          elems.insert(elems.end(), static_cast<std::size_t>(count), id);
+        }
+        elems.insert(elems.end(), base.begin() + i, base.end());
+      }
+      offsets[row + 1] = elems.size();
+    }
+  }
+};
+
+GraphUpdateResult apply_updates_delta(const WebGraph& g,
+                                      std::span<const LinkUpdate> updates) {
+  CompiledDelta d = compile_updates(g, updates);
+
+  GraphUpdateResult res;
+  res.incremental = d.new_pages.empty();
+  for (const auto& [edge, net] : d.links) {
+    (void)net;
+    res.in_changed.push_back(edge.second);
+  }
+  std::sort(res.in_changed.begin(), res.in_changed.end());
+  res.in_changed.erase(
+      std::unique(res.in_changed.begin(), res.in_changed.end()),
+      res.in_changed.end());
+
+  // d(u) changes when the net internal out-row size or the external tally
+  // moves; a swap that keeps the total (e.g. -a +b) leaves 1/d(u) intact.
+  std::map<PageId, long long> degree_net;
+  for (const auto& [edge, net] : d.links) degree_net[edge.first] += net;
+  for (const auto& [u, net] : d.externals) degree_net[u] += net;
+  for (const auto& [u, net] : degree_net) {
+    if (net != 0) res.degree_changed.push_back(u);
+  }
+
+  res.graph = GraphSplicer::splice(g, std::move(d));
+  return res;
+}
+
 WebGraph apply_updates(const WebGraph& g, std::span<const LinkUpdate> updates) {
+  return apply_updates_delta(g, updates).graph;
+}
+
+WebGraph apply_updates_rebuild(const WebGraph& g,
+                               std::span<const LinkUpdate> updates) {
   // Working copies of the mutable pieces.
   // Link multiset as (from, to) -> count so kRemoveLink can drop exactly one
   // instance of a parallel edge.
@@ -38,26 +291,22 @@ WebGraph apply_updates(const WebGraph& g, std::span<const LinkUpdate> updates) {
 
   // New pages (appended after existing ones, in update order).
   std::vector<std::string> new_pages;
-  std::size_t next_id = g.num_pages();
+  std::unordered_map<std::string, PageId> new_index;
   auto resolve = [&](const std::string& url) -> PageId {
     if (const auto found = g.find(url)) return *found;
-    const auto it = std::find(new_pages.begin(), new_pages.end(), url);
-    if (it != new_pages.end()) {
-      return static_cast<PageId>(g.num_pages() + (it - new_pages.begin()));
-    }
+    const auto it = new_index.find(url);
+    if (it != new_index.end()) return it->second;
     throw std::invalid_argument("apply_updates: unknown page '" + url + "'");
   };
 
   for (const auto& up : updates) {
     switch (up.kind) {
       case LinkUpdate::Kind::kAddPage: {
-        const bool exists = g.find(up.from_url).has_value() ||
-                            std::find(new_pages.begin(), new_pages.end(),
-                                      up.from_url) != new_pages.end();
-        if (!exists) {
+        if (!g.find(up.from_url) && !new_index.contains(up.from_url)) {
+          new_index.emplace(
+              up.from_url, static_cast<PageId>(g.num_pages() + new_pages.size()));
           new_pages.push_back(up.from_url);
           external.push_back(0);
-          ++next_id;
         }
         break;
       }

@@ -1,0 +1,133 @@
+#include "graph/streaming_builder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace p2prank::graph {
+
+PageId StreamingGraphBuilder::add_page(std::string_view url,
+                                       std::string_view site) {
+  const auto it = url_to_page_.find(std::string(url));
+  if (it != url_to_page_.end()) {
+    if (site_names_[page_sites_[it->second]] != site) {
+      throw std::invalid_argument(
+          "StreamingGraphBuilder: page '" + std::string(url) +
+          "' re-added with conflicting site '" + std::string(site) + "' (was '" +
+          site_names_[page_sites_[it->second]] + "')");
+    }
+    return it->second;
+  }
+  if (urls_.size() >= static_cast<std::size_t>(kInvalidPage)) {
+    throw std::length_error("StreamingGraphBuilder: page id space exhausted");
+  }
+  const auto id = static_cast<PageId>(urls_.size());
+  urls_.emplace_back(url);
+  const auto site_it = site_to_id_.find(std::string(site));
+  if (site_it != site_to_id_.end()) {
+    page_sites_.push_back(site_it->second);
+  } else {
+    const auto sid = static_cast<SiteId>(site_names_.size());
+    site_names_.emplace_back(site);
+    site_to_id_.emplace(site_names_.back(), sid);
+    page_sites_.push_back(sid);
+  }
+  external_out_.push_back(0);
+  url_to_page_.emplace(urls_.back(), id);
+  return id;
+}
+
+void StreamingGraphBuilder::add_external_links(PageId from, std::uint32_t count) {
+  if (from >= urls_.size()) {
+    throw std::out_of_range("StreamingGraphBuilder: external link from unknown page");
+  }
+  if (count > std::numeric_limits<std::uint32_t>::max() - external_out_[from]) {
+    throw std::overflow_error(
+        "StreamingGraphBuilder: external out-degree overflow at '" + urls_[from] +
+        "'");
+  }
+  external_out_[from] += count;
+}
+
+std::optional<PageId> StreamingGraphBuilder::find(std::string_view url) const {
+  const auto it = url_to_page_.find(std::string(url));
+  if (it == url_to_page_.end()) return std::nullopt;
+  return it->second;
+}
+
+WebGraph StreamingGraphBuilder::build_from_stream(const EdgeSource& source) && {
+  const std::size_t n = urls_.size();
+  WebGraph g;
+
+  // Pass 1: per-source degree counts size the out-CSR exactly.
+  g.out_offsets_.assign(n + 1, 0);
+  std::size_t total_edges = 0;
+  source([&](std::span<const Edge> chunk) {
+    for (const Edge& e : chunk) {
+      if (e.from >= n || e.to >= n) {
+        throw std::out_of_range("StreamingGraphBuilder: edge endpoint not interned");
+      }
+      ++g.out_offsets_[e.from + 1];
+    }
+    total_edges += chunk.size();
+  });
+  for (std::size_t i = 0; i < n; ++i) g.out_offsets_[i + 1] += g.out_offsets_[i];
+  g.out_targets_.resize(total_edges);
+
+  // Pass 2: scatter targets; in-degrees tallied on the fly so the in-CSR
+  // needs no third replay.
+  g.in_offsets_.assign(n + 1, 0);
+  {
+    std::vector<std::uint64_t> cursor(g.out_offsets_.begin(),
+                                      g.out_offsets_.end() - 1);
+    source([&](std::span<const Edge> chunk) {
+      for (const Edge& e : chunk) {
+        if (e.from >= n || e.to >= n) {
+          throw std::out_of_range(
+              "StreamingGraphBuilder: edge endpoint not interned");
+        }
+        if (cursor[e.from] >= g.out_offsets_[e.from + 1]) {
+          throw std::logic_error(
+              "StreamingGraphBuilder: edge source replay mismatch at '" +
+              urls_[e.from] + "'");
+        }
+        g.out_targets_[cursor[e.from]++] = e.to;
+        ++g.in_offsets_[e.to + 1];
+      }
+    });
+    for (PageId u = 0; u < n; ++u) {
+      if (cursor[u] != g.out_offsets_[u + 1]) {
+        throw std::logic_error(
+            "StreamingGraphBuilder: edge source replay mismatch at '" + urls_[u] +
+            "'");
+      }
+    }
+  }
+
+  // Canonical form: sort each out-row, then derive the in-CSR by scanning
+  // sources in ascending order so every in-row comes out ascending too.
+  for (PageId u = 0; u < n; ++u) {
+    std::sort(g.out_targets_.begin() + static_cast<std::ptrdiff_t>(g.out_offsets_[u]),
+              g.out_targets_.begin() +
+                  static_cast<std::ptrdiff_t>(g.out_offsets_[u + 1]));
+  }
+  for (std::size_t i = 0; i < n; ++i) g.in_offsets_[i + 1] += g.in_offsets_[i];
+  g.in_sources_.resize(total_edges);
+  {
+    std::vector<std::uint64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (PageId u = 0; u < n; ++u) {
+      for (std::uint64_t k = g.out_offsets_[u]; k < g.out_offsets_[u + 1]; ++k) {
+        g.in_sources_[cursor[g.out_targets_[k]]++] = u;
+      }
+    }
+  }
+
+  g.external_out_ = std::move(external_out_);
+  for (const auto e : g.external_out_) g.total_external_ += e;
+  g.table_ = WebGraph::make_table(std::move(urls_), std::move(site_names_),
+                                  std::move(page_sites_));
+  return g;
+}
+
+}  // namespace p2prank::graph

@@ -1,0 +1,76 @@
+// Chunked two-pass graph construction for webs too large to buffer every
+// edge in a GraphBuilder links_ vector.
+//
+// GraphBuilder keeps one (from, to) pair per link — 8 bytes each, tripled by
+// the CSR arrays during build() — which caps practical graph size well below
+// the 1M–10M pages the scale bench targets. StreamingGraphBuilder instead
+// interns pages up front and then makes two passes over a *replayable* edge
+// source: pass 1 counts per-source degrees (sizing the CSR exactly), pass 2
+// scatters targets straight into the preallocated arrays. Peak transient
+// memory is one chunk of edges, whatever size the source chooses.
+//
+// The result is the canonical WebGraph form (web_graph.hpp): after the
+// scatter each out-row is sorted in place, and the in-CSR is derived from
+// the sorted out-rows, so a StreamingGraphBuilder and a GraphBuilder fed the
+// same pages and edge multiset produce bitwise-identical CSR arrays — a
+// property the synthetic-web generator's tests lock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/web_graph.hpp"
+
+namespace p2prank::graph {
+
+class StreamingGraphBuilder {
+ public:
+  struct Edge {
+    PageId from;
+    PageId to;
+  };
+
+  /// Receives one chunk of edges; invoked by the EdgeSource.
+  using ChunkSink = std::function<void(std::span<const Edge>)>;
+
+  /// Produces the edge stream by calling the sink once per chunk. Invoked
+  /// twice by build_from_stream (count pass, then scatter pass); each
+  /// invocation must deliver the same edge *multiset* — chunk boundaries
+  /// and ordering are free to differ.
+  using EdgeSource = std::function<void(const ChunkSink&)>;
+
+  /// Intern a page with an explicit site label. Same identity semantics as
+  /// GraphBuilder::add_page: idempotent on exact re-add, throws
+  /// std::invalid_argument on a conflicting site.
+  PageId add_page(std::string_view url, std::string_view site);
+
+  /// Accumulate uncrawled out-links; throws std::overflow_error past the
+  /// uint32 tally range. May also be called from inside the EdgeSource (on
+  /// one replay only!) — the builder consumes the tallies after the final
+  /// replay, so externals can arrive interleaved with the edge stream.
+  void add_external_links(PageId from, std::uint32_t count);
+
+  [[nodiscard]] std::optional<PageId> find(std::string_view url) const;
+  [[nodiscard]] std::size_t num_pages() const noexcept { return urls_.size(); }
+
+  /// Consume the builder and build the canonical CSR graph from two replays
+  /// of `source`. Throws std::out_of_range on an edge endpoint that was
+  /// never interned and std::logic_error if the two replays disagree on the
+  /// edge count of any source page.
+  [[nodiscard]] WebGraph build_from_stream(const EdgeSource& source) &&;
+
+ private:
+  std::vector<std::string> urls_;
+  std::vector<SiteId> page_sites_;
+  std::vector<std::string> site_names_;
+  std::unordered_map<std::string, PageId> url_to_page_;
+  std::unordered_map<std::string, SiteId> site_to_id_;
+  std::vector<std::uint32_t> external_out_;
+};
+
+}  // namespace p2prank::graph

@@ -62,4 +62,13 @@ struct SyntheticWebConfig {
 /// Generate a crawl. Deterministic in cfg.seed.
 [[nodiscard]] WebGraph generate_synthetic_web(const SyntheticWebConfig& cfg);
 
+/// Same crawl, built through StreamingGraphBuilder: links are regenerated
+/// chunk-by-chunk on each counting/scatter pass instead of being buffered,
+/// so peak memory is one chunk rather than the whole edge list. Produces a
+/// WebGraph whose CSR arrays are bitwise-identical to
+/// generate_synthetic_web(cfg) — both paths draw from the same RNG stream
+/// and land in the canonical sorted form (locked by test). Use this for the
+/// multi-million-page scale benches.
+[[nodiscard]] WebGraph generate_synthetic_web_streamed(const SyntheticWebConfig& cfg);
+
 }  // namespace p2prank::graph

@@ -3,17 +3,47 @@
 namespace p2prank::graph {
 
 std::optional<PageId> WebGraph::find(std::string_view url) const {
-  const auto it = url_index_.find(url);
-  if (it == url_index_.end()) return std::nullopt;
+  if (table_ == nullptr) return std::nullopt;
+  const auto it = table_->url_index.find(url);
+  if (it == table_->url_index.end()) return std::nullopt;
   return it->second;
+}
+
+std::shared_ptr<const WebGraph::PageTable> WebGraph::make_table(
+    std::vector<std::string> urls, std::vector<std::string> site_names,
+    std::vector<SiteId> sites) {
+  auto table = std::make_shared<PageTable>();
+  table->urls = std::move(urls);
+  table->site_names = std::move(site_names);
+  table->sites = std::move(sites);
+
+  const std::size_t n = table->urls.size();
+  const std::size_t num_sites = table->site_names.size();
+  table->site_offsets.assign(num_sites + 1, 0);
+  for (const SiteId s : table->sites) ++table->site_offsets[s + 1];
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    table->site_offsets[i + 1] += table->site_offsets[i];
+  }
+  table->site_pages.resize(n);
+  {
+    std::vector<std::uint64_t> cursor(table->site_offsets.begin(),
+                                      table->site_offsets.end() - 1);
+    for (PageId p = 0; p < n; ++p) {
+      table->site_pages[cursor[table->sites[p]]++] = p;
+    }
+  }
+
+  table->url_index.reserve(n);
+  for (PageId p = 0; p < n; ++p) table->url_index.emplace(table->urls[p], p);
+  return table;
 }
 
 std::size_t WebGraph::count_intra_site_links() const noexcept {
   std::size_t intra = 0;
   for (PageId u = 0; u < num_pages(); ++u) {
-    const SiteId s = sites_[u];
+    const SiteId s = table_->sites[u];
     for (const PageId v : out_links(u)) {
-      if (sites_[v] == s) ++intra;
+      if (table_->sites[v] == s) ++intra;
     }
   }
   return intra;

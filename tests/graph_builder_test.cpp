@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
 
 #include "graph/web_graph.hpp"
 #include "test_support.hpp"
@@ -149,6 +153,73 @@ TEST(WebGraph, EmptyGraphIsWellFormed) {
   EXPECT_EQ(g.num_pages(), 0u);
   EXPECT_EQ(g.num_links(), 0u);
   EXPECT_EQ(g.num_sites(), 0u);
+}
+
+TEST(GraphBuilder, ConflictingSiteReAddThrows) {
+  GraphBuilder b;
+  b.add_page("s.edu/a", "s.edu");
+  EXPECT_THROW((void)b.add_page("s.edu/a", "other.edu"), std::invalid_argument);
+  // Re-adding with the *same* site stays idempotent.
+  EXPECT_EQ(b.add_page("s.edu/a", "s.edu"), 0u);
+  EXPECT_EQ(b.num_pages(), 1u);
+}
+
+TEST(GraphBuilder, ExternalOverflowThrows) {
+  GraphBuilder b;
+  const auto a = b.add_page("s.edu/a", "s.edu");
+  b.add_external_link(a, std::numeric_limits<std::uint32_t>::max() - 1);
+  EXPECT_THROW(b.add_external_link(a, 2), std::overflow_error);
+  // One more is still representable.
+  b.add_external_link(a, 1);
+  const auto g = std::move(b).build();
+  EXPECT_EQ(g.external_out_degree(a),
+            std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(GraphBuilder, OutRowsAreSortedEvenWithoutDedup) {
+  GraphBuilder b;
+  const auto a = b.add_page("s.edu/a", "s.edu");
+  const auto c = b.add_page("s.edu/b", "s.edu");
+  const auto d = b.add_page("s.edu/c", "s.edu");
+  b.add_link(a, d);
+  b.add_link(a, c);
+  b.add_link(a, d);
+  const auto g = std::move(b).build();
+  const auto out = g.out_links(a);
+  EXPECT_EQ(std::vector<PageId>(out.begin(), out.end()),
+            (std::vector<PageId>{c, d, d}));
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(GraphBuilder, FindLooksUpInternedPages) {
+  GraphBuilder b;
+  const auto a = b.add_page("s.edu/a", "s.edu");
+  EXPECT_EQ(b.find("s.edu/a"), std::optional<PageId>{a});
+  EXPECT_FALSE(b.find("s.edu/missing").has_value());
+}
+
+TEST(WebGraph, DefaultConstructedAccessorsAreSafe) {
+  // A default-constructed WebGraph has empty CSR arrays; every accessor
+  // must degrade gracefully instead of reading past offsets (once UB).
+  const WebGraph g;
+  EXPECT_EQ(g.num_pages(), 0u);
+  EXPECT_EQ(g.num_sites(), 0u);
+  EXPECT_EQ(g.num_links(), 0u);
+  EXPECT_TRUE(g.out_links(0).empty());
+  EXPECT_TRUE(g.in_links(0).empty());
+  EXPECT_TRUE(g.pages_of_site(0).empty());
+  EXPECT_EQ(g.out_degree(0), 0u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.external_out_degree(0), 0u);
+  EXPECT_FALSE(g.find("s.edu/a").has_value());
+}
+
+TEST(WebGraph, OutOfRangePageAccessorsAreSafe) {
+  const auto g = test::two_cycle();
+  EXPECT_TRUE(g.out_links(99).empty());
+  EXPECT_TRUE(g.in_links(99).empty());
+  EXPECT_EQ(g.out_degree(99), 0u);
+  EXPECT_EQ(g.external_out_degree(kInvalidPage), 0u);
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/graph_stats.hpp"
 #include "graph/synthetic_web.hpp"
@@ -105,6 +108,46 @@ TEST(GraphIo, ErrorMessagesCarryLineNumbers) {
   }
 }
 
+TEST(GraphIo, RejectsTrailingTokens) {
+  std::stringstream p_bad("P s.edu/a s.edu extra\n");
+  EXPECT_THROW(load_graph(p_bad), std::runtime_error);
+  std::stringstream l_bad(
+      "P s.edu/a s.edu\n"
+      "L s.edu/a s.edu/a junk\n");
+  EXPECT_THROW(load_graph(l_bad), std::runtime_error);
+  std::stringstream x_bad(
+      "P s.edu/a s.edu\n"
+      "X s.edu/a 3 junk\n");
+  EXPECT_THROW(load_graph(x_bad), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsZeroCountXRecord) {
+  std::stringstream in(
+      "P s.edu/a s.edu\n"
+      "X s.edu/a 0\n");
+  try {
+    (void)load_graph(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(GraphIo, ConflictingPageRecordsCarryLineNumber) {
+  // Same URL declared under two different sites: the builder's conflict
+  // throw must surface as a line-numbered parse error, not invalid_argument.
+  std::stringstream in(
+      "P s.edu/a s.edu\n"
+      "P s.edu/a other.edu\n");
+  try {
+    (void)load_graph(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("conflicting"), std::string::npos);
+  }
+}
+
 TEST(GraphIo, FileRoundTrip) {
   const auto g = test::two_cycle();
   const std::string path = ::testing::TempDir() + "/p2prank_io_test.graph";
@@ -116,6 +159,80 @@ TEST(GraphIo, FileRoundTrip) {
 
 TEST(GraphIo, MissingFileThrows) {
   EXPECT_THROW(load_graph_file("/nonexistent/path.graph"), std::runtime_error);
+}
+
+/// Binary round trips must reproduce the text-built graph exactly —
+/// identity, CSR rows, and externals.
+void expect_binary_round_trip(const WebGraph& g) {
+  std::stringstream buffer;
+  save_graph_binary(g, buffer);
+  const auto loaded = load_graph_binary(buffer);
+  ASSERT_EQ(loaded.num_pages(), g.num_pages());
+  ASSERT_EQ(loaded.num_sites(), g.num_sites());
+  ASSERT_EQ(loaded.num_links(), g.num_links());
+  ASSERT_EQ(loaded.num_external_links(), g.num_external_links());
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    ASSERT_EQ(loaded.url(p), g.url(p));
+    ASSERT_EQ(loaded.site_name(loaded.site(p)), g.site_name(g.site(p)));
+    ASSERT_EQ(loaded.external_out_degree(p), g.external_out_degree(p));
+    const auto out_a = loaded.out_links(p);
+    const auto out_b = g.out_links(p);
+    ASSERT_EQ(std::vector<PageId>(out_a.begin(), out_a.end()),
+              std::vector<PageId>(out_b.begin(), out_b.end()));
+    const auto in_a = loaded.in_links(p);
+    const auto in_b = g.in_links(p);
+    ASSERT_EQ(std::vector<PageId>(in_a.begin(), in_a.end()),
+              std::vector<PageId>(in_b.begin(), in_b.end()));
+  }
+}
+
+TEST(GraphBinaryIo, RoundTripsTinyAndEmptyGraphs) {
+  expect_binary_round_trip(test::leaky_pair());
+  expect_binary_round_trip(test::two_cycle());
+  GraphBuilder empty;
+  expect_binary_round_trip(std::move(empty).build());
+}
+
+TEST(GraphBinaryIo, RoundTripsParallelEdgesAndExternals) {
+  GraphBuilder b;
+  const auto a = b.add_page("s.edu/a", "s.edu");
+  const auto c = b.add_page("t.edu/b", "t.edu");
+  b.add_link(a, c);
+  b.add_link(a, c);
+  b.add_link(c, a);
+  b.add_external_link(a, 7);
+  expect_binary_round_trip(std::move(b).build());
+}
+
+TEST(GraphBinaryIo, RoundTripsSyntheticCrawl) {
+  expect_binary_round_trip(generate_synthetic_web(google2002_config(2000, 33)));
+}
+
+TEST(GraphBinaryIo, FileRoundTrip) {
+  const auto g = test::leaky_pair();
+  const std::string path = ::testing::TempDir() + "/p2prank_io_test.bin";
+  save_graph_binary_file(g, path);
+  const auto loaded = load_graph_binary_file(path);
+  EXPECT_EQ(loaded.num_pages(), g.num_pages());
+  EXPECT_EQ(loaded.num_links(), g.num_links());
+  EXPECT_EQ(loaded.num_external_links(), g.num_external_links());
+}
+
+TEST(GraphBinaryIo, RejectsBadMagic) {
+  std::stringstream in("notmagic and then some bytes");
+  EXPECT_THROW((void)load_graph_binary(in), std::runtime_error);
+}
+
+TEST(GraphBinaryIo, RejectsTruncatedAndTrailingStreams) {
+  std::stringstream buffer;
+  save_graph_binary(test::two_cycle(), buffer);
+  const std::string bytes = buffer.str();
+
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 3));
+  EXPECT_THROW((void)load_graph_binary(truncated), std::runtime_error);
+
+  std::stringstream trailing(bytes + "x");
+  EXPECT_THROW((void)load_graph_binary(trailing), std::runtime_error);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "graph/graph_stats.hpp"
 
 namespace p2prank::graph {
@@ -43,6 +45,35 @@ TEST(SyntheticWeb, DeterministicForSeed) {
   for (PageId p = 0; p < g1.num_pages(); p += 97) {
     EXPECT_EQ(g1.url(p), g2.url(p));
     EXPECT_EQ(g1.out_degree(p), g2.out_degree(p));
+  }
+}
+
+TEST(SyntheticWeb, StreamedBuildIsBitwiseIdenticalToBuilderPath) {
+  // The two-pass streamed ingest must land on the exact same canonical CSR
+  // as the in-memory GraphBuilder path — same draws, same rows, same
+  // externals. This is what lets bench_report generate huge webs without
+  // materializing the edge list.
+  const auto cfg = google2002_config(8000, 17);
+  const auto g = generate_synthetic_web(cfg);
+  const auto s = generate_synthetic_web_streamed(cfg);
+  ASSERT_EQ(s.num_pages(), g.num_pages());
+  ASSERT_EQ(s.num_sites(), g.num_sites());
+  ASSERT_EQ(s.num_links(), g.num_links());
+  ASSERT_EQ(s.num_external_links(), g.num_external_links());
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    ASSERT_EQ(s.url(p), g.url(p)) << "page " << p;
+    ASSERT_EQ(s.site(p), g.site(p)) << "page " << p;
+    ASSERT_EQ(s.external_out_degree(p), g.external_out_degree(p)) << "page " << p;
+    const auto out_s = s.out_links(p);
+    const auto out_g = g.out_links(p);
+    ASSERT_EQ(std::vector<PageId>(out_s.begin(), out_s.end()),
+              std::vector<PageId>(out_g.begin(), out_g.end()))
+        << "out row " << p;
+    const auto in_s = s.in_links(p);
+    const auto in_g = g.in_links(p);
+    ASSERT_EQ(std::vector<PageId>(in_s.begin(), in_s.end()),
+              std::vector<PageId>(in_g.begin(), in_g.end()))
+        << "in row " << p;
   }
 }
 

@@ -52,12 +52,28 @@
 // requires exactly zero. Appends to BENCH_recovery.json with schema
 // "p2prank-recovery-bench-v1"; torn reads, checksum-collision applications,
 // or a missed eviction/rejoin also fail the run.
+//
+// --scale is the DESIGN.md §14 scale sweep: for each requested row (default
+// 1M and 10M pages) it streams a synthetic web into the chunked two-pass
+// builder, round-trips it through the binary edge-list format, runs a fixed
+// number of bounded rank sweeps, and then measures the update path — a
+// 1k-edge link-only delta applied via the incremental splice vs the full
+// rebuild oracle. Appends rows to BENCH_scale.json with schema
+// "p2prank-scale-bench-v1". Contract (enforced by exit code): on rows of
+// >= 1M pages the incremental splice must beat the rebuild by >= 10x.
+// --scale --determinism-check instead runs the small bitwise gates wired
+// into tier-bench-smoke: streamed == builder CSR, binary round-trip
+// identity, splice == rebuild CSR, and incremental warm-start ==
+// rebuild-then-warm-start rank vectors at worklist epsilon 0.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <limits>
 #include <iomanip>
 #include <iostream>
 #include <memory>
@@ -67,6 +83,8 @@
 
 #include "engine/distributed.hpp"
 #include "engine/reference.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/graph_updates.hpp"
 #include "graph/synthetic_web.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -75,6 +93,7 @@
 #include "recover/supervisor.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/snapshot.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -116,6 +135,11 @@ struct Options {
   // --recovery mode.
   bool recovery = false;
   std::uint32_t episodes = 4;
+  // --scale mode.
+  bool scale = false;
+  std::vector<std::uint64_t> scale_rows;  // default {1M, 10M}
+  int scale_sweeps = 8;
+  std::size_t delta_edges = 1000;
 };
 
 /// Best-of-`repetitions` timing of one sweep variant: each repetition runs
@@ -1018,6 +1042,319 @@ int run_recovery_bench(const Options& opts) {
   return ok ? 0 : 1;
 }
 
+// --- Scale benchmark ---------------------------------------------------------
+
+double timed_seconds(const std::function<void()>& body) {
+  const auto t0 = Clock::now();
+  body();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// A link-only update batch over existing pages: always sequentially valid
+/// (adds only), always incremental-eligible.
+std::vector<graph::LinkUpdate> scale_delta(const graph::WebGraph& g,
+                                           std::uint64_t seed,
+                                           std::size_t count) {
+  util::Rng rng(seed ^ 0x5ca1ab1eULL);
+  const auto n = static_cast<std::uint64_t>(g.num_pages());
+  std::vector<graph::LinkUpdate> ups;
+  ups.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.uniform() < 0.7) {
+      ups.push_back(graph::LinkUpdate::add_link(
+          g.url(static_cast<graph::PageId>(rng.below(n))),
+          g.url(static_cast<graph::PageId>(rng.below(n)))));
+    } else {
+      ups.push_back(graph::LinkUpdate::add_external(
+          g.url(static_cast<graph::PageId>(rng.below(n)))));
+    }
+  }
+  return ups;
+}
+
+/// Full structural comparison; on mismatch explains where in `why`.
+bool same_graph(const graph::WebGraph& a, const graph::WebGraph& b,
+                std::string* why) {
+  const auto fail = [&](const std::string& w) {
+    if (why != nullptr) *why = w;
+    return false;
+  };
+  if (a.num_pages() != b.num_pages()) return fail("page counts differ");
+  if (a.num_sites() != b.num_sites()) return fail("site counts differ");
+  if (a.num_links() != b.num_links()) return fail("link counts differ");
+  if (a.num_external_links() != b.num_external_links()) {
+    return fail("external totals differ");
+  }
+  for (graph::PageId p = 0; p < a.num_pages(); ++p) {
+    if (a.url(p) != b.url(p)) return fail("url differs at page " + std::to_string(p));
+    if (a.site_name(a.site(p)) != b.site_name(b.site(p))) {
+      return fail("site differs at page " + std::to_string(p));
+    }
+    if (a.external_out_degree(p) != b.external_out_degree(p)) {
+      return fail("external degree differs at page " + std::to_string(p));
+    }
+    const auto oa = a.out_links(p);
+    const auto ob = b.out_links(p);
+    if (!std::equal(oa.begin(), oa.end(), ob.begin(), ob.end())) {
+      return fail("out row differs at page " + std::to_string(p));
+    }
+    const auto ia = a.in_links(p);
+    const auto ib = b.in_links(p);
+    if (!std::equal(ia.begin(), ia.end(), ib.begin(), ib.end())) {
+      return fail("in row differs at page " + std::to_string(p));
+    }
+  }
+  return true;
+}
+
+struct ScaleRow {
+  std::uint64_t pages_target = 0;
+  std::size_t pages = 0;
+  std::size_t edges = 0;
+  std::size_t externals = 0;
+  double generate_s = 0.0;
+  double save_s = 0.0;
+  double load_s = 0.0;
+  std::uint64_t binary_bytes = 0;
+  int sweeps = 0;
+  double rank_s = 0.0;
+  std::size_t delta_edges = 0;
+  double incremental_ms = 0.0;
+  double rebuild_ms = 0.0;
+  double speedup = 0.0;
+};
+
+std::string render_scale_run(const Options& opts,
+                             const std::vector<ScaleRow>& rows,
+                             std::size_t pool_threads) {
+  std::ostringstream os;
+  os << "    {\n";
+  os << "      \"label\": \"" << json_escape(opts.label) << "\",\n";
+  os << "      \"graph_seed\": " << opts.seed << ",\n";
+  os << "      \"alpha\": " << json_number(opts.alpha) << ",\n";
+  os << "      \"pool_threads\": " << pool_threads << ",\n";
+  os << "      \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "        {\"pages_target\": " << r.pages_target << ", "
+       << "\"pages\": " << r.pages << ", "
+       << "\"edges\": " << r.edges << ", "
+       << "\"externals\": " << r.externals << ", "
+       << "\"generate_s\": " << json_number(r.generate_s) << ", "
+       << "\"save_s\": " << json_number(r.save_s) << ", "
+       << "\"load_s\": " << json_number(r.load_s) << ", "
+       << "\"binary_bytes\": " << r.binary_bytes << ", "
+       << "\"rank_sweeps\": " << r.sweeps << ", "
+       << "\"rank_s\": " << json_number(r.rank_s) << ", "
+       << "\"delta_edges\": " << r.delta_edges << ", "
+       << "\"incremental_ms\": " << json_number(r.incremental_ms) << ", "
+       << "\"rebuild_ms\": " << json_number(r.rebuild_ms) << ", "
+       << "\"update_speedup\": " << json_number(r.speedup) << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n";
+  os << "    }";
+  return os.str();
+}
+
+int run_scale_bench(const Options& opts) {
+  auto& pool = util::ThreadPool::shared();
+  const std::vector<std::uint64_t> targets =
+      opts.scale_rows.empty() ? std::vector<std::uint64_t>{1'000'000, 10'000'000}
+                              : opts.scale_rows;
+  std::vector<ScaleRow> rows;
+  bool ok = true;
+  for (const std::uint64_t target : targets) {
+    ScaleRow row;
+    row.pages_target = target;
+    const auto cfg = graph::google2002_config(
+        static_cast<std::uint32_t>(target), opts.seed);
+
+    // Streamed two-pass ingest: edges are generated chunk by chunk and never
+    // buffered whole, so peak memory is the CSR itself plus one chunk.
+    graph::WebGraph g;
+    row.generate_s = timed_seconds(
+        [&] { g = graph::generate_synthetic_web_streamed(cfg); });
+    row.pages = g.num_pages();
+    row.edges = g.num_links();
+    row.externals = g.num_external_links();
+
+    // Binary round trip: this is the reload path that makes re-running
+    // experiments on the same web cheap.
+    const std::string bin = "BENCH_scale_" + std::to_string(target) + ".bin";
+    row.save_s = timed_seconds([&] { graph::save_graph_binary_file(g, bin); });
+    {
+      std::ifstream f(bin, std::ios::binary | std::ios::ate);
+      row.binary_bytes = f ? static_cast<std::uint64_t>(f.tellg()) : 0;
+    }
+    graph::WebGraph loaded;
+    row.load_s = timed_seconds([&] { loaded = graph::load_graph_binary_file(bin); });
+    std::remove(bin.c_str());
+    std::string why;
+    if (!same_graph(g, loaded, &why)) {
+      std::cerr << "bench_report: FAIL — binary round trip at " << target
+                << " pages: " << why << "\n";
+      ok = false;
+    }
+
+    // Bounded rank sweeps over the loaded graph: end-to-end proof that the
+    // reloaded web ranks, plus a per-sweep cost sample at this scale.
+    {
+      const auto m = rank::LinkMatrix::from_graph(loaded, opts.alpha);
+      std::vector<double> x(m.dimension(), 0.0);
+      std::vector<double> y(m.dimension());
+      const std::vector<double> forcing(m.dimension(), 1.0 - opts.alpha);
+      rank::SweepScratch scratch;
+      row.sweeps = opts.scale_sweeps;
+      row.rank_s = timed_seconds([&] {
+        for (int s = 0; s < opts.scale_sweeps; ++s) {
+          auto stats = m.sweep_and_residual(x, y, forcing, scratch, pool);
+          if (stats.l1_delta < 0.0) std::abort();  // keep the result live
+          std::swap(x, y);
+        }
+      });
+    }
+
+    // Update latency: the same 1k-edge link-only delta through the
+    // incremental splice (shared page table, per-row patch) and through the
+    // rebuild oracle (re-intern every URL, re-sort every edge).
+    const auto ups = scale_delta(loaded, opts.seed, opts.delta_edges);
+    row.delta_edges = ups.size();
+    graph::GraphUpdateResult delta;
+    double best_inc = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      best_inc = std::min(best_inc, timed_seconds([&] {
+                            delta = graph::apply_updates_delta(loaded, ups);
+                          }));
+    }
+    row.incremental_ms = best_inc * 1e3;
+    if (!delta.incremental) {
+      std::cerr << "bench_report: FAIL — link-only delta was not incremental\n";
+      ok = false;
+    }
+    graph::WebGraph rebuilt;
+    row.rebuild_ms = timed_seconds([&] {
+                       rebuilt = graph::apply_updates_rebuild(loaded, ups);
+                     }) *
+                     1e3;
+    row.speedup = row.rebuild_ms / row.incremental_ms;
+    if (!same_graph(delta.graph, rebuilt, &why)) {
+      std::cerr << "bench_report: FAIL — splice != rebuild at " << target
+                << " pages: " << why << "\n";
+      ok = false;
+    }
+    if (row.pages >= 1'000'000 && row.speedup < 10.0) {
+      std::cerr << "bench_report: FAIL — incremental update speedup "
+                << row.speedup << "x at " << row.pages
+                << " pages; the scale contract requires >= 10x\n";
+      ok = false;
+    }
+
+    std::cout << "  " << row.pages << " pages, " << row.edges << " edges, "
+              << row.externals << " external\n"
+              << "    generate " << row.generate_s << " s, save " << row.save_s
+              << " s (" << static_cast<double>(row.binary_bytes) / 1e6
+              << " MB), load " << row.load_s << " s\n"
+              << "    " << row.sweeps << " rank sweeps in " << row.rank_s
+              << " s (" << row.rank_s / std::max(row.sweeps, 1) * 1e3
+              << " ms/sweep)\n"
+              << "    " << row.delta_edges << "-edge delta: incremental "
+              << row.incremental_ms << " ms vs rebuild " << row.rebuild_ms
+              << " ms (" << row.speedup << "x)\n";
+    rows.push_back(row);
+  }
+
+  write_report(opts.out, "p2prank-scale-bench-v1",
+               render_scale_run(opts, rows, pool.size()));
+  std::cout << "appended run \"" << opts.label << "\" to " << opts.out << "\n";
+  return ok ? 0 : 1;
+}
+
+/// --scale --determinism-check: the small bitwise gates of DESIGN.md §14,
+/// wired into tier-bench-smoke. Everything here must be exact, not close.
+int run_scale_determinism_check(Options opts) {
+  if (opts.pages == 50000) opts.pages = 2000;  // smoke-sized by default
+  bool ok = true;
+  const auto expect = [&](bool cond, const std::string& what) {
+    if (!cond) {
+      std::cerr << "bench_report: scale determinism FAIL — " << what << "\n";
+      ok = false;
+    }
+  };
+  std::string why;
+  const auto cfg = graph::google2002_config(opts.pages, opts.seed);
+
+  // Gate 1: streamed two-pass ingest == in-memory builder, bitwise.
+  const auto g = graph::generate_synthetic_web(cfg);
+  const auto streamed = graph::generate_synthetic_web_streamed(cfg);
+  expect(same_graph(g, streamed, &why), "streamed != builder: " + why);
+
+  // Gate 2: binary round-trip identity.
+  {
+    std::stringstream buf;
+    graph::save_graph_binary(g, buf);
+    const auto loaded = graph::load_graph_binary(buf);
+    expect(same_graph(g, loaded, &why), "binary round trip: " + why);
+  }
+
+  // Gate 3: incremental splice == rebuild oracle on a link-only delta.
+  const auto ups = scale_delta(g, opts.seed, 200);
+  const auto delta = graph::apply_updates_delta(g, ups);
+  expect(delta.incremental, "link-only delta not incremental");
+  {
+    const auto rebuilt = graph::apply_updates_rebuild(g, ups);
+    expect(same_graph(delta.graph, rebuilt, &why), "splice != rebuild: " + why);
+  }
+
+  // Gate 4: incremental warm start == rebuild-then-warm-start, bitwise, at
+  // worklist epsilon 0 (the engine half of the §14 contract).
+  {
+    util::ThreadPool pool(2);
+    std::vector<std::uint32_t> assignment(g.num_pages());
+    for (std::uint32_t p = 0; p < g.num_pages(); ++p) assignment[p] = p % 4;
+    engine::EngineOptions eo;
+    eo.algorithm = engine::Algorithm::kDPR1;
+    eo.alpha = opts.alpha;
+    eo.seed = opts.seed ^ 0x5ca1edEULL;
+    eo.worklist = true;
+    eo.worklist_epsilon = 0.0;
+    engine::DistributedRanking sim0(g, assignment, 4, eo, pool);
+    sim0.set_reference(engine::open_system_reference(g, opts.alpha, pool));
+    (void)sim0.run(30.0, 30.0);
+    const auto ranks = sim0.global_ranks();
+    auto carry = sim0.export_worklist_carry();
+    std::size_t valid = 0;
+    for (const auto& c : carry.groups) valid += c.valid ? 1 : 0;
+    expect(valid > 0, "no group exported a live worklist frontier");
+
+    const auto reference =
+        engine::open_system_reference(delta.graph, opts.alpha, pool);
+    engine::DistributedRanking inc(delta.graph, assignment, 4, eo, pool);
+    inc.set_reference(reference);
+    inc.warm_start_incremental(ranks, std::move(carry), delta.in_changed,
+                               delta.degree_changed);
+    (void)inc.run(40.0, 40.0);
+    engine::DistributedRanking reb(delta.graph, assignment, 4, eo, pool);
+    reb.set_reference(reference);
+    reb.warm_start(ranks);
+    (void)reb.run(40.0, 40.0);
+    const auto ri = inc.global_ranks();
+    const auto rr = reb.global_ranks();
+    std::size_t diffs = 0;
+    for (std::size_t p = 0; p < ri.size(); ++p) diffs += ri[p] != rr[p] ? 1 : 0;
+    expect(diffs == 0, "incremental vs rebuild warm start: " +
+                           std::to_string(diffs) + " rank(s) differ");
+  }
+
+  if (ok) {
+    std::cout << "scale determinism check passed: streamed ingest, binary "
+                 "round trip, splice, and incremental warm start all "
+                 "bitwise-exact at "
+              << opts.pages << " pages\n";
+  }
+  return ok ? 0 : 1;
+}
+
 // --- Kernel benchmark --------------------------------------------------------
 
 /// Times every sweep-kernel variant on `m` with the given pool. The two
@@ -1249,6 +1586,22 @@ Options parse_args(int argc, char** argv) {
       opts.serve = true;
     } else if (arg == "--recovery") {
       opts.recovery = true;
+    } else if (arg == "--scale") {
+      opts.scale = true;
+    } else if (arg == "--scale-rows") {
+      opts.scale_rows.clear();
+      std::stringstream ss(need_value("--scale-rows"));
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        if (!tok.empty()) opts.scale_rows.push_back(std::stoull(tok));
+      }
+      if (opts.scale_rows.empty()) {
+        throw std::runtime_error("bench_report: --scale-rows needs N[,M...]");
+      }
+    } else if (arg == "--sweeps") {
+      opts.scale_sweeps = std::stoi(need_value("--sweeps"));
+    } else if (arg == "--delta-edges") {
+      opts.delta_edges = std::stoul(need_value("--delta-edges"));
     } else if (arg == "--episodes") {
       opts.episodes =
           static_cast<std::uint32_t>(std::stoul(need_value("--episodes")));
@@ -1278,28 +1631,33 @@ Options parse_args(int argc, char** argv) {
                    "[--clients C] [--duration T] [--label L] [--out FILE]\n"
                    "       bench_report --serve --determinism-check\n"
                    "       bench_report --recovery [--pages N] [--k K] "
-                   "[--seed S] [--episodes E] [--label L] [--out FILE]\n";
+                   "[--seed S] [--episodes E] [--label L] [--out FILE]\n"
+                   "       bench_report --scale [--scale-rows N,M] [--sweeps S] "
+                   "[--delta-edges D] [--seed S] [--label L] [--out FILE]\n"
+                   "       bench_report --scale --determinism-check [--pages N]\n";
       std::exit(0);
     } else {
       throw std::runtime_error("bench_report: unknown flag " + arg);
     }
   }
   if (static_cast<int>(opts.reliability) + static_cast<int>(opts.obs) +
-          static_cast<int>(opts.serve) + static_cast<int>(opts.recovery) >
+          static_cast<int>(opts.serve) + static_cast<int>(opts.recovery) +
+          static_cast<int>(opts.scale) >
       1) {
     throw std::runtime_error(
-        "bench_report: --reliability, --obs, --serve, and --recovery are "
-        "exclusive");
+        "bench_report: --reliability, --obs, --serve, --recovery, and "
+        "--scale are exclusive");
   }
-  if (opts.determinism_check && !opts.serve) {
+  if (opts.determinism_check && !opts.serve && !opts.scale) {
     throw std::runtime_error(
-        "bench_report: --determinism-check requires --serve");
+        "bench_report: --determinism-check requires --serve or --scale");
   }
   if (opts.out.empty()) {
     opts.out = opts.reliability ? "BENCH_reliability.json"
                : opts.obs      ? "BENCH_obs.json"
                : opts.serve    ? "BENCH_serve.json"
                : opts.recovery ? "BENCH_recovery.json"
+               : opts.scale    ? "BENCH_scale.json"
                                : "BENCH_kernels.json";
   }
   if (opts.reliability && opts.pages == 50000) {
@@ -1329,6 +1687,10 @@ int main(int argc, char** argv) {
     if (opts.serve) {
       return opts.determinism_check ? run_serve_determinism_check(opts)
                                     : run_serve_bench(opts);
+    }
+    if (opts.scale) {
+      return opts.determinism_check ? run_scale_determinism_check(opts)
+                                    : run_scale_bench(opts);
     }
     return run_kernel_bench(opts);
   } catch (const std::exception& e) {

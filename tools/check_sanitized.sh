@@ -69,7 +69,19 @@ echo "TSan: chaos-scenario smoke corpus clean (--partition)"
 # scenarios' own channel configurations and with the reliable layer forced
 # on, so every retransmit/ack/churn code path runs under the checks.
 cmake --preset asan
-cmake --build --preset asan --target scenario_fuzz -j"$(nproc)"
+cmake --build --preset asan --target scenario_fuzz graph_builder_test \
+  graph_io_test graph_updates_test streaming_builder_test -j"$(nproc)"
+
+# Graph-path edge cases (DESIGN.md §14): default-constructed / out-of-range
+# WebGraph accessors (the old out_links(0) UB), loader reject paths, binary
+# round trips, streamed two-pass ingest, and the incremental update splice
+# against its rebuild oracle — the suites whose bugs ASan sees and a plain
+# build might not.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/graph_builder_test "$@"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/graph_io_test "$@"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/graph_updates_test "$@"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/streaming_builder_test "$@"
+echo "ASan: graph edge-case suites clean"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \
   --seeds-file tests/corpus/scenario_seeds.txt --trace-dir build-asan --quiet
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tools/scenario_fuzz \

@@ -48,11 +48,16 @@ int usage(std::ostream& err) {
          "                     [--trace-dir DIR] [--broken] [--no-minimize]\n"
          "                     [--threads T] [--tail-time T] [--quiet]\n"
          "                     [--reliable] [--worklist] [--serve]\n"
-         "                     [--partition]\n"
+         "                     [--partition] [--full-rebuild]\n"
          "  --reliable  force every scenario onto the reliable exchange\n"
          "              layer (epochs + retransmission + failure detection)\n"
          "  --worklist  force every scenario onto exact-mode worklist\n"
          "              sweeps (residual-driven frontier kernel)\n"
+         "  --full-rebuild\n"
+         "              force every kGraphUpdate through the cold rebuild\n"
+         "              path even when it qualifies for the incremental\n"
+         "              frontier carry; pairs with --worklist for the A/B\n"
+         "              determinism gate (DESIGN.md §14)\n"
          "  --serve     attach a rank-serving snapshot store to every\n"
          "              scenario and probe the serving contract (snapshot\n"
          "              availability, epoch consistency/monotonicity,\n"
@@ -214,6 +219,8 @@ int main(int argc, char** argv) {
         force_reliable = true;
       } else if (a == "--worklist") {
         force_worklist = true;
+      } else if (a == "--full-rebuild") {
+        ropts.full_graph_rebuild = true;
       } else if (a == "--serve") {
         force_serve = true;
       } else if (a == "--partition") {
